@@ -1,0 +1,86 @@
+// Benchmarks of the end-to-end schedulability analysis — the reproduction
+// of §VII's reported running times ("a few hundred seconds on average with
+// CPLEX" for the authors' larger configurations; our smaller defaults and
+// specialized formulation run orders of magnitude faster, see
+// EXPERIMENTS.md).
+#include <benchmark/benchmark.h>
+
+#include "analysis/nps.hpp"
+#include "analysis/schedulability.hpp"
+#include "gen/generator.hpp"
+#include "sim/engine.hpp"
+#include "sim/job_source.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using mcs::analysis::analyze;
+using mcs::analysis::Approach;
+
+mcs::rt::TaskSet make_set(std::size_t n, double u, double gamma,
+                          std::uint64_t seed) {
+  mcs::support::Rng rng(seed);
+  mcs::gen::GeneratorConfig cfg;
+  cfg.num_tasks = n;
+  cfg.utilization = u;
+  cfg.gamma = gamma;
+  return mcs::gen::generate_task_set(cfg, rng);
+}
+
+void BM_AnalyzeProposed(benchmark::State& state) {
+  const auto tasks =
+      make_set(static_cast<std::size_t>(state.range(0)), 0.6, 0.3, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze(tasks, Approach::kProposed));
+  }
+}
+BENCHMARK(BM_AnalyzeProposed)->Arg(3)->Arg(4)->Arg(5)->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AnalyzeWp(benchmark::State& state) {
+  const auto tasks =
+      make_set(static_cast<std::size_t>(state.range(0)), 0.6, 0.3, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze(tasks, Approach::kWasilyPellizzoni));
+  }
+}
+BENCHMARK(BM_AnalyzeWp)->Arg(3)->Arg(4)->Arg(5)->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AnalyzeNps(benchmark::State& state) {
+  const auto tasks =
+      make_set(static_cast<std::size_t>(state.range(0)), 0.6, 0.3, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze(tasks, Approach::kNonPreemptive));
+  }
+}
+BENCHMARK(BM_AnalyzeNps)->Arg(3)->Arg(6)->Unit(benchmark::kMicrosecond);
+
+void BM_AnalyzeProposedLpRelaxation(benchmark::State& state) {
+  const auto tasks =
+      make_set(static_cast<std::size_t>(state.range(0)), 0.6, 0.3, 5);
+  mcs::analysis::AnalysisOptions options;
+  options.lp_relaxation_only = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze(tasks, Approach::kProposed, options));
+  }
+}
+BENCHMARK(BM_AnalyzeProposedLpRelaxation)->Arg(4)->Arg(6)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimulateProposed(benchmark::State& state) {
+  const auto tasks =
+      make_set(static_cast<std::size_t>(state.range(0)), 0.5, 0.3, 9);
+  const auto releases = mcs::sim::synchronous_periodic_releases(
+      tasks, 1000 * mcs::rt::kTicksPerUnit);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        mcs::sim::simulate(tasks, mcs::sim::Protocol::kProposed, releases));
+  }
+}
+BENCHMARK(BM_SimulateProposed)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,4 @@
+// Regenerates Figure 2(c) of the paper (see DESIGN.md §4).
+#include "fig2_common.hpp"
+
+int main() { return mcs::bench::run_figure2_inset('c'); }

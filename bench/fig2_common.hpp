@@ -1,0 +1,24 @@
+// Shared driver for the Figure 2 reproduction benches: runs one inset's
+// sweep, prints the table the figure plots, and writes <name>.csv next to
+// the binary.  Scale with MCS_TASKSETS / MCS_SEED / MCS_THREADS.
+#pragma once
+
+#include <filesystem>
+#include <iostream>
+
+#include "exp/figures.hpp"
+
+namespace mcs::bench {
+
+inline int run_figure2_inset(char inset) {
+  const exp::ExperimentConfig cfg = exp::figure2_config(inset);
+  std::cout << "Reproducing Figure 2(" << inset << "): " << cfg.title
+            << "\n(scale with MCS_TASKSETS / MCS_SEED / MCS_THREADS)\n\n";
+  const exp::ExperimentResult result = exp::run_experiment(cfg);
+  exp::print_result(result, std::cout);
+  exp::write_csv(result, std::filesystem::current_path());
+  std::cout << "wrote " << cfg.name << ".csv\n";
+  return 0;
+}
+
+}  // namespace mcs::bench

@@ -1,0 +1,62 @@
+// Multicore deployment walk-through (paper §II): partition a task set onto
+// P cores, account for global-memory contention among the per-core DMA
+// engines (rt/contention.hpp — the paper's [7,8] dependency), and analyze
+// each core in isolation under the proposed protocol.
+#include <iomanip>
+#include <iostream>
+
+#include "analysis/schedulability.hpp"
+#include "gen/generator.hpp"
+#include "rt/contention.hpp"
+#include "support/rng.hpp"
+
+using namespace mcs;
+
+int main() {
+  constexpr std::size_t kCores = 4;
+  support::Rng rng(21);
+
+  // A 16-task workload with total execution utilization 1.2 across 4 cores.
+  gen::GeneratorConfig cfg;
+  cfg.num_tasks = 16;
+  cfg.utilization = 1.2;
+  cfg.gamma = 0.15;
+  cfg.beta = 0.7;
+  const rt::TaskSet flat = gen::generate_task_set(cfg, rng);
+
+  const auto cores = gen::partition_worst_fit(
+      {flat.tasks().begin(), flat.tasks().end()}, kCores);
+
+  std::cout << "=== " << kCores << "-core system, " << flat.size()
+            << " tasks, worst-fit partitioning ===\n\n";
+
+  for (const auto policy : {rt::ContentionPolicy::kDemandAware,
+                            rt::ContentionPolicy::kFullyBacklogged}) {
+    const auto inflated = rt::apply_memory_contention(cores, policy);
+    std::cout << "--- memory contention model: " << to_string(policy)
+              << " ---\n";
+    bool all_ok = true;
+    for (std::size_t m = 0; m < inflated.size(); ++m) {
+      const double factor = rt::contention_factor(cores, m, policy);
+      const auto result =
+          analysis::analyze(inflated[m], analysis::Approach::kProposed);
+      all_ok = all_ok && result.schedulable;
+      std::size_t ls_count = 0;
+      for (const bool f : result.ls_flags) ls_count += f ? 1 : 0;
+      std::cout << "core " << m << ": " << inflated[m].size() << " tasks, "
+                << "U=" << std::fixed << std::setprecision(2)
+                << inflated[m].utilization()
+                << ", DMA inflation x" << std::setprecision(2) << factor
+                << " -> " << (result.schedulable ? "schedulable" : "MISS")
+                << " (" << ls_count << " LS)\n";
+    }
+    std::cout << "system: " << (all_ok ? "SCHEDULABLE" : "NOT SCHEDULABLE")
+              << "\n\n";
+  }
+
+  std::cout << "Reading: the demand-aware arbiter model charges each core\n"
+               "only for the DMA bandwidth its neighbours can actually use;\n"
+               "the fully-backlogged model multiplies every transfer by the\n"
+               "core count and is markedly more pessimistic.\n";
+  return 0;
+}

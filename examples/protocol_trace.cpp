@@ -1,0 +1,88 @@
+// Trace explorer: generate a random task set, simulate it under a chosen
+// protocol, and print the interval schedule as an ASCII Gantt chart — the
+// quickest way to *see* rules R1-R6 in action (copy-in cancellations,
+// urgent promotions, partition swaps).
+//
+// Usage: protocol_trace [protocol] [n] [U] [gamma] [seed]
+//   protocol: proposed | wp | nps        (default proposed)
+//   n:        number of tasks            (default 3)
+//   U:        total utilization          (default 0.5)
+//   gamma:    memory intensity           (default 0.3)
+//   seed:     RNG seed                   (default 1)
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "gen/generator.hpp"
+#include "rt/types.hpp"
+#include "sim/checker.hpp"
+#include "sim/engine.hpp"
+#include "sim/gantt.hpp"
+#include "sim/job_source.hpp"
+#include "support/rng.hpp"
+
+using namespace mcs;
+
+int main(int argc, char** argv) {
+  const std::string proto_arg = argc > 1 ? argv[1] : "proposed";
+  sim::Protocol protocol = sim::Protocol::kProposed;
+  if (proto_arg == "wp") {
+    protocol = sim::Protocol::kWasilyPellizzoni;
+  } else if (proto_arg == "nps") {
+    protocol = sim::Protocol::kNonPreemptive;
+  } else if (proto_arg != "proposed") {
+    std::cerr << "unknown protocol '" << proto_arg
+              << "' (use proposed | wp | nps)\n";
+    return 1;
+  }
+  const std::size_t n =
+      argc > 2 ? static_cast<std::size_t>(std::strtoul(argv[2], nullptr, 10))
+               : 3;
+  const double utilization = argc > 3 ? std::strtod(argv[3], nullptr) : 0.5;
+  const double gamma = argc > 4 ? std::strtod(argv[4], nullptr) : 0.3;
+  const std::uint64_t seed =
+      argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 1;
+
+  support::Rng rng(seed);
+  gen::GeneratorConfig cfg;
+  cfg.num_tasks = n;
+  cfg.utilization = utilization;
+  cfg.gamma = gamma;
+  // Short periods so the whole trace fits on screen.
+  cfg.period_min = 10.0;
+  cfg.period_max = 30.0;
+  rt::TaskSet tasks = gen::generate_task_set(cfg, rng);
+  // Mark the highest-priority task latency-sensitive so R3-R5 can fire.
+  if (protocol == sim::Protocol::kProposed) {
+    tasks[tasks.by_priority().front()].latency_sensitive = true;
+  }
+
+  std::cout << "task set (seed " << seed << "):\n";
+  for (const auto& t : tasks) {
+    std::cout << "  " << t.name << ": C=" << t.exec << " l=" << t.copy_in
+              << " u=" << t.copy_out << " T=" << t.period
+              << " D=" << t.deadline << " prio=" << t.priority
+              << (t.latency_sensitive ? " [LS]" : "") << "\n";
+  }
+
+  const rt::Time horizon = 60 * rt::kTicksPerUnit;
+  const auto releases =
+      sim::random_sporadic_releases(tasks, horizon, 0.4, rng);
+  const auto trace = sim::simulate(tasks, protocol, releases);
+
+  sim::GanttOptions opt;
+  opt.ticks_per_char = rt::kTicksPerUnit / 2;  // 2 chars per time unit
+  opt.max_width = 200;
+  std::cout << "\n" << sim::render_gantt(tasks, protocol, trace);
+
+  const auto check = sim::check_trace(tasks, protocol, trace);
+  if (!check.ok()) {
+    std::cout << "\nINVARIANT VIOLATIONS:\n";
+    for (const auto& v : check.violations) {
+      std::cout << "  " << v << "\n";
+    }
+    return 2;
+  }
+  std::cout << "\nall protocol invariants hold on this trace\n";
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Quickstart: the smallest end-to-end tour of the public API.
+//
+//   1. describe a task set (three-phase tasks: copy-in / execute / copy-out);
+//   2. bound worst-case response times under the three approaches
+//      (proposed protocol, Wasily-Pellizzoni 2016 [3], non-preemptive);
+//   3. simulate the schedule and compare observed response times against
+//      the analytical bounds.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <iomanip>
+#include <iostream>
+
+#include "analysis/schedulability.hpp"
+#include "rt/task.hpp"
+#include "sim/engine.hpp"
+#include "sim/job_source.hpp"
+
+using namespace mcs;
+
+int main() {
+  // --- 1. Describe the workload -------------------------------------------
+  // Times are integer ticks; pick any unit you like (here: microseconds).
+  rt::TaskSet tasks;
+  {
+    rt::Task control;
+    control.name = "control";   // tight-deadline control loop
+    control.exec = 300;         // C: execution phase WCET
+    control.copy_in = 60;       // l: DMA load, global -> local memory
+    control.copy_out = 60;      // u: DMA unload, local -> global memory
+    control.period = 2'000;     // T: minimum inter-arrival
+    control.deadline = 1'700;   // D <= T (constrained deadline)
+    tasks.push_back(control);
+
+    rt::Task vision;
+    vision.name = "vision";     // memory-hungry perception task
+    vision.exec = 900;
+    vision.copy_in = 350;
+    vision.copy_out = 350;
+    vision.period = 5'000;
+    vision.deadline = 5'000;
+    tasks.push_back(vision);
+
+    rt::Task logging;
+    logging.name = "logging";   // background bookkeeping
+    logging.exec = 600;
+    logging.copy_in = 150;
+    logging.copy_out = 150;
+    logging.period = 10'000;
+    logging.deadline = 10'000;
+    tasks.push_back(logging);
+  }
+  tasks.assign_deadline_monotonic_priorities();
+  tasks.validate();
+
+  // --- 2. Analyze ----------------------------------------------------------
+  std::cout << "Worst-case response time bounds (ticks):\n";
+  std::cout << std::left << std::setw(10) << "task" << std::setw(10) << "D"
+            << std::setw(12) << "proposed" << std::setw(12) << "wp2016"
+            << std::setw(12) << "nps" << "\n";
+
+  const auto proposed =
+      analysis::analyze(tasks, analysis::Approach::kProposed);
+  const auto wp =
+      analysis::analyze(tasks, analysis::Approach::kWasilyPellizzoni);
+  const auto nps =
+      analysis::analyze(tasks, analysis::Approach::kNonPreemptive);
+
+  const auto show = [](rt::Time wcrt) {
+    return wcrt == rt::kTimeMax ? std::string("unbounded")
+                                : std::to_string(wcrt);
+  };
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    std::cout << std::left << std::setw(10) << tasks[i].name << std::setw(10)
+              << tasks[i].deadline << std::setw(12) << show(proposed.wcrt[i])
+              << std::setw(12) << show(wp.wcrt[i]) << std::setw(12)
+              << show(nps.wcrt[i])
+              << (proposed.ls_flags[i] ? "  <- marked latency-sensitive"
+                                       : "")
+              << "\n";
+  }
+  std::cout << "\nschedulable?  proposed=" << proposed.schedulable
+            << "  wp2016=" << wp.schedulable << "  nps=" << nps.schedulable
+            << "\n\n";
+
+  // --- 3. Simulate and cross-check ----------------------------------------
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    tasks[i].latency_sensitive = proposed.ls_flags[i];
+  }
+  const auto releases = sim::synchronous_periodic_releases(tasks, 100'000);
+  const auto trace =
+      sim::simulate(tasks, sim::Protocol::kProposed, releases);
+
+  std::cout << "Simulated worst observed response (synchronous periodic "
+               "releases):\n";
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    std::cout << "  " << std::setw(10) << tasks[i].name
+              << " observed=" << trace.worst_response(i)
+              << "  bound=" << show(proposed.wcrt[i]) << "\n";
+  }
+  std::cout << "(observed <= bound must hold; bounds cover *all* release "
+               "patterns, so slack is expected)\n";
+  return 0;
+}

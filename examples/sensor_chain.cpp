@@ -1,0 +1,104 @@
+// Sensor-to-actuator chain: the "communicating tasks" extension the paper
+// flags as future work (§IV-A / §VIII).
+//
+// A sense -> filter -> actuate chain shares data through global memory;
+// rule R2's eager copy-out makes the hand-off predictable.  The example
+// computes the compositional end-to-end data-age bound from per-task WCRTs
+// under each protocol and validates it against the age actually measured
+// on a simulated periodic schedule.
+#include <iomanip>
+#include <iostream>
+
+#include "analysis/chains.hpp"
+#include "analysis/schedulability.hpp"
+#include "rt/chain.hpp"
+#include "sim/chain_age.hpp"
+#include "sim/engine.hpp"
+#include "sim/job_source.hpp"
+
+using namespace mcs;
+
+namespace {
+
+rt::Task make(std::string name, rt::Time exec, rt::Time mem, rt::Time period,
+              rt::Time deadline) {
+  rt::Task t;
+  t.name = std::move(name);
+  t.exec = exec;
+  t.copy_in = mem;
+  t.copy_out = mem;
+  t.period = period;
+  t.deadline = deadline;
+  return t;
+}
+
+}  // namespace
+
+int main() {
+  // Times in microseconds.
+  rt::TaskSet tasks;
+  tasks.push_back(make("sense", 400, 150, 5'000, 4'000));
+  tasks.push_back(make("filter", 900, 300, 10'000, 9'000));
+  tasks.push_back(make("actuate", 300, 100, 10'000, 8'000));
+  tasks.push_back(make("logger", 1'500, 600, 50'000, 45'000));
+  tasks.assign_deadline_monotonic_priorities();
+  tasks.validate();
+
+  rt::Chain chain;
+  chain.name = "sense->filter->actuate";
+  chain.tasks = {0, 1, 2};
+  chain.max_data_age = 45'000;
+  rt::validate_chain(tasks, chain);
+
+  std::cout << "=== Cause-effect chain " << chain.name
+            << " (age constraint " << chain.max_data_age << ") ===\n\n";
+  std::cout << std::left << std::setw(12) << "approach" << std::setw(14)
+            << "schedulable" << std::setw(14) << "age bound"
+            << std::setw(14) << "measured" << "within bound?\n";
+
+  struct Row {
+    analysis::Approach approach;
+    sim::Protocol protocol;
+  };
+  const Row rows[] = {
+      {analysis::Approach::kProposed, sim::Protocol::kProposed},
+      {analysis::Approach::kWasilyPellizzoni,
+       sim::Protocol::kWasilyPellizzoni},
+      {analysis::Approach::kNonPreemptive, sim::Protocol::kNonPreemptive},
+  };
+  for (const Row& row : rows) {
+    const auto result = analysis::analyze(tasks, row.approach);
+    const auto bound = analysis::chain_age_bound(tasks, chain, result.wcrt);
+
+    rt::TaskSet marked = tasks;
+    for (std::size_t i = 0; i < marked.size(); ++i) {
+      marked[i].latency_sensitive = result.ls_flags[i];
+    }
+    const auto releases =
+        sim::synchronous_periodic_releases(marked, 400'000);
+    const auto trace = sim::simulate(marked, row.protocol, releases);
+    const auto measured = sim::measure_chain_age(marked, chain, trace);
+
+    std::cout << std::left << std::setw(12) << to_string(row.approach)
+              << std::setw(14) << (result.schedulable ? "yes" : "no");
+    if (bound.valid) {
+      std::cout << std::setw(14) << bound.max_data_age;
+    } else {
+      std::cout << std::setw(14) << "-";
+    }
+    if (measured.samples > 0) {
+      std::cout << std::setw(14) << measured.max_age;
+    } else {
+      std::cout << std::setw(14) << "-";
+    }
+    const bool ok = bound.valid && measured.samples > 0 &&
+                    measured.max_age <= bound.max_data_age;
+    std::cout << (bound.valid ? (ok ? "yes" : "VIOLATED") : "n/a") << "\n";
+  }
+
+  std::cout << "\nThe bound composes per-stage periods and response times\n"
+               "(R_1 + sum over hops of T_i + R_i + R_{i+1}); the measured\n"
+               "age tracks the actual sampling points (copy-in starts) in\n"
+               "the trace.\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Vision pipeline scenario: memory-intensive tasks, where hiding DMA
+// transfers behind execution pays off most (paper §VII, Figure 2(e)).
+//
+// The example sweeps the memory-intensity factor gamma for a fixed
+// camera/detection/tracking pipeline and prints which approaches keep the
+// set schedulable — demonstrating (i) the growing advantage of the
+// DMA-overlap protocols as gamma grows and (ii) the NPS/WP2016 crossover.
+#include <iomanip>
+#include <iostream>
+
+#include "analysis/schedulability.hpp"
+#include "rt/task.hpp"
+
+using namespace mcs;
+
+namespace {
+
+/// Builds the pipeline for a given memory-intensity gamma = mem / exec.
+rt::TaskSet make_pipeline(double gamma) {
+  struct Spec {
+    const char* name;
+    rt::Time exec;
+    rt::Time period;
+    rt::Time deadline;
+  };
+  // Times in microseconds; a 30 fps camera drives the 33 ms base period.
+  const Spec specs[] = {
+      {"capture", 2'000, 33'000, 16'500},
+      {"preproc", 4'500, 33'000, 26'000},
+      {"detect", 9'000, 66'000, 62'000},
+      {"track", 3'500, 33'000, 32'000},
+      {"fusion", 2'500, 66'000, 64'000},
+  };
+  rt::TaskSet tasks;
+  for (const Spec& s : specs) {
+    rt::Task t;
+    t.name = s.name;
+    t.exec = s.exec;
+    t.copy_in = static_cast<rt::Time>(gamma * static_cast<double>(s.exec));
+    t.copy_out = t.copy_in;
+    t.period = s.period;
+    t.deadline = s.deadline;
+    tasks.push_back(t);
+  }
+  tasks.assign_deadline_monotonic_priorities();
+  tasks.validate();
+  return tasks;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Vision pipeline: schedulability vs memory intensity "
+               "(gamma = mem/exec) ===\n\n";
+  std::cout << std::left << std::setw(8) << "gamma" << std::setw(11)
+            << "proposed" << std::setw(11) << "wp2016" << std::setw(11)
+            << "nps" << "LS tasks chosen\n";
+
+  for (double gamma = 0.05; gamma <= 0.61; gamma += 0.05) {
+    const rt::TaskSet tasks = make_pipeline(gamma);
+    const auto prop = analysis::analyze(tasks, analysis::Approach::kProposed);
+    const auto wp =
+        analysis::analyze(tasks, analysis::Approach::kWasilyPellizzoni);
+    const auto nps =
+        analysis::analyze(tasks, analysis::Approach::kNonPreemptive);
+
+    std::string ls_names;
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      if (prop.ls_flags[i]) {
+        if (!ls_names.empty()) ls_names += ", ";
+        ls_names += tasks[i].name;
+      }
+    }
+    std::cout << std::left << std::fixed << std::setprecision(2)
+              << std::setw(8) << gamma << std::setw(11)
+              << (prop.schedulable ? "yes" : "no") << std::setw(11)
+              << (wp.schedulable ? "yes" : "no") << std::setw(11)
+              << (nps.schedulable ? "yes" : "no")
+              << (ls_names.empty() ? "-" : ls_names) << "\n";
+  }
+
+  std::cout
+      << "\nReading: wp2016 falls first — capture's tight deadline cannot\n"
+         "absorb two blocking intervals.  The proposed protocol keeps the\n"
+         "pipeline alive longer by marking capture latency-sensitive (one\n"
+         "blocking interval, rule R3-R5).  At high gamma NPS briefly wins:\n"
+         "the interval analyses charge eta+1 whole intervals to the\n"
+         "lowest-priority task (fusion), while NPS's busy window stays\n"
+         "short — the same trade-off the paper's Figure 2 explores across\n"
+         "random ensembles.\n";
+  return 0;
+}

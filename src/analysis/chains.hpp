@@ -1,0 +1,52 @@
+// End-to-end latency bounds for data-driven task chains (rt/chain.hpp) —
+// the composition-style analysis enabled by rule R2's eager copy-out
+// (paper §IV-A; flagged as future work in §VIII).
+//
+// Model: every chain task is activated periodically and independently; a
+// consumer samples the *latest* producer output whose copy-out completed
+// before the consumer's copy-in started.  Let A_i bound the age of the data
+// inside a stage-i output at that output's completion, measured from the
+// release of the originating first-stage job.  A_1 <= R_1, and for each hop
+//
+//   A_{i+1} <= A_i + T_i + R_i + R_{i+1}
+//
+// (consecutive stage-i completions are at most T_i + R_i apart, so the
+// version a consumer samples is at most that stale on top of its own age;
+// the consumer then takes at most R_{i+1} to publish).  Hence
+//
+//   max data age <= R_{c_1} + sum_{i=1..m-1} (T_{c_i} + R_{c_i} + R_{c_i+1}).
+//
+// The bound needs every per-task WCRT R_{c_i} (any of the three analyses),
+// R_i <= T_i (no backlog), and periodic activation (a sporadic producer can
+// stay silent arbitrarily long, making any age bound impossible).  The
+// simulator-side counterpart (sim/chain_age.hpp) measures the same metric
+// on traces; a property test checks measured <= bound.
+#pragma once
+
+#include <vector>
+
+#include "rt/chain.hpp"
+#include "rt/task.hpp"
+#include "rt/types.hpp"
+
+namespace mcs::analysis {
+
+struct ChainAgeBound {
+  /// Upper bound on the age of the data behind any output of the last
+  /// chain task, measured from the release of the originating stage-1 job.
+  rt::Time max_data_age = rt::kTimeMax;
+  /// False when some stage has no finite WCRT or R_i > T_i (backlog), in
+  /// which case max_data_age is meaningless (kTimeMax).
+  bool valid = false;
+  /// True when the chain also meets its max_data_age constraint (always
+  /// true when no constraint was set but the bound is valid).
+  bool meets_constraint = false;
+};
+
+/// Composes the end-to-end bound from per-task WCRTs (`wcrt[i]` for task i,
+/// rt::kTimeMax when unbounded).
+ChainAgeBound chain_age_bound(const rt::TaskSet& tasks,
+                              const rt::Chain& chain,
+                              const std::vector<rt::Time>& wcrt);
+
+}  // namespace mcs::analysis

@@ -1,0 +1,45 @@
+// Greedy latency-sensitive marking (paper §VI).
+//
+// Start with every task NLS.  Analyze all tasks; if some task misses its
+// deadline, mark it LS (unless it already is — then the set is deemed
+// unschedulable) and re-analyze everything, since LS membership changes the
+// constraints of every other task.  Terminates after at most n promotions.
+#pragma once
+
+#include <vector>
+
+#include "analysis/response_time.hpp"
+#include "rt/task.hpp"
+
+namespace mcs::analysis {
+
+struct ProposedResult {
+  bool schedulable = false;
+  /// Final LS marking found by the greedy algorithm.
+  std::vector<bool> ls_flags;
+  /// Per-task bounds from the final analysis round.
+  std::vector<TaskBoundResult> per_task;
+  std::size_t rounds = 0;
+  bool any_relaxation_fallback = false;
+  std::size_t total_milp_nodes = 0;
+};
+
+/// Schedulability of `tasks` under the proposed protocol with greedy LS
+/// assignment.  Existing latency_sensitive flags on the input are ignored
+/// (the algorithm starts all-NLS, per the paper).
+ProposedResult analyze_proposed(const rt::TaskSet& tasks,
+                                const AnalysisOptions& options = {});
+
+/// Schedulability under the protocol of [3]: the same MILP analysis with
+/// LS semantics disabled for every task (paper Conclusions; DESIGN.md §5.3).
+struct WpResult {
+  bool schedulable = false;
+  std::vector<TaskBoundResult> per_task;
+  bool any_relaxation_fallback = false;
+  std::size_t total_milp_nodes = 0;
+};
+
+WpResult analyze_wp(const rt::TaskSet& tasks,
+                    const AnalysisOptions& options = {});
+
+}  // namespace mcs::analysis

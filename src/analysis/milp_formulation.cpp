@@ -1,0 +1,459 @@
+#include "analysis/milp_formulation.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "analysis/window.hpp"
+#include "support/contracts.hpp"
+
+namespace mcs::analysis {
+
+namespace {
+
+using lp::LinExpr;
+using lp::Model;
+using lp::Relation;
+using lp::Sense;
+using lp::VarId;
+using rt::TaskIndex;
+using rt::Time;
+
+constexpr VarId kNoVar{};
+
+bool valid(VarId v) { return v.index != static_cast<std::size_t>(-1); }
+
+double td(Time t) { return static_cast<double>(t); }
+
+}  // namespace
+
+const char* to_string(FormulationCase c) noexcept {
+  switch (c) {
+    case FormulationCase::kNls:
+      return "nls";
+    case FormulationCase::kLsCaseA:
+      return "ls-case-a";
+    case FormulationCase::kLsCaseB:
+      return "ls-case-b";
+  }
+  return "unknown";
+}
+
+DelayMilp build_delay_milp(const rt::TaskSet& tasks, TaskIndex i, Time t,
+                           FormulationCase fcase, bool ignore_ls) {
+  MCS_REQUIRE(i < tasks.size(), "build_delay_milp: bad task index");
+  MCS_REQUIRE(t >= 0, "build_delay_milp: negative window");
+  const bool analyzed_ls = fcase != FormulationCase::kNls;
+  MCS_REQUIRE(!ignore_ls || !analyzed_ls,
+              "LS cases are meaningless when LS semantics are disabled");
+  if (analyzed_ls) {
+    MCS_REQUIRE(tasks[i].latency_sensitive,
+                "LS formulation for a non-LS task");
+  }
+
+  const std::size_t n = tasks.size();
+  const auto is_ls = [&](TaskIndex j) {
+    return !ignore_ls && tasks[j].latency_sensitive;
+  };
+  const auto my_prio = tasks[i].priority;
+  const auto is_lp = [&](TaskIndex j) { return tasks[j].priority > my_prio; };
+
+  // A task's copy-in can be cancelled iff some higher-priority LS task
+  // exists (rule R3).
+  const auto cancelable = [&](TaskIndex j) {
+    for (TaskIndex s = 0; s < n; ++s) {
+      if (s != j && is_ls(s) && tasks[s].priority < tasks[j].priority) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // --- Window size ----------------------------------------------------------
+  std::size_t N = 0;
+  switch (fcase) {
+    case FormulationCase::kNls:
+      N = window_intervals_nls(tasks, i, t);
+      break;
+    case FormulationCase::kLsCaseA:
+      N = window_intervals_ls(tasks, i, t);
+      break;
+    case FormulationCase::kLsCaseB:
+      N = 2;
+      break;
+  }
+  MCS_ASSERT(N >= 2, "window must have at least two intervals");
+  const auto budgets = interference_budgets(tasks, i, t);
+
+  // --- Structural admission of phases per interval ---------------------------
+  // exec_allowed(j, k): may E_j^k be one?  k ranges over [0, N-2]; tau_i's
+  // own execution is fixed in I_{N-1} and never a variable.
+  const auto exec_allowed = [&](TaskIndex j, std::size_t k) {
+    if (j == i) return false;
+    if (fcase == FormulationCase::kLsCaseB) return k == 0;
+    if (is_lp(j)) {
+      // NLS: blocking only in I_0 / I_1 (Constraint 3).  LS case (a):
+      // blocking only in I_0 (Constraint 14).
+      return fcase == FormulationCase::kNls ? k <= 1 : k == 0;
+    }
+    return k <= N - 2;
+  };
+  // urgent_allowed(j, k): may LE_j^k be one?  Only LS tasks (Constraint 4).
+  const auto urgent_allowed = [&](TaskIndex j, std::size_t k) {
+    if (j == i || !is_ls(j)) return false;
+    if (fcase == FormulationCase::kLsCaseB) return k == 0;
+    if (is_lp(j)) {
+      return fcase == FormulationCase::kNls ? k <= 1 : k == 0;
+    }
+    return k <= N - 2;
+  };
+  // cancel_allowed(j, k): may CL_j^k be one?  k ranges over [0, N-3] for
+  // the long cases and {0} for case (b); lower-priority tasks only in I_0
+  // (Constraint 3).
+  const auto cancel_allowed = [&](TaskIndex j, std::size_t k) {
+    if (!cancelable(j)) return false;
+    if (fcase == FormulationCase::kLsCaseB) return k == 0;
+    if (N < 3 || k > N - 3) return false;
+    if (is_lp(j)) return k == 0;
+    return true;
+  };
+
+  // --- Per-interval bounds on CPU and DMA work -------------------------------
+  // cpu_ub[k]: largest CPU occupancy any single execution can cause in I_k.
+  // dma_ub[k]: largest possible copy-out + copy-in time in I_k given which
+  // phases are structurally admitted there.  Both feed tight per-interval
+  // big-Ms, Delta upper bounds, and the one-executor cut below.
+  std::vector<double> cpu_ub(N, 0.0);
+  std::vector<double> dma_ub(N, 0.0);
+  for (std::size_t k = 0; k < N; ++k) {
+    if (k == N - 1) {
+      cpu_ub[k] = td(fcase == FormulationCase::kLsCaseB
+                         ? tasks[i].copy_in + tasks[i].exec
+                         : tasks[i].exec);
+    } else {
+      for (TaskIndex j = 0; j < n; ++j) {
+        if (exec_allowed(j, k)) {
+          cpu_ub[k] = std::max(cpu_ub[k], td(tasks[j].exec));
+        }
+        if (urgent_allowed(j, k)) {
+          cpu_ub[k] =
+              std::max(cpu_ub[k], td(tasks[j].copy_in + tasks[j].exec));
+        }
+      }
+    }
+    // Copy-out side: whatever may execute in I_{k-1} (unknown pre-window
+    // task for I_0).
+    double cou = 0.0;
+    if (k == 0) {
+      cou = td(tasks.max_copy_out());
+    } else {
+      for (TaskIndex j = 0; j < n; ++j) {
+        if (exec_allowed(j, k - 1) || urgent_allowed(j, k - 1)) {
+          cou = std::max(cou, td(tasks[j].copy_out));
+        }
+      }
+    }
+    // Copy-in side: loads for I_{k+1} plus possible cancellations, with the
+    // fixed boundary terms of Constraint 12.
+    double cin = 0.0;
+    if (k == N - 1) {
+      cin = td(tasks.max_copy_in());
+    } else if (k == N - 2 && fcase != FormulationCase::kLsCaseB) {
+      cin = td(tasks[i].copy_in);
+    } else {
+      for (TaskIndex j = 0; j < n; ++j) {
+        if (k + 1 < N && exec_allowed(j, k + 1)) {
+          cin = std::max(cin, td(tasks[j].copy_in));
+        }
+        if (cancel_allowed(j, k)) {
+          cin = std::max(cin, td(tasks[j].copy_in));
+        }
+      }
+    }
+    dma_ub[k] = cou + cin;
+  }
+
+  // --- Variables --------------------------------------------------------------
+  DelayMilp out;
+  Model& m = out.model;
+  out.num_intervals = N;
+  out.delta_vars.resize(N);
+  out.exec_vars.assign(n, std::vector<VarId>(N, kNoVar));
+  out.urgent_vars.assign(n, std::vector<VarId>(N, kNoVar));
+  out.cancel_vars.assign(n, std::vector<VarId>(N, kNoVar));
+
+  for (std::size_t k = 0; k < N; ++k) {
+    out.delta_vars[k] = m.add_continuous(
+        0.0, std::max(cpu_ub[k], dma_ub[k]), "Delta_" + std::to_string(k));
+  }
+  std::vector<VarId> alpha(N);
+  for (std::size_t k = 0; k < N; ++k) {
+    alpha[k] = m.add_binary("alpha_" + std::to_string(k));
+  }
+  out.alpha_vars = alpha;
+  for (TaskIndex j = 0; j < n; ++j) {
+    for (std::size_t k = 0; k + 1 < N; ++k) {
+      if (exec_allowed(j, k)) {
+        out.exec_vars[j][k] = m.add_binary(
+            "E_" + std::to_string(j) + "_" + std::to_string(k));
+      }
+      if (urgent_allowed(j, k)) {
+        out.urgent_vars[j][k] = m.add_binary(
+            "LE_" + std::to_string(j) + "_" + std::to_string(k));
+      }
+      if (cancel_allowed(j, k)) {
+        out.cancel_vars[j][k] = m.add_binary(
+            "CL_" + std::to_string(j) + "_" + std::to_string(k));
+      }
+    }
+  }
+  // Copy-out of the unknown pre-window task in I_0 (Constraint 12) and
+  // copy-in for an unknown post-window task in I_{N-1}.
+  const VarId copyout0 =
+      m.add_continuous(0.0, td(tasks.max_copy_out()), "copyout0");
+  const VarId copyin_last =
+      m.add_continuous(0.0, td(tasks.max_copy_in()), "copyin_last");
+
+  // --- Helper expressions ------------------------------------------------------
+  const auto cpu_work = [&](std::size_t k) {
+    LinExpr cpu;
+    if (k == N - 1) {
+      // tau_i executes in the last interval; in case (b) the CPU also
+      // performs its copy-in sequentially (Constraint 15).
+      const Time own = fcase == FormulationCase::kLsCaseB
+                           ? tasks[i].copy_in + tasks[i].exec
+                           : tasks[i].exec;
+      cpu += td(own);
+      return cpu;
+    }
+    for (TaskIndex j = 0; j < n; ++j) {
+      if (valid(out.exec_vars[j][k])) {
+        cpu += td(tasks[j].exec) * LinExpr(out.exec_vars[j][k]);
+      }
+      if (valid(out.urgent_vars[j][k])) {
+        cpu += td(tasks[j].copy_in + tasks[j].exec) *
+               LinExpr(out.urgent_vars[j][k]);
+      }
+    }
+    return cpu;
+  };
+
+  const auto dma_work = [&](std::size_t k) {
+    LinExpr dma;
+    // Copy-out of whatever executed in I_{k-1} (Constraint 2 substituted).
+    if (k == 0) {
+      dma += LinExpr(copyout0);
+    } else {
+      for (TaskIndex j = 0; j < n; ++j) {
+        if (valid(out.exec_vars[j][k - 1])) {
+          dma += td(tasks[j].copy_out) * LinExpr(out.exec_vars[j][k - 1]);
+        }
+        if (valid(out.urgent_vars[j][k - 1])) {
+          dma += td(tasks[j].copy_out) * LinExpr(out.urgent_vars[j][k - 1]);
+        }
+      }
+    }
+    // Copy-in for whatever executes in I_{k+1} (Constraint 1 substituted),
+    // plus cancelled copy-ins (Constraint 10's CL term).
+    if (k == N - 1) {
+      dma += LinExpr(copyin_last);
+    } else if (k == N - 2 && fcase != FormulationCase::kLsCaseB) {
+      dma += td(tasks[i].copy_in);  // tau_i's own copy-in (Constraint 12)
+    } else {
+      for (TaskIndex j = 0; j < n; ++j) {
+        if (k + 1 < N && valid(out.exec_vars[j][k + 1])) {
+          dma += td(tasks[j].copy_in) * LinExpr(out.exec_vars[j][k + 1]);
+        }
+      }
+    }
+    for (TaskIndex j = 0; j < n; ++j) {
+      if (valid(out.cancel_vars[j][k])) {
+        dma += td(tasks[j].copy_in) * LinExpr(out.cancel_vars[j][k]);
+      }
+    }
+    return dma;
+  };
+
+  // --- Constraints ----------------------------------------------------------
+  // Constraint 5: exactly one execution per interval I_1 .. I_{N-2}.  While
+  // tau_i is pending the ready queue is non-empty, so R2 schedules a
+  // copy-in (or a cancellation happens, which promotes an urgent task) in
+  // every interval and R5 executes the result in the next one — the CPU is
+  // never idle after I_0.  I_0 itself (the release interval) may or may not
+  // contain an execution (<= 1).  The window_intervals_* clamp guarantees
+  // the equality system is structurally feasible (DESIGN.md §5.5).
+  for (std::size_t k = 0; k + 1 < N; ++k) {
+    LinExpr execs;
+    bool any = false;
+    for (TaskIndex j = 0; j < n; ++j) {
+      if (valid(out.exec_vars[j][k])) {
+        execs += LinExpr(out.exec_vars[j][k]);
+        any = true;
+      }
+      if (valid(out.urgent_vars[j][k])) {
+        execs += LinExpr(out.urgent_vars[j][k]);
+        any = true;
+      }
+    }
+    const Relation rel =
+        (k == 0 || fcase == FormulationCase::kLsCaseB) ? Relation::kLe
+                                                       : Relation::kEq;
+    MCS_ASSERT(any || rel == Relation::kLe,
+               "equality interval without admissible executions");
+    if (any) {
+      m.add_constraint(execs, rel, 1.0, "one_exec_" + std::to_string(k));
+    }
+  }
+
+  // Constraint 6: exactly one copy-in operation (completed or cancelled)
+  // per interval I_0 .. I_{N-3} — R2 always starts one while tau_i waits.
+  for (std::size_t k = 0; k + 2 < N; ++k) {
+    LinExpr copyins;
+    bool any = false;
+    for (TaskIndex j = 0; j < n; ++j) {
+      if (valid(out.exec_vars[j][k + 1])) {
+        copyins += LinExpr(out.exec_vars[j][k + 1]);
+        any = true;
+      }
+      if (valid(out.cancel_vars[j][k])) {
+        copyins += LinExpr(out.cancel_vars[j][k]);
+        any = true;
+      }
+    }
+    if (any) {
+      const Relation rel = fcase == FormulationCase::kLsCaseB
+                               ? Relation::kLe
+                               : Relation::kEq;
+      m.add_constraint(copyins, rel, 1.0,
+                       "one_copyin_" + std::to_string(k));
+    }
+  }
+
+  // Constraint 7: interference budgets for hp tasks, single execution for
+  // lp tasks.
+  for (TaskIndex j = 0; j < n; ++j) {
+    if (j == i) continue;
+    LinExpr total;
+    bool any = false;
+    for (std::size_t k = 0; k + 1 < N; ++k) {
+      if (valid(out.exec_vars[j][k])) {
+        total += LinExpr(out.exec_vars[j][k]);
+        any = true;
+      }
+      if (valid(out.urgent_vars[j][k])) {
+        total += LinExpr(out.urgent_vars[j][k]);
+        any = true;
+      }
+    }
+    if (!any) continue;
+    const double budget =
+        is_lp(j) ? 1.0 : static_cast<double>(budgets[j]);
+    m.add_constraint(total, Relation::kLe, budget,
+                     "budget_" + tasks[j].name);
+  }
+
+  // Constraint 8: an urgent execution in I_{k+1} requires a cancelled
+  // copy-in in I_k (tau_i is pending, so "no copy-in" cannot explain it).
+  for (std::size_t k = 0; k + 2 < N; ++k) {
+    LinExpr cancels;
+    LinExpr urgents;
+    bool any = false;
+    for (TaskIndex j = 0; j < n; ++j) {
+      if (valid(out.cancel_vars[j][k])) {
+        cancels += LinExpr(out.cancel_vars[j][k]);
+      }
+      if (valid(out.urgent_vars[j][k + 1])) {
+        urgents += LinExpr(out.urgent_vars[j][k + 1]);
+        any = true;
+      }
+    }
+    if (any) {
+      m.add_constraint(cancels, Relation::kGe, urgents,
+                       "cancel_before_urgent_" + std::to_string(k));
+    }
+  }
+
+  // Cancellation budget (protocol property, tightening): every cancellation
+  // is triggered by the release of one latency-sensitive job (R3), so the
+  // total number of CL events in the window cannot exceed the number of LS
+  // job releases, bounded by sum over LS tasks of (eta_s(t) + 1).
+  {
+    LinExpr cancels;
+    bool any_cl = false;
+    for (TaskIndex j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k + 1 < N; ++k) {
+        if (valid(out.cancel_vars[j][k])) {
+          cancels += LinExpr(out.cancel_vars[j][k]);
+          any_cl = true;
+        }
+      }
+    }
+    if (any_cl) {
+      double ls_releases = 0.0;
+      for (TaskIndex s = 0; s < n; ++s) {
+        if (!is_ls(s)) continue;
+        ls_releases +=
+            static_cast<double>(tasks[s].arrival->releases_in(t) + 1);
+      }
+      m.add_constraint(cancels, Relation::kLe, ls_releases,
+                       "cancellation_budget");
+    }
+  }
+
+  // Constraints 9-13 (substituted): interval length = max(CPU, DMA) via the
+  // alpha big-M pair, plus the valid cut Delta <= CPU + DMA (max of two
+  // non-negative quantities never exceeds their sum).  The cut does not
+  // change the integer optimum but tightens the LP relaxation enormously —
+  // without it a fractional alpha buys up to big_m/2 of free slack per
+  // interval, which is what used to exhaust the branch & bound budget.
+  for (std::size_t k = 0; k < N; ++k) {
+    const LinExpr cpu = cpu_work(k);
+    const LinExpr dma = dma_work(k);
+    const double m_k = std::max(cpu_ub[k], dma_ub[k]);
+    m.add_constraint(LinExpr(out.delta_vars[k]), Relation::kLe,
+                     cpu + m_k * LinExpr(alpha[k]),
+                     "delta_cpu_" + std::to_string(k));
+    m.add_constraint(
+        LinExpr(out.delta_vars[k]), Relation::kLe,
+        dma + m_k * (LinExpr(1.0) - LinExpr(alpha[k])),
+        "delta_dma_" + std::to_string(k));
+    m.add_constraint(LinExpr(out.delta_vars[k]), Relation::kLe, cpu + dma,
+                     "delta_sum_" + std::to_string(k));
+    // One-executor cut: with at most one execution per interval,
+    //   Delta_k <= dma_ub[k] + sum_j (E/LE)_j^k * max(0, work_j - dma_ub[k])
+    // is valid (executing j gives max(work_j, dma_k) <= max(work_j,
+    // dma_ub); an idle CPU gives dma_k <= dma_ub).  This caps the LP trick
+    // of claiming cpu + dma per interval and is the single most effective
+    // relaxation tightener for these instances.
+    if (k + 1 < N) {
+      LinExpr rhs(dma_ub[k]);
+      for (TaskIndex j = 0; j < n; ++j) {
+        if (valid(out.exec_vars[j][k])) {
+          const double extra =
+              std::max(0.0, td(tasks[j].exec) - dma_ub[k]);
+          if (extra > 0.0) {
+            rhs += extra * LinExpr(out.exec_vars[j][k]);
+          }
+        }
+        if (valid(out.urgent_vars[j][k])) {
+          const double extra = std::max(
+              0.0, td(tasks[j].copy_in + tasks[j].exec) - dma_ub[k]);
+          if (extra > 0.0) {
+            rhs += extra * LinExpr(out.urgent_vars[j][k]);
+          }
+        }
+      }
+      m.add_constraint(LinExpr(out.delta_vars[k]), Relation::kLe, rhs,
+                       "delta_one_exec_" + std::to_string(k));
+    }
+  }
+
+  // Objective (Eq. 1 without the constant u_i, which the caller adds).
+  LinExpr objective;
+  for (std::size_t k = 0; k < N; ++k) {
+    objective += LinExpr(out.delta_vars[k]);
+  }
+  m.set_objective(Sense::kMaximize, objective);
+  return out;
+}
+
+}  // namespace mcs::analysis

@@ -1,0 +1,71 @@
+// MILP encoding of the worst-case delay problem (paper §V).
+//
+// Given a task under analysis tau_i and a tentative delay-window length t,
+// builds the mixed-integer program whose optimum upper-bounds the total
+// length of the N_i(t) scheduling intervals that can delay tau_i, per the
+// paper's Constraints 1-15.  Three formulation cases exist (§V-A / §V-B):
+//
+//   kNls     — tau_i analyzed as non-latency-sensitive (Theorem 1 window,
+//              Constraints 1-13);
+//   kLsCaseA — tau_i is LS and is *not* promoted to urgent in I_0
+//              (Corollary 1 window, Constraints 1-13 plus 14);
+//   kLsCaseB — tau_i is LS and *is* promoted: two intervals, the CPU
+//              performs tau_i's copy-in followed by its execution
+//              (Constraint 15).
+//
+// Encoding notes (see DESIGN.md §5.5 for the full rationale):
+//  * The copy-in and copy-out placement variables L / U of the paper are
+//    substituted away using Constraints 1 and 2 (L_j^k = E_j^{k+1},
+//    U_j^{k+1} = E_j^k + LE_j^k), which shrinks the MILP dramatically.
+//  * The per-interval cardinality Constraints 5 and 6 are encoded as <= 1
+//    rather than == 1.  Real schedules may leave the CPU or the DMA idle in
+//    an interval (e.g. at the start of a busy window), so <= admits every
+//    real schedule; since the objective maximizes total interval length the
+//    bound remains safe, and the fully-packed worst case is still available
+//    to the optimizer.
+//  * CL_j^k (cancelled copy-in) is admitted only for tasks that some
+//    higher-priority latency-sensitive task could cancel (R3).
+//  * The big-M of Constraint 13 is the tightest global bound on an interval
+//    length rather than an arbitrary large constant.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lp/model.hpp"
+#include "rt/task.hpp"
+#include "rt/types.hpp"
+
+namespace mcs::analysis {
+
+enum class FormulationCase { kNls, kLsCaseA, kLsCaseB };
+
+const char* to_string(FormulationCase c) noexcept;
+
+/// The assembled MILP plus the handles needed to interpret its solution.
+struct DelayMilp {
+  lp::Model model;
+  std::size_t num_intervals = 0;
+  /// delta_vars[k] is the interval-length variable Delta_k.
+  std::vector<lp::VarId> delta_vars;
+  /// exec_vars[j][k] is E_j^k (invalid VarId when structurally zero).
+  std::vector<std::vector<lp::VarId>> exec_vars;
+  /// urgent_vars[j][k] is LE_j^k (invalid when structurally zero).
+  std::vector<std::vector<lp::VarId>> urgent_vars;
+  /// cancel_vars[j][k] is CL_j^k (invalid when structurally zero).
+  std::vector<std::vector<lp::VarId>> cancel_vars;
+  /// alpha_vars[k] is the Constraint 13 max-selector of interval k.
+  /// Branch these first: once every alpha is fixed the residual problem is
+  /// a near-integral assignment and the tree collapses.
+  std::vector<lp::VarId> alpha_vars;
+};
+
+/// Builds the delay-maximization MILP for task `i` over a window of length
+/// `t`.  With `ignore_ls` the task set is treated as all-NLS — this is the
+/// analysis of the protocol of [3] (paper Conclusions; DESIGN.md §5.3), and
+/// only kNls is a valid case then.
+DelayMilp build_delay_milp(const rt::TaskSet& tasks, rt::TaskIndex i,
+                           rt::Time t, FormulationCase fcase,
+                           bool ignore_ls = false);
+
+}  // namespace mcs::analysis

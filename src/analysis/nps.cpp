@@ -1,0 +1,102 @@
+#include "analysis/nps.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+
+namespace mcs::analysis {
+
+namespace {
+
+using rt::Time;
+
+constexpr std::size_t kMaxFixpointIterations = 100000;
+
+/// Upper bound on any quantity of interest; beyond this the analysis is
+/// declared divergent (overloaded task set).
+Time divergence_limit(const rt::TaskSet& tasks, rt::TaskIndex i) {
+  // A busy period longer than this cannot end before the deadline anyway.
+  Time sum = tasks[i].deadline;
+  for (const auto& t : tasks) {
+    sum += 4 * std::max(t.period, t.total_demand());
+  }
+  return sum;
+}
+
+}  // namespace
+
+NpsTaskBound nps_bound(const rt::TaskSet& tasks, rt::TaskIndex i) {
+  MCS_REQUIRE(i < tasks.size(), "nps_bound: bad task index");
+  const rt::Task& task = tasks[i];
+  const Time e_i = task.total_demand();
+  const Time limit = divergence_limit(tasks, i);
+
+  Time blocking = 0;
+  for (const rt::TaskIndex j : tasks.lower_priority(i)) {
+    blocking = std::max(blocking, tasks[j].total_demand());
+  }
+  const auto hp = tasks.higher_priority(i);
+
+  // Level-i active period.
+  Time period_len = blocking + e_i;
+  for (std::size_t it = 0;; ++it) {
+    if (it >= kMaxFixpointIterations || period_len > limit) {
+      return {};  // divergent: overload at this priority level
+    }
+    Time next = blocking;
+    next += static_cast<Time>(task.arrival->releases_in(period_len)) * e_i;
+    for (const rt::TaskIndex j : hp) {
+      next += static_cast<Time>(tasks[j].arrival->releases_in(period_len)) *
+              tasks[j].total_demand();
+    }
+    if (next == period_len) {
+      break;
+    }
+    period_len = next;
+  }
+
+  const auto own_jobs = task.arrival->releases_in(period_len);
+  MCS_ASSERT(own_jobs >= 1, "active period holds no job");
+
+  Time worst = 0;
+  for (std::uint64_t q = 0; q < own_jobs; ++q) {
+    // Start time of the q-th job (0-based) after the critical instant.
+    Time start = blocking + static_cast<Time>(q) * e_i;
+    for (std::size_t it = 0;; ++it) {
+      if (it >= kMaxFixpointIterations || start > limit) {
+        return {};
+      }
+      Time next = blocking + static_cast<Time>(q) * e_i;
+      for (const rt::TaskIndex j : hp) {
+        next +=
+            static_cast<Time>(tasks[j].arrival->releases_in_closed(start)) *
+            tasks[j].total_demand();
+      }
+      if (next == start) {
+        break;
+      }
+      start = next;
+    }
+    const Time release_q = static_cast<Time>(q) * task.period;
+    const Time response = start + e_i - release_q;
+    worst = std::max(worst, response);
+    // Early exit: later jobs cannot respond slower once the start time
+    // advances past the next release and the period's work is drained.
+  }
+
+  NpsTaskBound result;
+  result.wcrt = worst;
+  result.schedulable = worst <= task.deadline;
+  return result;
+}
+
+bool nps_schedulable(const rt::TaskSet& tasks) {
+  for (rt::TaskIndex i = 0; i < tasks.size(); ++i) {
+    if (!nps_bound(tasks, i).schedulable) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mcs::analysis

@@ -1,0 +1,32 @@
+// Classical non-preemptive fixed-priority response-time analysis — the NPS
+// baseline of the paper's evaluation (§VII, [16]).
+//
+// Under NPS there is no DMA overlap: each job occupies the CPU for
+// e_i = l_i + C_i + u_i, non-preemptively.  The analysis is the standard
+// level-i active period formulation (George et al. 1996):
+//
+//   blocking      B_i = max over lower-priority e_j
+//   active period L   = B_i + sum_{hp(i) and i} eta_j(L) e_j   (fixpoint)
+//   q-th job start    s_q = B_i + q e_i + sum_{hp(i)} eta^closed_j(s_q) e_j
+//   response          R_i = max_q (s_q + e_i - q T_i)
+//
+// with eta^closed counting releases in a closed window (arrival.hpp).
+#pragma once
+
+#include "rt/task.hpp"
+#include "rt/types.hpp"
+
+namespace mcs::analysis {
+
+struct NpsTaskBound {
+  rt::Time wcrt = rt::kTimeMax;  ///< kTimeMax when the analysis diverged
+  bool schedulable = false;
+};
+
+/// WCRT bound of `tasks[i]` under NPS.
+NpsTaskBound nps_bound(const rt::TaskSet& tasks, rt::TaskIndex i);
+
+/// True iff every task passes the NPS analysis.
+bool nps_schedulable(const rt::TaskSet& tasks);
+
+}  // namespace mcs::analysis

@@ -1,0 +1,78 @@
+#include "analysis/opa.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "analysis/nps.hpp"
+#include "analysis/response_time.hpp"
+#include "support/contracts.hpp"
+
+namespace mcs::analysis {
+
+OpaResult audsley_assign(
+    const rt::TaskSet& tasks,
+    const std::function<bool(const rt::TaskSet&, rt::TaskIndex)>& test) {
+  MCS_REQUIRE(test != nullptr, "audsley_assign: empty test");
+  const std::size_t n = tasks.size();
+  OpaResult result;
+  result.priorities.assign(n, 0);
+
+  rt::TaskSet working = tasks;
+  std::vector<bool> assigned(n, false);
+
+  // Assign priority levels from the lowest (largest value) upwards.
+  for (std::size_t level = n; level > 0; --level) {
+    const auto priority = static_cast<rt::Priority>(level - 1);
+    bool placed = false;
+    for (rt::TaskIndex candidate = 0; candidate < n && !placed; ++candidate) {
+      if (assigned[candidate]) continue;
+      // Tentatively put `candidate` at this (lowest unassigned) level and
+      // every other unassigned task above it.  Only the partition matters,
+      // so any consistent order of the others works.
+      rt::Priority next_high = 0;
+      for (rt::TaskIndex j = 0; j < n; ++j) {
+        if (j == candidate) {
+          working[j].priority = priority;
+        } else if (!assigned[j]) {
+          working[j].priority = next_high++;
+        }
+        // Already-assigned tasks keep their (lower) levels.
+      }
+      ++result.test_count;
+      if (test(working, candidate)) {
+        assigned[candidate] = true;
+        result.priorities[candidate] = priority;
+        placed = true;
+        // Freeze the candidate's level for subsequent rounds.
+        working[candidate].priority = priority;
+      }
+    }
+    if (!placed) {
+      return result;  // no task can live at this level: infeasible
+    }
+  }
+  result.schedulable = true;
+  return result;
+}
+
+OpaResult audsley_assign(const rt::TaskSet& tasks, Approach approach,
+                         const AnalysisOptions& options) {
+  const auto test = [approach, &options](const rt::TaskSet& set,
+                                         rt::TaskIndex i) {
+    switch (approach) {
+      case Approach::kNonPreemptive:
+        return nps_bound(set, i).schedulable;
+      case Approach::kWasilyPellizzoni: {
+        AnalysisOptions wp = options;
+        wp.ignore_ls = true;
+        return bound_response_time(set, i, wp).schedulable;
+      }
+      case Approach::kProposed:
+        return bound_response_time(set, i, options).schedulable;
+    }
+    return false;
+  };
+  return audsley_assign(tasks, test);
+}
+
+}  // namespace mcs::analysis

@@ -1,0 +1,190 @@
+#include "analysis/response_time.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analysis/milp_formulation.hpp"
+#include "analysis/window.hpp"
+#include "lp/simplex.hpp"
+#include "support/contracts.hpp"
+
+namespace mcs::analysis {
+
+namespace {
+
+using rt::Time;
+
+/// Outcome of one delay-MILP solve.
+struct DelayBound {
+  bool valid = false;         ///< a finite safe bound was obtained
+  double delay = 0.0;         ///< upper bound on sum of interval lengths
+  bool relaxation = false;    ///< dual bound used (budget exhausted)
+  std::size_t nodes = 0;
+  std::size_t lp_iterations = 0;
+};
+
+DelayBound solve_delay(const rt::TaskSet& tasks, rt::TaskIndex i, Time t,
+                       FormulationCase fcase,
+                       const AnalysisOptions& options) {
+  DelayMilp milp =
+      build_delay_milp(tasks, i, t, fcase, options.ignore_ls);
+  DelayBound out;
+  if (options.lp_relaxation_only) {
+    const lp::LpSolution sol = solve_lp(milp.model, options.milp.lp);
+    out.lp_iterations = sol.iterations;
+    if (sol.status == lp::SolveStatus::kOptimal) {
+      out.valid = true;
+      out.delay = sol.objective;
+      out.relaxation = true;
+    }
+    return out;
+  }
+  lp::MilpOptions milp_options = options.milp;
+  // Branch the Constraint 13 max-selectors first (see DelayMilp::alpha_vars).
+  milp_options.branch_priority.assign(milp.model.num_variables(), 0);
+  for (const lp::VarId alpha : milp.alpha_vars) {
+    milp_options.branch_priority[alpha.index] = 1;
+  }
+  const lp::MilpResult res = solve_milp(milp.model, milp_options);
+  out.nodes = res.nodes;
+  out.lp_iterations = res.lp_iterations;
+  switch (res.status) {
+    case lp::SolveStatus::kOptimal:
+      out.valid = true;
+      // best_bound equals the objective when optimality was proven and is
+      // the safe dual bound when the search stopped at the relative gap.
+      out.delay = res.best_bound;
+      out.relaxation = res.gap_terminated;
+      break;
+    case lp::SolveStatus::kNodeLimit:
+      // Dual bound >= true maximum: safe.
+      if (std::isfinite(res.best_bound)) {
+        out.valid = true;
+        out.delay = res.best_bound;
+        out.relaxation = true;
+      }
+      break;
+    case lp::SolveStatus::kInfeasible:
+      // Only the empty schedule could be cut off; treat as zero delay.
+      out.valid = true;
+      out.delay = 0.0;
+      break;
+    default:
+      break;  // unbounded / iteration limit: no safe bound
+  }
+  return out;
+}
+
+/// Ticks from a (double) delay bound, rounding up with a small epsilon so
+/// that float noise cannot shave off a tick.
+Time delay_to_ticks(double delay) {
+  return static_cast<Time>(std::ceil(delay - 1e-6));
+}
+
+}  // namespace
+
+TaskBoundResult bound_response_time(const rt::TaskSet& tasks,
+                                    rt::TaskIndex i,
+                                    const AnalysisOptions& options) {
+  MCS_REQUIRE(i < tasks.size(), "bound_response_time: bad task index");
+  const rt::Task& task = tasks[i];
+  const bool analyzed_ls = task.latency_sensitive && !options.ignore_ls;
+
+  TaskBoundResult result;
+  Time response = task.total_demand();  // R^(0) = l + C + u
+  if (response > task.deadline) {
+    result.wcrt = response;
+    result.exceeded_deadline = true;
+    return result;
+  }
+
+  // Case (b) for LS tasks has a fixed two-interval window independent of t;
+  // solve it once.
+  double case_b_delay = 0.0;
+  if (analyzed_ls) {
+    const DelayBound b =
+        solve_delay(tasks, i, 0, FormulationCase::kLsCaseB, options);
+    result.milp_nodes += b.nodes;
+    result.lp_iterations += b.lp_iterations;
+    if (!b.valid) {
+      return result;  // no safe bound obtainable
+    }
+    result.used_relaxation_bound |= b.relaxation;
+    case_b_delay = b.delay;
+  }
+
+  // Fast accept: the MILP value is monotone in the window length, so if
+  // the bound computed for the largest relevant window t_D = D - C - u
+  // already fits the deadline, the least fixpoint fits too (and that value
+  // is itself a safe WCRT bound).  One MILP instead of a full iteration in
+  // the common (schedulable) case.
+  if (options.fast_accept) {
+    const Time t_deadline = task.deadline - task.exec - task.copy_out;
+    const FormulationCase fcase = analyzed_ls ? FormulationCase::kLsCaseA
+                                              : FormulationCase::kNls;
+    const DelayBound d = solve_delay(tasks, i, t_deadline, fcase, options);
+    result.milp_nodes += d.nodes;
+    result.lp_iterations += d.lp_iterations;
+    if (d.valid) {
+      result.used_relaxation_bound |= d.relaxation;
+      const Time r_full = delay_to_ticks(std::max(d.delay, case_b_delay)) +
+                          task.copy_out;
+      if (r_full <= task.deadline) {
+        result.wcrt = std::max(response, r_full);
+        result.schedulable = true;
+        return result;
+      }
+      // Inconclusive (f(D) > D does not imply a miss): fall through to the
+      // iterative scheme.
+    }
+  }
+
+  std::size_t prev_window = 0;
+  for (std::size_t iter = 0; iter < options.max_outer_iterations; ++iter) {
+    ++result.outer_iterations;
+    const Time t = response - task.exec - task.copy_out;
+    MCS_ASSERT(t >= 0, "negative delay window");
+    const FormulationCase fcase = analyzed_ls ? FormulationCase::kLsCaseA
+                                              : FormulationCase::kNls;
+    const std::size_t window = analyzed_ls
+                                   ? window_intervals_ls(tasks, i, t)
+                                   : window_intervals_nls(tasks, i, t);
+    if (iter > 0 && window == prev_window) {
+      // Same window => same MILP => same value: fixpoint reached.
+      result.wcrt = response;
+      result.schedulable = response <= task.deadline;
+      return result;
+    }
+    prev_window = window;
+
+    const DelayBound a = solve_delay(tasks, i, t, fcase, options);
+    result.milp_nodes += a.nodes;
+    result.lp_iterations += a.lp_iterations;
+    if (!a.valid) {
+      return result;
+    }
+    result.used_relaxation_bound |= a.relaxation;
+
+    const double delay = std::max(a.delay, case_b_delay);
+    const Time new_response =
+        delay_to_ticks(delay) + task.copy_out;
+    // The MILP value never shrinks as the window grows; keep monotone.
+    const Time next = std::max(response, new_response);
+    if (next > task.deadline) {
+      result.wcrt = next;
+      result.exceeded_deadline = true;
+      return result;
+    }
+    if (next == response) {
+      result.wcrt = response;
+      result.schedulable = true;
+      return result;
+    }
+    response = next;
+  }
+  // Iteration cap hit without convergence: no safe claim below deadline.
+  result.wcrt = rt::kTimeMax;
+  return result;
+}
+
+}  // namespace mcs::analysis

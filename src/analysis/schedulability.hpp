@@ -1,0 +1,35 @@
+// Top-level schedulability API: one entry point covering the three
+// approaches compared in the paper's evaluation (§VII).
+#pragma once
+
+#include <vector>
+
+#include "analysis/greedy.hpp"
+#include "analysis/nps.hpp"
+#include "analysis/response_time.hpp"
+#include "rt/task.hpp"
+
+namespace mcs::analysis {
+
+enum class Approach {
+  kProposed,          ///< this paper's protocol + greedy LS assignment
+  kWasilyPellizzoni,  ///< the protocol of [3], analyzed all-NLS
+  kNonPreemptive,     ///< classical NPS, no DMA overlap
+};
+
+const char* to_string(Approach approach) noexcept;
+
+struct ApproachResult {
+  bool schedulable = false;
+  /// Per-task WCRT bounds (kTimeMax when unbounded / past deadline).
+  std::vector<rt::Time> wcrt;
+  /// LS marking chosen by the greedy algorithm (kProposed only).
+  std::vector<bool> ls_flags;
+  bool any_relaxation_fallback = false;
+};
+
+/// Analyzes one core's task set under the chosen approach.
+ApproachResult analyze(const rt::TaskSet& tasks, Approach approach,
+                       const AnalysisOptions& options = {});
+
+}  // namespace mcs::analysis

@@ -1,0 +1,41 @@
+// Sensitivity analysis: how much can a workload dimension grow before the
+// task set stops being schedulable?  A design-space tool on top of the
+// schedulability analyses — e.g. "how memory-intensive may my tasks get
+// (gamma scaling) before the proposed protocol gives up?", the axis of the
+// paper's Figure 2(e).
+#pragma once
+
+#include "analysis/schedulability.hpp"
+#include "rt/task.hpp"
+
+namespace mcs::analysis {
+
+enum class ScalingDimension {
+  kMemoryPhases,    ///< scale every l_i and u_i
+  kExecutionTimes,  ///< scale every C_i
+};
+
+struct SensitivityResult {
+  /// Largest tested factor that keeps the set schedulable; 0 when even the
+  /// unscaled set fails.
+  double max_factor = 0.0;
+  /// Smallest tested factor that fails (search upper bracket).
+  double min_failing_factor = 0.0;
+  std::size_t analysis_runs = 0;
+};
+
+struct SensitivityOptions {
+  AnalysisOptions analysis;
+  double tolerance = 0.01;   ///< binary-search width on the factor
+  double upper_limit = 64.0; ///< stop growing the bracket here
+};
+
+/// Binary-searches the largest scaling factor (>= 1) along `dimension`
+/// under which `analyze(tasks, approach)` still reports schedulable.
+/// Schedulability is monotone in both dimensions, so the search is sound.
+SensitivityResult max_scaling_factor(const rt::TaskSet& tasks,
+                                     Approach approach,
+                                     ScalingDimension dimension,
+                                     const SensitivityOptions& options = {});
+
+}  // namespace mcs::analysis

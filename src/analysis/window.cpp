@@ -1,0 +1,52 @@
+#include "analysis/window.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+
+namespace mcs::analysis {
+
+std::vector<std::uint64_t> interference_budgets(const rt::TaskSet& tasks,
+                                                rt::TaskIndex i, rt::Time t) {
+  MCS_REQUIRE(i < tasks.size(), "interference_budgets: bad task index");
+  MCS_REQUIRE(t >= 0, "interference_budgets: negative window");
+  std::vector<std::uint64_t> budgets(tasks.size(), 0);
+  for (const rt::TaskIndex j : tasks.higher_priority(i)) {
+    budgets[j] = tasks[j].arrival->releases_in(t) + 1;
+  }
+  return budgets;
+}
+
+namespace {
+std::size_t interference_total(const rt::TaskSet& tasks, rt::TaskIndex i,
+                               rt::Time t) {
+  std::size_t total = 0;
+  for (const std::uint64_t b : interference_budgets(tasks, i, t)) {
+    total += static_cast<std::size_t>(b);
+  }
+  return total;
+}
+}  // namespace
+
+std::size_t window_intervals_nls(const rt::TaskSet& tasks, rt::TaskIndex i,
+                                 rt::Time t) {
+  // Theorem 1 with the "at most" made explicit: blocking intervals cannot
+  // outnumber the lower-priority tasks (each blocks at most once, Prop. 3),
+  // and at least one interval before the execution is always needed for
+  // tau_i's copy-in.
+  const std::size_t blocking =
+      std::min<std::size_t>(2, tasks.lower_priority(i).size());
+  const std::size_t n = interference_total(tasks, i, t) + blocking + 1;
+  return std::max<std::size_t>(n, 2);
+}
+
+std::size_t window_intervals_ls(const rt::TaskSet& tasks, rt::TaskIndex i,
+                                rt::Time t) {
+  // Corollary 1, same refinement: at most one blocking interval (Prop. 4).
+  const std::size_t blocking =
+      std::min<std::size_t>(1, tasks.lower_priority(i).size());
+  const std::size_t n = interference_total(tasks, i, t) + blocking + 1;
+  return std::max<std::size_t>(n, 2);
+}
+
+}  // namespace mcs::analysis

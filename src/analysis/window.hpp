@@ -1,0 +1,33 @@
+// Window sizing for the MILP-based response-time analysis (paper §V).
+//
+// Theorem 1:   for an NLS task, the number of intervals between its release
+//              and the end of its execution phase is bounded by
+//              N_i(t) = sum_{j in hp(i)} (eta_j(t) + 1) + 3.
+// Corollary 1: for an LS task the bound is
+//              N_i(t) = sum_{j in hp(i)} (eta_j(t) + 1) + 2
+//              (at most one blocking interval instead of two).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "rt/task.hpp"
+#include "rt/types.hpp"
+
+namespace mcs::analysis {
+
+/// Per-higher-priority-task interfering-instance budgets eta_j(t) + 1 for a
+/// window of length `t`, indexed like `tasks` (entries for non-hp tasks are
+/// zero).
+std::vector<std::uint64_t> interference_budgets(const rt::TaskSet& tasks,
+                                                rt::TaskIndex i, rt::Time t);
+
+/// Theorem 1 bound (task analyzed as NLS).
+std::size_t window_intervals_nls(const rt::TaskSet& tasks, rt::TaskIndex i,
+                                 rt::Time t);
+
+/// Corollary 1 bound (task analyzed as LS, case (a)).
+std::size_t window_intervals_ls(const rt::TaskSet& tasks, rt::TaskIndex i,
+                                rt::Time t);
+
+}  // namespace mcs::analysis

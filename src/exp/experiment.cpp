@@ -1,0 +1,206 @@
+#include "exp/experiment.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <iomanip>
+#include <mutex>
+#include <ostream>
+
+#include "support/contracts.hpp"
+#include "support/csv.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace mcs::exp {
+
+namespace {
+
+using analysis::Approach;
+
+gen::GeneratorConfig configure_point(const ExperimentConfig& config,
+                                     double x) {
+  gen::GeneratorConfig g = config.base;
+  switch (config.sweep) {
+    case SweepParam::kUtilization:
+      g.utilization = x;
+      break;
+    case SweepParam::kGamma:
+      g.gamma = x;
+      break;
+    case SweepParam::kBeta:
+      g.beta = x;
+      break;
+    case SweepParam::kNumTasks:
+      g.num_tasks = static_cast<std::size_t>(x);
+      break;
+  }
+  return g;
+}
+
+}  // namespace
+
+const char* to_string(SweepParam param) noexcept {
+  switch (param) {
+    case SweepParam::kUtilization:
+      return "U";
+    case SweepParam::kGamma:
+      return "gamma";
+    case SweepParam::kBeta:
+      return "beta";
+    case SweepParam::kNumTasks:
+      return "n";
+  }
+  return "x";
+}
+
+double SweepPoint::ratio(Approach approach) const {
+  if (tasksets == 0) return 0.0;
+  std::size_t count = 0;
+  switch (approach) {
+    case Approach::kProposed:
+      count = schedulable_proposed;
+      break;
+    case Approach::kWasilyPellizzoni:
+      count = schedulable_wp;
+      break;
+    case Approach::kNonPreemptive:
+      count = schedulable_nps;
+      break;
+  }
+  return static_cast<double>(count) / static_cast<double>(tasksets);
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  MCS_REQUIRE(!config.values.empty(), "experiment without sweep points");
+  MCS_REQUIRE(config.tasksets_per_point > 0, "experiment without task sets");
+
+  ExperimentResult result;
+  result.config = config;
+  support::ThreadPool pool(config.threads);
+  const auto t_start = std::chrono::steady_clock::now();
+
+  for (std::size_t p = 0; p < config.values.size(); ++p) {
+    const double x = config.values[p];
+    const gen::GeneratorConfig gen_cfg = configure_point(config, x);
+    const auto p_start = std::chrono::steady_clock::now();
+
+    std::atomic<std::size_t> ok_proposed{0}, ok_wp{0}, ok_nps{0},
+        fallbacks{0};
+    support::Rng point_rng(config.seed + 0x9e37 * (p + 1));
+
+    // Pre-split one RNG per task set so results do not depend on thread
+    // interleaving.
+    std::vector<support::Rng> rngs;
+    rngs.reserve(config.tasksets_per_point);
+    for (std::size_t s = 0; s < config.tasksets_per_point; ++s) {
+      rngs.push_back(point_rng.split(s));
+    }
+
+    support::parallel_for(
+        pool, config.tasksets_per_point, [&](std::size_t s) {
+          support::Rng rng = rngs[s];
+          const rt::TaskSet tasks = gen::generate_task_set(gen_cfg, rng);
+
+          const auto nps =
+              analysis::analyze(tasks, Approach::kNonPreemptive,
+                                config.analysis);
+          if (nps.schedulable) ok_nps.fetch_add(1);
+
+          const auto wp = analysis::analyze(
+              tasks, Approach::kWasilyPellizzoni, config.analysis);
+          if (wp.schedulable) ok_wp.fetch_add(1);
+          if (wp.any_relaxation_fallback) fallbacks.fetch_add(1);
+
+          // Greedy round 0 equals the WP analysis: reuse its verdict and
+          // only run the greedy promotion loop when WP failed.
+          bool proposed_ok = wp.schedulable;
+          if (!proposed_ok) {
+            const auto prop = analysis::analyze(tasks, Approach::kProposed,
+                                                config.analysis);
+            proposed_ok = prop.schedulable;
+            if (prop.any_relaxation_fallback) fallbacks.fetch_add(1);
+          }
+          if (proposed_ok) ok_proposed.fetch_add(1);
+        });
+
+    SweepPoint point;
+    point.x = x;
+    point.tasksets = config.tasksets_per_point;
+    point.schedulable_proposed = ok_proposed.load();
+    point.schedulable_wp = ok_wp.load();
+    point.schedulable_nps = ok_nps.load();
+    point.relaxation_fallbacks = fallbacks.load();
+    point.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      p_start)
+            .count();
+    result.points.push_back(point);
+  }
+
+  result.total_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    t_start)
+          .count();
+  return result;
+}
+
+void print_result(const ExperimentResult& result, std::ostream& out) {
+  const auto& cfg = result.config;
+  out << "# " << cfg.name << " — " << cfg.title << "\n";
+  out << "# base: n=" << cfg.base.num_tasks << " U=" << cfg.base.utilization
+      << " gamma=" << cfg.base.gamma << " beta=" << cfg.base.beta
+      << "; sweep over " << to_string(cfg.sweep) << "; "
+      << cfg.tasksets_per_point << " task sets/point; seed=" << cfg.seed
+      << "\n";
+  out << std::left << std::setw(8) << to_string(cfg.sweep) << std::setw(12)
+      << "proposed" << std::setw(12) << "wp2016" << std::setw(12) << "nps"
+      << std::setw(12) << "fallbacks" << "seconds\n";
+  for (const SweepPoint& p : result.points) {
+    out << std::left << std::fixed << std::setprecision(3) << std::setw(8)
+        << p.x << std::setw(12) << p.ratio(analysis::Approach::kProposed)
+        << std::setw(12) << p.ratio(analysis::Approach::kWasilyPellizzoni)
+        << std::setw(12) << p.ratio(analysis::Approach::kNonPreemptive)
+        << std::setw(12) << p.relaxation_fallbacks << std::setprecision(2)
+        << p.seconds << "\n";
+  }
+  out << "# total: " << std::fixed << std::setprecision(1)
+      << result.total_seconds << " s\n";
+}
+
+void write_csv(const ExperimentResult& result,
+               const std::filesystem::path& directory) {
+  support::CsvWriter csv(directory / (result.config.name + ".csv"));
+  csv.write_row({to_string(result.config.sweep), "proposed", "wp2016", "nps",
+                 "tasksets", "relaxation_fallbacks", "seconds"});
+  for (const SweepPoint& p : result.points) {
+    csv.cell(p.x)
+        .cell(p.ratio(analysis::Approach::kProposed))
+        .cell(p.ratio(analysis::Approach::kWasilyPellizzoni))
+        .cell(p.ratio(analysis::Approach::kNonPreemptive))
+        .cell(p.tasksets)
+        .cell(p.relaxation_fallbacks)
+        .cell(p.seconds);
+    csv.end_row();
+  }
+}
+
+void apply_env_overrides(ExperimentConfig& config) {
+  if (const char* v = std::getenv("MCS_TASKSETS")) {
+    const long parsed = std::strtol(v, nullptr, 10);
+    if (parsed > 0) {
+      config.tasksets_per_point = static_cast<std::size_t>(parsed);
+    }
+  }
+  if (const char* v = std::getenv("MCS_SEED")) {
+    config.seed = std::strtoull(v, nullptr, 10);
+  }
+  if (const char* v = std::getenv("MCS_THREADS")) {
+    const long parsed = std::strtol(v, nullptr, 10);
+    if (parsed > 0) {
+      config.threads = static_cast<std::size_t>(parsed);
+    }
+  }
+}
+
+}  // namespace mcs::exp

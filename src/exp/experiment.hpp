@@ -1,0 +1,73 @@
+// Experiment harness for the paper's evaluation (§VII, Figure 2).
+//
+// An experiment sweeps one generation parameter (task-set utilization U,
+// memory-intensity gamma, or deadline-tightness beta) over a range of
+// values; at each sweep point it generates many random task sets and
+// measures the fraction deemed schedulable by each of the three approaches
+// (proposed / WP2016 [3] / NPS).  Task sets are analyzed in parallel;
+// results are deterministic for a fixed seed regardless of thread count.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/schedulability.hpp"
+#include "gen/generator.hpp"
+
+namespace mcs::exp {
+
+enum class SweepParam { kUtilization, kGamma, kBeta, kNumTasks };
+
+const char* to_string(SweepParam param) noexcept;
+
+struct ExperimentConfig {
+  std::string name;   ///< e.g. "fig2a" (used for the CSV file name)
+  std::string title;  ///< human-readable description
+  gen::GeneratorConfig base;  ///< fixed generation parameters
+  SweepParam sweep = SweepParam::kUtilization;
+  std::vector<double> values;  ///< sweep points (x axis)
+  std::size_t tasksets_per_point = 40;
+  std::uint64_t seed = 1;
+  analysis::AnalysisOptions analysis;
+  std::size_t threads = 0;  ///< 0 = hardware concurrency
+};
+
+struct SweepPoint {
+  double x = 0.0;
+  std::size_t tasksets = 0;
+  /// Schedulable counts indexed by analysis::Approach.
+  std::size_t schedulable_proposed = 0;
+  std::size_t schedulable_wp = 0;
+  std::size_t schedulable_nps = 0;
+  /// Task sets where any MILP fell back to its dual bound.
+  std::size_t relaxation_fallbacks = 0;
+  double seconds = 0.0;  ///< wall time spent on this point
+
+  double ratio(analysis::Approach approach) const;
+};
+
+struct ExperimentResult {
+  ExperimentConfig config;
+  std::vector<SweepPoint> points;
+  double total_seconds = 0.0;
+};
+
+/// Runs the experiment (parallel over task sets).
+ExperimentResult run_experiment(const ExperimentConfig& config);
+
+/// Prints the result as an aligned table (one row per sweep point with the
+/// three schedulability ratios), the format the figures plot.
+void print_result(const ExperimentResult& result, std::ostream& out);
+
+/// Writes `<config.name>.csv` into `directory`.
+void write_csv(const ExperimentResult& result,
+               const std::filesystem::path& directory);
+
+/// Applies MCS_TASKSETS / MCS_SEED / MCS_THREADS environment overrides —
+/// lets users scale benches up or down without recompiling.
+void apply_env_overrides(ExperimentConfig& config);
+
+}  // namespace mcs::exp

@@ -1,0 +1,94 @@
+#include "gen/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <string>
+
+#include "gen/uunifast.hpp"
+#include "support/contracts.hpp"
+
+namespace mcs::gen {
+
+using rt::Task;
+using rt::TaskSet;
+using rt::Time;
+
+TaskSet generate_task_set(const GeneratorConfig& config, support::Rng& rng) {
+  MCS_REQUIRE(config.num_tasks >= 1, "generator: need at least one task");
+  MCS_REQUIRE(config.utilization > 0.0, "generator: utilization must be > 0");
+  MCS_REQUIRE(config.gamma >= 0.0, "generator: negative gamma");
+  MCS_REQUIRE(config.beta >= 0.0 && config.beta <= 1.0,
+              "generator: beta outside [0,1]");
+  MCS_REQUIRE(config.period_min > 0.0 &&
+                  config.period_min <= config.period_max,
+              "generator: bad period range");
+
+  const std::vector<double> utils =
+      uunifast(config.num_tasks, config.utilization, rng);
+
+  std::vector<Task> tasks;
+  tasks.reserve(config.num_tasks);
+  for (std::size_t i = 0; i < config.num_tasks; ++i) {
+    const double period_units =
+        rng.log_uniform(config.period_min, config.period_max);
+    const auto period = static_cast<Time>(
+        std::llround(period_units * static_cast<double>(rt::kTicksPerUnit)));
+    const auto exec = std::max<Time>(
+        1, static_cast<Time>(
+               std::llround(static_cast<double>(period) * utils[i])));
+    const auto mem = static_cast<Time>(
+        std::llround(config.gamma * static_cast<double>(exec)));
+    const double d_lo = static_cast<double>(exec) +
+                        config.beta * static_cast<double>(period - exec);
+    const auto deadline_lo =
+        std::min<Time>(period, std::max<Time>(exec, static_cast<Time>(
+                                                        std::llround(d_lo))));
+    const Time deadline = rng.uniform_int(deadline_lo, period);
+
+    Task t;
+    t.name = "tau" + std::to_string(i);
+    t.exec = exec;
+    t.copy_in = mem;
+    t.copy_out = mem;
+    t.period = period;
+    t.deadline = deadline;
+    t.priority = static_cast<rt::Priority>(i);  // provisional, DM below
+    t.latency_sensitive = false;
+    tasks.push_back(std::move(t));
+  }
+
+  TaskSet set(std::move(tasks));
+  set.assign_deadline_monotonic_priorities();
+  return set;
+}
+
+std::vector<TaskSet> partition_worst_fit(const std::vector<Task>& tasks,
+                                         std::size_t cores) {
+  MCS_REQUIRE(cores >= 1, "partition: need at least one core");
+  std::vector<std::size_t> order(tasks.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&tasks](std::size_t a, std::size_t b) {
+    return tasks[a].utilization() > tasks[b].utilization();
+  });
+
+  std::vector<std::vector<Task>> bins(cores);
+  std::vector<double> load(cores, 0.0);
+  for (const std::size_t idx : order) {
+    const auto target = static_cast<std::size_t>(std::distance(
+        load.begin(), std::min_element(load.begin(), load.end())));
+    bins[target].push_back(tasks[idx]);
+    load[target] += tasks[idx].utilization();
+  }
+
+  std::vector<TaskSet> result;
+  result.reserve(cores);
+  for (auto& bin : bins) {
+    TaskSet set(std::move(bin));
+    set.assign_deadline_monotonic_priorities();
+    result.push_back(std::move(set));
+  }
+  return result;
+}
+
+}  // namespace mcs::gen

@@ -1,0 +1,44 @@
+// Synthetic task-set generation following the paper's experimental setup
+// (§VII):
+//   * minimum inter-arrival times T_i log-uniform in [10, 100] time units;
+//   * per-task utilizations U_i from UUniFast for a target sum U;
+//   * execution WCET C_i = T_i * U_i;
+//   * memory phases u_i = l_i = gamma * C_i (gamma in [0.1, 0.5]);
+//   * deadline D_i uniform in [C_i + beta * (T_i - C_i), T_i].
+// Priorities are assigned deadline-monotonically (DESIGN.md §5.2); all
+// tasks start as non-latency-sensitive (the greedy algorithm of §VI marks
+// LS tasks during analysis).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rt/task.hpp"
+#include "support/rng.hpp"
+
+namespace mcs::gen {
+
+struct GeneratorConfig {
+  std::size_t num_tasks = 4;
+  double utilization = 0.5;  ///< target U = sum C_i / T_i
+  double gamma = 0.1;        ///< memory-intensity: l = u = gamma * C
+  double beta = 0.3;         ///< deadline tightness (0 tight .. 1 = [C..T])
+  double period_min = 10.0;  ///< paper time units (scaled to ticks)
+  double period_max = 100.0;
+};
+
+/// Draws one task set per the paper's recipe.  All parameters are rounded
+/// to integer ticks; C is clamped to >= 1 tick and D to >= C so that every
+/// generated set satisfies the TaskSet invariants (a set may still be
+/// trivially unschedulable when D < l + C + u — that is intended, see
+/// Figure 2(f)'s small-beta regime).
+rt::TaskSet generate_task_set(const GeneratorConfig& config,
+                              support::Rng& rng);
+
+/// Worst-fit decreasing partitioning of `tasks` onto `cores` task sets by
+/// execution utilization; used for multicore scenarios (extension — the
+/// paper analyzes each core in isolation).
+std::vector<rt::TaskSet> partition_worst_fit(const std::vector<rt::Task>& tasks,
+                                             std::size_t cores);
+
+}  // namespace mcs::gen

@@ -1,0 +1,26 @@
+#include "gen/uunifast.hpp"
+
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace mcs::gen {
+
+std::vector<double> uunifast(std::size_t n, double total_utilization,
+                             support::Rng& rng) {
+  MCS_REQUIRE(n >= 1, "uunifast: need at least one task");
+  MCS_REQUIRE(total_utilization >= 0.0, "uunifast: negative utilization");
+  std::vector<double> result;
+  result.reserve(n);
+  double remaining = total_utilization;
+  for (std::size_t i = 1; i < n; ++i) {
+    const double exponent = 1.0 / static_cast<double>(n - i);
+    const double next = remaining * std::pow(rng.uniform01(), exponent);
+    result.push_back(remaining - next);
+    remaining = next;
+  }
+  result.push_back(remaining);
+  return result;
+}
+
+}  // namespace mcs::gen

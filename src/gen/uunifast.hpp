@@ -1,0 +1,18 @@
+// UUniFast utilization generation (Bini & Buttazzo, 2005), used by the
+// paper's experimental setup (§VII) to draw n per-task utilizations that
+// sum to a target U with an unbiased uniform distribution over the simplex.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace mcs::gen {
+
+/// Returns `n` non-negative utilizations summing to `total_utilization`.
+/// Requires n >= 1 and total_utilization >= 0.
+std::vector<double> uunifast(std::size_t n, double total_utilization,
+                             support::Rng& rng);
+
+}  // namespace mcs::gen

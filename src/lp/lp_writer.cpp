@@ -1,0 +1,150 @@
+#include "lp/lp_writer.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace mcs::lp {
+
+namespace {
+
+/// LP-format-safe variable names: keep [A-Za-z0-9_], never start with a
+/// digit or 'e'/'E' (which the format reads as part of a number).
+std::string sanitize(const std::string& name, std::size_t index) {
+  if (name.empty()) {
+    return "x" + std::to_string(index);
+  }
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_');
+  }
+  const char first = out.front();
+  if (std::isdigit(static_cast<unsigned char>(first)) != 0 || first == 'e' ||
+      first == 'E') {
+    out.insert(out.begin(), 'v');
+  }
+  return out;
+}
+
+void write_number(std::ostream& out, double value) {
+  // LP format accepts plain decimal; print losslessly.
+  std::ostringstream buf;
+  buf.precision(17);
+  buf << value;
+  out << buf.str();
+}
+
+void write_expr(std::ostream& out, const LinExpr& expr,
+                const std::vector<std::string>& names) {
+  const LinExpr normal = expr.normalized();
+  bool first = true;
+  for (const auto& [var, coef] : normal.terms()) {
+    if (coef >= 0.0) {
+      out << (first ? "" : " + ");
+    } else {
+      out << (first ? "- " : " - ");
+    }
+    write_number(out, std::abs(coef));
+    out << ' ' << names[var];
+    first = false;
+  }
+  if (first) {
+    out << "0";
+  }
+}
+
+}  // namespace
+
+void write_lp_format(const Model& model, std::ostream& out) {
+  std::vector<std::string> names;
+  names.reserve(model.num_variables());
+  for (std::size_t i = 0; i < model.num_variables(); ++i) {
+    names.push_back(sanitize(model.variables()[i].name, i));
+  }
+
+  out << (model.objective_sense() == Sense::kMaximize ? "Maximize"
+                                                      : "Minimize")
+      << "\n obj: ";
+  write_expr(out, model.objective(), names);
+  // The LP format has no objective constant; emit it as a comment.
+  if (model.objective().normalized().constant() != 0.0) {
+    out << "\n\\ objective constant: ";
+    write_number(out, model.objective().normalized().constant());
+  }
+  out << "\nSubject To\n";
+  for (std::size_t r = 0; r < model.num_constraints(); ++r) {
+    const Constraint& c = model.constraints()[r];
+    const std::string label =
+        c.name.empty() ? "c" + std::to_string(r) : sanitize(c.name, r);
+    out << ' ' << label << ": ";
+    write_expr(out, c.lhs, names);
+    switch (c.relation) {
+      case Relation::kLe:
+        out << " <= ";
+        break;
+      case Relation::kGe:
+        out << " >= ";
+        break;
+      case Relation::kEq:
+        out << " = ";
+        break;
+    }
+    write_number(out, c.rhs);
+    out << "\n";
+  }
+
+  out << "Bounds\n";
+  for (std::size_t i = 0; i < model.num_variables(); ++i) {
+    const Variable& v = model.variables()[i];
+    out << ' ';
+    if (std::isinf(v.lower) && std::isinf(v.upper)) {
+      out << names[i] << " free";
+    } else if (std::isinf(v.lower)) {
+      out << "-inf <= " << names[i] << " <= ";
+      write_number(out, v.upper);
+    } else if (std::isinf(v.upper)) {
+      write_number(out, v.lower);
+      out << " <= " << names[i];
+    } else {
+      write_number(out, v.lower);
+      out << " <= " << names[i] << " <= ";
+      write_number(out, v.upper);
+    }
+    out << "\n";
+  }
+
+  bool have_general = false;
+  bool have_binary = false;
+  for (const Variable& v : model.variables()) {
+    have_general |= v.type == VarType::kInteger;
+    have_binary |= v.type == VarType::kBinary;
+  }
+  if (have_general) {
+    out << "Generals\n";
+    for (std::size_t i = 0; i < model.num_variables(); ++i) {
+      if (model.variables()[i].type == VarType::kInteger) {
+        out << ' ' << names[i] << "\n";
+      }
+    }
+  }
+  if (have_binary) {
+    out << "Binaries\n";
+    for (std::size_t i = 0; i < model.num_variables(); ++i) {
+      if (model.variables()[i].type == VarType::kBinary) {
+        out << ' ' << names[i] << "\n";
+      }
+    }
+  }
+  out << "End\n";
+}
+
+std::string to_lp_format(const Model& model) {
+  std::ostringstream out;
+  write_lp_format(model, out);
+  return out.str();
+}
+
+}  // namespace mcs::lp

@@ -1,0 +1,24 @@
+// CPLEX-LP-format export of lp::Model.
+//
+// Lets users cross-check this library's solver against an external one
+// (CPLEX, Gurobi, SCIP, HiGHS all read the LP format): dump any model —
+// including the schedulability-analysis MILPs — and solve it elsewhere.
+// The reproduction's own tests use the writer for golden-format checks.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "lp/model.hpp"
+
+namespace mcs::lp {
+
+/// Writes `model` in CPLEX LP format.  Variable names from the model are
+/// used when present and sanitized to LP-format rules; unnamed variables
+/// get x<i>.
+void write_lp_format(const Model& model, std::ostream& out);
+
+/// Convenience overload returning a string.
+std::string to_lp_format(const Model& model);
+
+}  // namespace mcs::lp

@@ -1,0 +1,379 @@
+#include "lp/milp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "support/contracts.hpp"
+
+namespace mcs::lp {
+
+namespace {
+
+struct Node {
+  double bound = 0.0;  // parent relaxation objective (model sense)
+  std::size_t id = 0;
+  std::size_t depth = 0;
+  /// Bounds for the integral variables only, parallel to `int_vars`.
+  std::vector<std::pair<double, double>> int_bounds;
+};
+
+/// Ordering for the best-first queue: better bound first; on ties prefer
+/// deeper nodes (finds integral incumbents sooner), then FIFO.
+struct NodeOrder {
+  bool maximize;
+  bool operator()(const Node& a, const Node& b) const {
+    if (a.bound != b.bound) {
+      // priority_queue pops the *largest*; define "largest" = best bound.
+      return maximize ? a.bound < b.bound : a.bound > b.bound;
+    }
+    if (a.depth != b.depth) return a.depth < b.depth;
+    return a.id > b.id;  // older nodes first
+  }
+};
+
+class BranchAndBound {
+ public:
+  BranchAndBound(const Model& model, const MilpOptions& options)
+      : base_(model), opt_(options),
+        maximize_(model.objective_sense() == Sense::kMaximize) {
+    for (std::size_t i = 0; i < model.num_variables(); ++i) {
+      const Variable& v = model.variables()[i];
+      if (v.type != VarType::kContinuous) {
+        int_vars_.push_back(i);
+      }
+    }
+  }
+
+  MilpResult run();
+
+ private:
+  bool better(double a, double b) const {
+    return maximize_ ? a > b : a < b;
+  }
+  double worst_value() const {
+    return maximize_ ? -kInfinity : kInfinity;
+  }
+
+  void apply_bounds(Model& model,
+                    const std::vector<std::pair<double, double>>& b) const {
+    for (std::size_t k = 0; k < int_vars_.size(); ++k) {
+      model.set_bounds(VarId{int_vars_[k]}, b[k].first, b[k].second);
+    }
+  }
+
+  /// Branching variable: among the fractional integral variables of the
+  /// highest branch-priority class, the most fractional one (largest
+  /// distance to the nearest integer); npos when integral within tolerance.
+  std::size_t pick_branch_var(const std::vector<double>& values) const {
+    std::size_t best = npos;
+    double best_dist = opt_.integrality_tol;
+    int best_prio = std::numeric_limits<int>::min();
+    for (std::size_t k = 0; k < int_vars_.size(); ++k) {
+      const double x = values[int_vars_[k]];
+      const double dist = std::abs(x - std::round(x));
+      if (dist <= opt_.integrality_tol) continue;
+      const int prio = int_vars_[k] < opt_.branch_priority.size()
+                           ? opt_.branch_priority[int_vars_[k]]
+                           : 0;
+      if (prio > best_prio || (prio == best_prio && dist > best_dist)) {
+        best_prio = prio;
+        best_dist = dist;
+        best = k;
+      }
+    }
+    return best;
+  }
+
+  void try_update_incumbent(const std::vector<double>& values,
+                            double objective, MilpResult& result) const {
+    if (!result.has_incumbent || better(objective, result.objective)) {
+      result.has_incumbent = true;
+      result.objective = objective;
+      result.values = values;
+    }
+  }
+
+  /// Fix-and-complete rounding heuristic: round every integral variable to
+  /// the nearest integer within its node bounds, re-solve the continuous
+  /// completion, and offer the result as an incumbent.
+  void rounding_heuristic(Model& scratch, const Node& node,
+                          const std::vector<double>& relax_values,
+                          MilpResult& result) const {
+    auto fixed = node.int_bounds;
+    for (std::size_t k = 0; k < int_vars_.size(); ++k) {
+      const auto [lo, hi] = node.int_bounds[k];
+      const double x =
+          std::clamp(std::round(relax_values[int_vars_[k]]), lo, hi);
+      fixed[k] = {x, x};
+    }
+    apply_bounds(scratch, fixed);
+    const LpSolution sol = solve_lp(scratch, opt_.lp);
+    result.lp_iterations += sol.iterations;
+    if (sol.status == SolveStatus::kOptimal) {
+      try_update_incumbent(sol.values, sol.objective, result);
+    }
+  }
+
+  /// LP-guided diving: repeatedly fix the most fractional integral variable
+  /// to its rounded value (falling back to the opposite rounding when that
+  /// makes the LP infeasible) until the relaxation comes out integral.
+  /// Produces high-quality incumbents that all-at-once rounding cannot —
+  /// crucial for pruning on the scheduling-analysis MILPs.
+  void dive_heuristic(Model& scratch, const Node& node,
+                      MilpResult& result) const {
+    auto bounds = node.int_bounds;
+    apply_bounds(scratch, bounds);
+    LpSolution sol = solve_lp(scratch, opt_.lp);
+    result.lp_iterations += sol.iterations;
+    // Each pass fixes at least one variable; bound the work defensively.
+    for (std::size_t pass = 0; pass <= int_vars_.size(); ++pass) {
+      if (sol.status != SolveStatus::kOptimal) {
+        return;
+      }
+      const std::size_t k = pick_branch_var(sol.values);
+      if (k == npos) {
+        std::vector<double> snapped = sol.values;
+        for (const std::size_t v : int_vars_) {
+          snapped[v] = std::round(snapped[v]);
+        }
+        try_update_incumbent(snapped, sol.objective, result);
+        return;
+      }
+      const auto [lo, hi] = bounds[k];
+      const double x = sol.values[int_vars_[k]];
+      const double first = std::clamp(std::round(x), lo, hi);
+      const double second =
+          std::clamp(first > x ? std::floor(x) : std::ceil(x), lo, hi);
+      bool fixed = false;
+      for (const double choice : {first, second}) {
+        bounds[k] = {choice, choice};
+        apply_bounds(scratch, bounds);
+        const LpSolution attempt = solve_lp(scratch, opt_.lp);
+        result.lp_iterations += attempt.iterations;
+        if (attempt.status == SolveStatus::kOptimal) {
+          sol = attempt;
+          fixed = true;
+          break;
+        }
+        if (first == second) break;
+      }
+      if (!fixed) {
+        return;  // both roundings infeasible: abandon the dive
+      }
+    }
+  }
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  const Model& base_;
+  MilpOptions opt_;
+  bool maximize_;
+  std::vector<std::size_t> int_vars_;
+};
+
+MilpResult BranchAndBound::run() {
+  MilpResult result;
+  Model scratch = base_;
+
+  // Pure LP: no branching needed.
+  if (int_vars_.empty()) {
+    const LpSolution sol = solve_lp(scratch, opt_.lp);
+    result.lp_iterations = sol.iterations;
+    result.status = sol.status;
+    if (sol.status == SolveStatus::kOptimal) {
+      result.has_incumbent = true;
+      result.objective = sol.objective;
+      result.best_bound = sol.objective;
+      result.values = sol.values;
+    }
+    return result;
+  }
+
+  // Detect unboundedness on the true relaxation before branching: the
+  // branching ranges below clamp infinite integer domains, which would
+  // silently turn an unbounded problem into a huge "optimal" one.
+  {
+    const LpSolution root = solve_lp(scratch, opt_.lp);
+    result.lp_iterations += root.iterations;
+    if (root.status == SolveStatus::kUnbounded) {
+      result.status = SolveStatus::kUnbounded;
+      return result;
+    }
+    if (root.status == SolveStatus::kInfeasible) {
+      result.status = SolveStatus::kInfeasible;
+      return result;
+    }
+  }
+
+  std::vector<std::pair<double, double>> root_bounds;
+  root_bounds.reserve(int_vars_.size());
+  for (const std::size_t v : int_vars_) {
+    const Variable& mv = base_.variables()[v];
+    // Integral variables need finite branching ranges; clamp huge domains
+    // (safe for the objective once the relaxation is known to be bounded;
+    // argmax components beyond 1e9 are out of scope).
+    const double lo = std::isfinite(mv.lower) ? std::ceil(mv.lower) : -1e9;
+    const double hi = std::isfinite(mv.upper) ? std::floor(mv.upper) : 1e9;
+    if (lo > hi) {
+      result.status = SolveStatus::kInfeasible;
+      return result;
+    }
+    root_bounds.emplace_back(lo, hi);
+  }
+
+  std::priority_queue<Node, std::vector<Node>, NodeOrder> open(
+      NodeOrder{maximize_});
+  std::size_t next_id = 0;
+  open.push(Node{maximize_ ? kInfinity : -kInfinity, next_id++, 0,
+                 std::move(root_bounds)});
+
+  result.best_bound = worst_value();
+  bool budget_exhausted = false;
+
+  while (!open.empty()) {
+    if (result.nodes >= opt_.max_nodes) {
+      budget_exhausted = true;
+      break;
+    }
+    Node node = open.top();
+    open.pop();
+
+    // Best-first: this node's inherited bound dominates every open node.
+    // Terminate when it is within the configured relative gap of the
+    // incumbent — best_bound stays a valid dual bound.
+    if (result.has_incumbent && opt_.relative_gap > 0.0) {
+      const double tolerance =
+          opt_.relative_gap * std::max(1.0, std::abs(result.objective));
+      const bool within = maximize_
+                              ? node.bound <= result.objective + tolerance
+                              : node.bound >= result.objective - tolerance;
+      if (within) {
+        result.status = SolveStatus::kOptimal;
+        result.gap_terminated = true;
+        result.best_bound = node.bound;
+        return result;
+      }
+    }
+
+    // A node whose inherited bound cannot beat the incumbent is dead.
+    if (result.has_incumbent &&
+        !better(node.bound, result.objective + (maximize_
+                                                    ? opt_.absolute_gap
+                                                    : -opt_.absolute_gap))) {
+      continue;
+    }
+
+    ++result.nodes;
+    apply_bounds(scratch, node.int_bounds);
+    const LpSolution relax = solve_lp(scratch, opt_.lp);
+    result.lp_iterations += relax.iterations;
+
+    if (relax.status == SolveStatus::kInfeasible) {
+      continue;
+    }
+    if (relax.status == SolveStatus::kUnbounded) {
+      // Relaxation unbounded at the root means the MILP is unbounded or
+      // infeasible; report unbounded (callers treat it as "no finite bound").
+      result.status = SolveStatus::kUnbounded;
+      return result;
+    }
+    if (relax.status == SolveStatus::kIterationLimit) {
+      result.status = SolveStatus::kIterationLimit;
+      return result;
+    }
+
+    const double bound = relax.objective;
+    if (result.has_incumbent &&
+        !better(bound, result.objective + (maximize_ ? opt_.absolute_gap
+                                                     : -opt_.absolute_gap))) {
+      continue;  // cannot beat incumbent
+    }
+
+    const std::size_t branch_k = pick_branch_var(relax.values);
+    if (branch_k == npos) {
+      // Integral relaxation: snap and accept as incumbent.
+      std::vector<double> snapped = relax.values;
+      for (const std::size_t v : int_vars_) {
+        snapped[v] = std::round(snapped[v]);
+      }
+      try_update_incumbent(snapped, bound, result);
+      continue;
+    }
+
+    if (opt_.enable_rounding_heuristic) {
+      if (result.nodes == 1) {
+        dive_heuristic(scratch, node, result);
+      } else if (result.nodes % opt_.heuristic_period == 0) {
+        rounding_heuristic(scratch, node, relax.values, result);
+        if (!result.has_incumbent &&
+            result.nodes % (opt_.heuristic_period * 8) == 0) {
+          dive_heuristic(scratch, node, result);
+        }
+      }
+    }
+
+    const std::size_t var = int_vars_[branch_k];
+    const double x = relax.values[var];
+    const auto [lo, hi] = node.int_bounds[branch_k];
+    const double floor_x = std::floor(x);
+    const double ceil_x = std::ceil(x);
+
+    if (floor_x >= lo) {
+      Node down = node;
+      down.bound = bound;
+      down.id = next_id++;
+      down.depth = node.depth + 1;
+      down.int_bounds[branch_k].second = floor_x;
+      open.push(std::move(down));
+    }
+    if (ceil_x <= hi) {
+      Node up = node;
+      up.bound = bound;
+      up.id = next_id++;
+      up.depth = node.depth + 1;
+      up.int_bounds[branch_k].first = ceil_x;
+      open.push(std::move(up));
+    }
+  }
+
+  // Final status & dual bound.
+  if (budget_exhausted) {
+    result.status = SolveStatus::kNodeLimit;
+    double open_bound = worst_value();
+    // Drain the queue to find the strongest open bound.
+    while (!open.empty()) {
+      open_bound = better(open.top().bound, open_bound) ? open.top().bound
+                                                        : open_bound;
+      open.pop();
+    }
+    result.best_bound = result.has_incumbent
+                            ? (better(open_bound, result.objective)
+                                   ? open_bound
+                                   : result.objective)
+                            : open_bound;
+    if (!std::isfinite(result.best_bound)) {
+      // Root never solved: no finite dual bound available.
+      result.best_bound = maximize_ ? kInfinity : -kInfinity;
+    }
+    return result;
+  }
+
+  if (result.has_incumbent) {
+    result.status = SolveStatus::kOptimal;
+    result.best_bound = result.objective;
+  } else {
+    result.status = SolveStatus::kInfeasible;
+  }
+  return result;
+}
+
+}  // namespace
+
+MilpResult solve_milp(const Model& model, const MilpOptions& options) {
+  BranchAndBound solver(model, options);
+  return solver.run();
+}
+
+}  // namespace mcs::lp

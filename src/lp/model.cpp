@@ -1,0 +1,189 @@
+#include "lp/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace mcs::lp {
+
+void LinExpr::add_term(VarId v, double coef) {
+  MCS_REQUIRE(v.index != static_cast<std::size_t>(-1),
+              "add_term: invalid variable");
+  terms_.emplace_back(v.index, coef);
+}
+
+LinExpr& LinExpr::operator+=(const LinExpr& other) {
+  terms_.insert(terms_.end(), other.terms_.begin(), other.terms_.end());
+  constant_ += other.constant_;
+  return *this;
+}
+
+LinExpr& LinExpr::operator-=(const LinExpr& other) {
+  for (const auto& [var, coef] : other.terms_) {
+    terms_.emplace_back(var, -coef);
+  }
+  constant_ -= other.constant_;
+  return *this;
+}
+
+LinExpr& LinExpr::operator*=(double factor) {
+  for (auto& [var, coef] : terms_) {
+    coef *= factor;
+  }
+  constant_ *= factor;
+  return *this;
+}
+
+LinExpr LinExpr::normalized() const {
+  LinExpr result;
+  result.constant_ = constant_;
+  if (terms_.empty()) {
+    return result;
+  }
+  auto sorted = terms_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  constexpr double kDropTol = 0.0;  // keep exact zeros out, nothing else
+  std::size_t current = sorted.front().first;
+  double acc = 0.0;
+  for (const auto& [var, coef] : sorted) {
+    if (var != current) {
+      if (std::abs(acc) > kDropTol) {
+        result.terms_.emplace_back(current, acc);
+      }
+      current = var;
+      acc = 0.0;
+    }
+    acc += coef;
+  }
+  if (std::abs(acc) > kDropTol) {
+    result.terms_.emplace_back(current, acc);
+  }
+  return result;
+}
+
+LinExpr term(VarId v, double coef) {
+  LinExpr expr;
+  expr.add_term(v, coef);
+  return expr;
+}
+
+VarId Model::add_continuous(double lower, double upper, std::string name) {
+  MCS_REQUIRE(lower <= upper, "add_continuous: lower > upper");
+  MCS_REQUIRE(!std::isnan(lower) && !std::isnan(upper),
+              "add_continuous: NaN bound");
+  variables_.push_back(
+      {lower, upper, VarType::kContinuous, std::move(name)});
+  return VarId{variables_.size() - 1};
+}
+
+VarId Model::add_binary(std::string name) {
+  variables_.push_back({0.0, 1.0, VarType::kBinary, std::move(name)});
+  return VarId{variables_.size() - 1};
+}
+
+VarId Model::add_integer(double lower, double upper, std::string name) {
+  MCS_REQUIRE(lower <= upper, "add_integer: lower > upper");
+  variables_.push_back({lower, upper, VarType::kInteger, std::move(name)});
+  return VarId{variables_.size() - 1};
+}
+
+void Model::add_constraint(const LinExpr& lhs, Relation relation,
+                           const LinExpr& rhs, std::string name) {
+  LinExpr combined = lhs;
+  combined -= rhs;
+  LinExpr normal = combined.normalized();
+  check_expr(normal);
+  Constraint c;
+  c.relation = relation;
+  c.rhs = -normal.constant();
+  c.name = std::move(name);
+  // Store lhs with zero constant; the constant moved to rhs.
+  LinExpr stripped;
+  for (const auto& [var, coef] : normal.terms()) {
+    stripped.add_term(VarId{var}, coef);
+  }
+  c.lhs = std::move(stripped);
+  constraints_.push_back(std::move(c));
+}
+
+void Model::set_objective(Sense sense, const LinExpr& objective) {
+  LinExpr normal = objective.normalized();
+  check_expr(normal);
+  sense_ = sense;
+  objective_ = std::move(normal);
+}
+
+void Model::set_bounds(VarId v, double lower, double upper) {
+  MCS_REQUIRE(v.index < variables_.size(), "set_bounds: unknown variable");
+  MCS_REQUIRE(lower <= upper, "set_bounds: lower > upper");
+  variables_[v.index].lower = lower;
+  variables_[v.index].upper = upper;
+}
+
+const Variable& Model::variable(VarId v) const {
+  MCS_REQUIRE(v.index < variables_.size(), "variable: unknown variable");
+  return variables_[v.index];
+}
+
+bool Model::has_integer_variables() const noexcept {
+  return std::any_of(variables_.begin(), variables_.end(),
+                     [](const Variable& v) {
+                       return v.type != VarType::kContinuous &&
+                              v.lower != v.upper;
+                     });
+}
+
+double Model::evaluate(const LinExpr& expr,
+                       const std::vector<double>& assignment) const {
+  MCS_REQUIRE(assignment.size() == variables_.size(),
+              "evaluate: assignment size mismatch");
+  double value = expr.constant();
+  for (const auto& [var, coef] : expr.terms()) {
+    value += coef * assignment[var];
+  }
+  return value;
+}
+
+bool Model::is_feasible(const std::vector<double>& assignment,
+                        double eps) const {
+  if (assignment.size() != variables_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < variables_.size(); ++i) {
+    const Variable& v = variables_[i];
+    if (assignment[i] < v.lower - eps || assignment[i] > v.upper + eps) {
+      return false;
+    }
+    if (v.type != VarType::kContinuous &&
+        std::abs(assignment[i] - std::round(assignment[i])) > eps) {
+      return false;
+    }
+  }
+  for (const Constraint& c : constraints_) {
+    const double lhs = evaluate(c.lhs, assignment);
+    switch (c.relation) {
+      case Relation::kLe:
+        if (lhs > c.rhs + eps) return false;
+        break;
+      case Relation::kGe:
+        if (lhs < c.rhs - eps) return false;
+        break;
+      case Relation::kEq:
+        if (std::abs(lhs - c.rhs) > eps) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+void Model::check_expr(const LinExpr& expr) const {
+  for (const auto& [var, coef] : expr.terms()) {
+    MCS_REQUIRE(var < variables_.size(),
+                "expression references unknown variable");
+    MCS_REQUIRE(std::isfinite(coef), "expression has non-finite coefficient");
+  }
+}
+
+}  // namespace mcs::lp

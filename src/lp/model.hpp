@@ -1,0 +1,146 @@
+// Linear / mixed-integer linear model representation.
+//
+// This is the CPLEX-replacement substrate: the schedulability analysis of
+// the paper (Section V) builds its MILP through this interface and solves it
+// with mcs::lp::solve_milp (branch & bound over the bounded-variable simplex
+// in simplex.hpp).  The model is solver-agnostic plain data: variables with
+// bounds and integrality, linear constraints, one linear objective.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mcs::lp {
+
+/// Positive/negative infinity used for unbounded variable sides.
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+enum class VarType { kContinuous, kBinary, kInteger };
+enum class Sense { kMinimize, kMaximize };
+enum class Relation { kLe, kGe, kEq };
+
+/// Opaque variable handle returned by Model::add_*.
+struct VarId {
+  std::size_t index = static_cast<std::size_t>(-1);
+  friend bool operator==(VarId, VarId) = default;
+};
+
+/// A linear expression `sum coef_j * x_j + constant`.
+///
+/// Terms may repeat a variable; they are merged when the expression is
+/// normalized (Model does this when a constraint / objective is installed).
+class LinExpr {
+ public:
+  LinExpr() = default;
+  /*implicit*/ LinExpr(double constant) : constant_(constant) {}
+  /*implicit*/ LinExpr(VarId v) { add_term(v, 1.0); }
+
+  void add_term(VarId v, double coef);
+
+  LinExpr& operator+=(const LinExpr& other);
+  LinExpr& operator-=(const LinExpr& other);
+  LinExpr& operator*=(double factor);
+
+  friend LinExpr operator+(LinExpr lhs, const LinExpr& rhs) {
+    lhs += rhs;
+    return lhs;
+  }
+  friend LinExpr operator-(LinExpr lhs, const LinExpr& rhs) {
+    lhs -= rhs;
+    return lhs;
+  }
+  friend LinExpr operator*(LinExpr expr, double factor) {
+    expr *= factor;
+    return expr;
+  }
+  friend LinExpr operator*(double factor, LinExpr expr) {
+    expr *= factor;
+    return expr;
+  }
+
+  const std::vector<std::pair<std::size_t, double>>& terms() const noexcept {
+    return terms_;
+  }
+  double constant() const noexcept { return constant_; }
+
+  /// Returns a copy with duplicate variables merged and ~zero terms dropped.
+  LinExpr normalized() const;
+
+ private:
+  std::vector<std::pair<std::size_t, double>> terms_;
+  double constant_ = 0.0;
+};
+
+/// Convenience: `coef * var` as an expression.
+LinExpr term(VarId v, double coef);
+
+struct Variable {
+  double lower = 0.0;
+  double upper = kInfinity;
+  VarType type = VarType::kContinuous;
+  std::string name;
+};
+
+struct Constraint {
+  LinExpr lhs;  ///< normalized, constant folded into rhs
+  Relation relation = Relation::kLe;
+  double rhs = 0.0;
+  std::string name;
+};
+
+/// A mixed-integer linear model.
+///
+/// Invariants: every constraint references only variables added to this
+/// model; binary variables have bounds within [0, 1].
+class Model {
+ public:
+  VarId add_continuous(double lower, double upper, std::string name = "");
+  VarId add_binary(std::string name = "");
+  VarId add_integer(double lower, double upper, std::string name = "");
+
+  /// Installs `lhs relation rhs`; both sides may be arbitrary expressions,
+  /// the stored form is `(lhs - rhs) relation 0` normalized.
+  void add_constraint(const LinExpr& lhs, Relation relation,
+                      const LinExpr& rhs, std::string name = "");
+
+  void set_objective(Sense sense, const LinExpr& objective);
+
+  /// Tightens the domain of an existing variable.  Used by branch & bound;
+  /// also handy to fix variables (lower == upper).
+  void set_bounds(VarId v, double lower, double upper);
+
+  std::size_t num_variables() const noexcept { return variables_.size(); }
+  std::size_t num_constraints() const noexcept { return constraints_.size(); }
+  const Variable& variable(VarId v) const;
+  const std::vector<Variable>& variables() const noexcept {
+    return variables_;
+  }
+  const std::vector<Constraint>& constraints() const noexcept {
+    return constraints_;
+  }
+  Sense objective_sense() const noexcept { return sense_; }
+  const LinExpr& objective() const noexcept { return objective_; }
+
+  bool has_integer_variables() const noexcept;
+
+  /// Evaluates an expression under an assignment (one value per variable).
+  double evaluate(const LinExpr& expr,
+                  const std::vector<double>& assignment) const;
+
+  /// True iff `assignment` satisfies all constraints and variable bounds
+  /// within tolerance `eps` (integrality is checked for integer variables).
+  bool is_feasible(const std::vector<double>& assignment, double eps) const;
+
+ private:
+  void check_expr(const LinExpr& expr) const;
+
+  std::vector<Variable> variables_;
+  std::vector<Constraint> constraints_;
+  LinExpr objective_;
+  Sense sense_ = Sense::kMinimize;
+};
+
+}  // namespace mcs::lp

@@ -1,0 +1,522 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/contracts.hpp"
+
+namespace mcs::lp {
+
+const char* to_string(SolveStatus status) noexcept {
+  switch (status) {
+    case SolveStatus::kOptimal:
+      return "optimal";
+    case SolveStatus::kInfeasible:
+      return "infeasible";
+    case SolveStatus::kUnbounded:
+      return "unbounded";
+    case SolveStatus::kIterationLimit:
+      return "iteration-limit";
+    case SolveStatus::kNodeLimit:
+      return "node-limit";
+  }
+  return "unknown";
+}
+
+namespace {
+
+enum class VarStatus : unsigned char { kBasic, kAtLower, kAtUpper };
+
+/// Internal column: value x = offset + sign * y where y is the simplex
+/// variable with bounds [0, upper] (upper possibly +inf).  Free model
+/// variables are split into two internal columns (sign +1 and -1).
+struct ColumnMap {
+  std::size_t model_var = static_cast<std::size_t>(-1);
+  double offset = 0.0;
+  double sign = 1.0;
+};
+
+class SimplexSolver {
+ public:
+  SimplexSolver(const Model& model, const SimplexOptions& options)
+      : model_(model), opt_(options) {
+    build();
+  }
+
+  LpSolution run();
+
+ private:
+  void build();
+  void compute_basic_values();
+  void recompute_reduced_costs();
+  double current_internal_objective() const;
+  /// Returns entering column or npos if optimal.
+  std::size_t choose_entering(bool bland) const;
+  SolveStatus iterate(std::size_t phase_one_rows, bool phase_one,
+                      std::size_t& iterations);
+  void pivot(std::size_t row, std::size_t col, double entering_value,
+             VarStatus leaving_status);
+  bool drive_out_artificials();
+  LpSolution extract_solution(SolveStatus status,
+                              std::size_t iterations) const;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  const Model& model_;
+  SimplexOptions opt_;
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;           // structural (+ split) + slack columns
+  std::size_t total_cols_ = 0;     // cols_ + artificials
+  std::size_t first_artificial_ = 0;
+
+  std::vector<ColumnMap> col_map_;          // size cols_
+  std::vector<double> upper_;               // per internal column (y ub)
+  std::vector<double> cost_;                // phase-2 internal costs
+  std::vector<double> phase1_cost_;         // 1 on artificials
+  std::vector<std::vector<double>> tab_;    // rows_ x total_cols_
+  std::vector<double> rhs_;                 // original b' (>= 0)
+  std::vector<double> xb_;                  // basic variable values
+  std::vector<std::size_t> basis_;          // column basic in each row
+  std::vector<VarStatus> status_;           // per internal column
+  std::vector<double> dj_;                  // reduced costs (current phase)
+  const std::vector<double>* active_cost_ = nullptr;
+  double cost_scale_ = 1.0;  // +1 minimize, -1 maximize (applied to costs)
+};
+
+void SimplexSolver::build() {
+  const auto& vars = model_.variables();
+  // --- Columns for model variables -------------------------------------
+  std::vector<std::vector<std::size_t>> var_cols(vars.size());
+  for (std::size_t v = 0; v < vars.size(); ++v) {
+    const Variable& mv = vars[v];
+    if (std::isfinite(mv.lower)) {
+      ColumnMap cm{v, mv.lower, 1.0};
+      col_map_.push_back(cm);
+      upper_.push_back(std::isfinite(mv.upper) ? mv.upper - mv.lower
+                                               : kInfinity);
+      var_cols[v].push_back(col_map_.size() - 1);
+    } else if (std::isfinite(mv.upper)) {
+      // x = ub - y,  y in [0, inf)
+      ColumnMap cm{v, mv.upper, -1.0};
+      col_map_.push_back(cm);
+      upper_.push_back(kInfinity);
+      var_cols[v].push_back(col_map_.size() - 1);
+    } else {
+      // free: x = y1 - y2
+      col_map_.push_back({v, 0.0, 1.0});
+      upper_.push_back(kInfinity);
+      var_cols[v].push_back(col_map_.size() - 1);
+      col_map_.push_back({v, 0.0, -1.0});
+      upper_.push_back(kInfinity);
+      var_cols[v].push_back(col_map_.size() - 1);
+    }
+  }
+  const std::size_t structural = col_map_.size();
+
+  rows_ = model_.num_constraints();
+  cols_ = structural + rows_;  // reserve one (possible) slack per row
+  // Slack columns may be unused for equality rows; they get upper bound 0.
+  upper_.resize(cols_, kInfinity);
+
+  // --- Dense row data ----------------------------------------------------
+  tab_.assign(rows_, std::vector<double>(cols_, 0.0));
+  rhs_.assign(rows_, 0.0);
+  std::vector<bool> row_needs_artificial(rows_, false);
+
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const Constraint& c = model_.constraints()[r];
+    double b = c.rhs;
+    auto& row = tab_[r];
+    for (const auto& [var, coef] : c.lhs.terms()) {
+      for (const std::size_t col : var_cols[var]) {
+        row[col] += coef * col_map_[col].sign;
+      }
+      b -= coef * col_map_[var_cols[var].front()].offset;
+      // For split free vars offset is 0; for single-column vars the front
+      // column carries the offset.
+    }
+    const std::size_t slack = structural + r;
+    double slack_coef = 0.0;
+    switch (c.relation) {
+      case Relation::kLe:
+        slack_coef = 1.0;
+        break;
+      case Relation::kGe:
+        slack_coef = -1.0;
+        break;
+      case Relation::kEq:
+        slack_coef = 0.0;
+        upper_[slack] = 0.0;  // unused slack, frozen at zero
+        break;
+    }
+    row[slack] = slack_coef;
+    if (b < 0.0) {
+      for (double& entry : row) {
+        entry = -entry;
+      }
+      b = -b;
+    }
+    rhs_[r] = b;
+    // A row can start with a basic slack only if its slack coefficient is
+    // +1 after normalization.
+    row_needs_artificial[r] = !(row[slack] > 0.5);
+  }
+
+  // --- Artificials -------------------------------------------------------
+  first_artificial_ = cols_;
+  std::size_t artificial_count = 0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (row_needs_artificial[r]) {
+      ++artificial_count;
+    }
+  }
+  total_cols_ = cols_ + artificial_count;
+  for (auto& row : tab_) {
+    row.resize(total_cols_, 0.0);
+  }
+  upper_.resize(total_cols_, kInfinity);
+
+  basis_.assign(rows_, npos);
+  status_.assign(total_cols_, VarStatus::kAtLower);
+  std::size_t next_artificial = first_artificial_;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (row_needs_artificial[r]) {
+      tab_[r][next_artificial] = 1.0;
+      basis_[r] = next_artificial;
+      ++next_artificial;
+    } else {
+      basis_[r] = structural + r;  // slack
+    }
+    status_[basis_[r]] = VarStatus::kBasic;
+  }
+
+  // --- Costs --------------------------------------------------------------
+  cost_scale_ = model_.objective_sense() == Sense::kMinimize ? 1.0 : -1.0;
+  cost_.assign(total_cols_, 0.0);
+  for (const auto& [var, coef] : model_.objective().terms()) {
+    for (const std::size_t col : var_cols[var]) {
+      cost_[col] += cost_scale_ * coef * col_map_[col].sign;
+    }
+  }
+  phase1_cost_.assign(total_cols_, 0.0);
+  for (std::size_t c = first_artificial_; c < total_cols_; ++c) {
+    phase1_cost_[c] = 1.0;
+  }
+  // Placeholder until a phase recomputes it; pivot() may run before any
+  // phase does (drive_out_artificials when phase 1 is skipped).
+  dj_.assign(total_cols_, 0.0);
+
+  compute_basic_values();
+}
+
+void SimplexSolver::compute_basic_values() {
+  xb_ = rhs_;
+  for (std::size_t c = 0; c < total_cols_; ++c) {
+    if (status_[c] == VarStatus::kAtUpper) {
+      MCS_ASSERT(std::isfinite(upper_[c]), "at-upper with infinite bound");
+      for (std::size_t r = 0; r < rows_; ++r) {
+        xb_[r] -= tab_[r][c] * upper_[c];
+      }
+    }
+  }
+}
+
+void SimplexSolver::recompute_reduced_costs() {
+  const std::vector<double>& c = *active_cost_;
+  dj_ = c;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double cb = c[basis_[r]];
+    if (cb == 0.0) continue;
+    const auto& row = tab_[r];
+    for (std::size_t j = 0; j < total_cols_; ++j) {
+      dj_[j] -= cb * row[j];
+    }
+  }
+}
+
+double SimplexSolver::current_internal_objective() const {
+  const std::vector<double>& c = *active_cost_;
+  double obj = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    obj += c[basis_[r]] * xb_[r];
+  }
+  for (std::size_t j = 0; j < total_cols_; ++j) {
+    if (status_[j] == VarStatus::kAtUpper) {
+      obj += c[j] * upper_[j];
+    }
+  }
+  return obj;
+}
+
+std::size_t SimplexSolver::choose_entering(bool bland) const {
+  std::size_t best = npos;
+  double best_score = opt_.reduced_cost_tol;
+  for (std::size_t j = 0; j < total_cols_; ++j) {
+    if (status_[j] == VarStatus::kBasic) continue;
+    if (upper_[j] <= 0.0) continue;  // fixed (e.g. frozen slack/artificial)
+    double violation = 0.0;
+    if (status_[j] == VarStatus::kAtLower) {
+      violation = -dj_[j];  // want dj < 0 to decrease objective
+    } else {
+      violation = dj_[j];  // at upper: want dj > 0 (decrease var)
+    }
+    if (violation > best_score) {
+      if (bland) {
+        return j;  // smallest index with a violation
+      }
+      best_score = violation;
+      best = j;
+    }
+  }
+  return best;
+}
+
+SolveStatus SimplexSolver::iterate(std::size_t /*phase_one_rows*/,
+                                   bool phase_one, std::size_t& iterations) {
+  recompute_reduced_costs();
+  std::size_t since_refactor = 0;
+  for (;;) {
+    if (iterations >= opt_.max_iterations) {
+      return SolveStatus::kIterationLimit;
+    }
+    const bool bland = iterations >= opt_.bland_threshold;
+    if (since_refactor >= opt_.refactor_period) {
+      recompute_reduced_costs();
+      since_refactor = 0;
+    }
+    const std::size_t q = choose_entering(bland);
+    if (q == npos) {
+      return SolveStatus::kOptimal;
+    }
+    ++iterations;
+    ++since_refactor;
+
+    const double dir = status_[q] == VarStatus::kAtLower ? 1.0 : -1.0;
+    // Ratio test.
+    double best_t = std::isfinite(upper_[q]) ? upper_[q] : kInfinity;
+    std::size_t leave_row = npos;
+    VarStatus leave_status = VarStatus::kAtLower;
+    double best_pivot_mag = 0.0;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const double g = dir * tab_[r][q];
+      if (g > opt_.pivot_tol) {
+        // basic r decreases toward 0
+        const double t = std::max(0.0, xb_[r]) / g;
+        const bool better =
+            t < best_t - 1e-12 ||
+            (t < best_t + 1e-12 && leave_row != npos &&
+             (bland ? basis_[r] < basis_[leave_row]
+                    : std::abs(tab_[r][q]) > best_pivot_mag));
+        if (t < best_t - 1e-12 || better) {
+          best_t = std::min(best_t, t);
+          leave_row = r;
+          leave_status = VarStatus::kAtLower;
+          best_pivot_mag = std::abs(tab_[r][q]);
+        }
+      } else if (g < -opt_.pivot_tol && std::isfinite(upper_[basis_[r]])) {
+        // basic r increases toward its upper bound
+        const double room = upper_[basis_[r]] - xb_[r];
+        const double t = std::max(0.0, room) / (-g);
+        const bool better =
+            t < best_t - 1e-12 ||
+            (t < best_t + 1e-12 && leave_row != npos &&
+             (bland ? basis_[r] < basis_[leave_row]
+                    : std::abs(tab_[r][q]) > best_pivot_mag));
+        if (t < best_t - 1e-12 || better) {
+          best_t = std::min(best_t, t);
+          leave_row = r;
+          leave_status = VarStatus::kAtUpper;
+          best_pivot_mag = std::abs(tab_[r][q]);
+        }
+      }
+    }
+
+    if (!std::isfinite(best_t)) {
+      return phase_one ? SolveStatus::kIterationLimit  // cannot happen
+                       : SolveStatus::kUnbounded;
+    }
+
+    if (leave_row == npos) {
+      // Bound flip: entering variable traverses to its other bound.
+      MCS_ASSERT(std::isfinite(upper_[q]), "bound flip without upper bound");
+      for (std::size_t r = 0; r < rows_; ++r) {
+        xb_[r] -= dir * best_t * tab_[r][q];
+      }
+      status_[q] = status_[q] == VarStatus::kAtLower ? VarStatus::kAtUpper
+                                                     : VarStatus::kAtLower;
+      continue;
+    }
+
+    const double entering_start =
+        status_[q] == VarStatus::kAtLower ? 0.0 : upper_[q];
+    const double entering_value = entering_start + dir * best_t;
+    pivot(leave_row, q, entering_value, leave_status);
+  }
+}
+
+void SimplexSolver::pivot(std::size_t row, std::size_t col,
+                          double entering_value, VarStatus leaving_status) {
+  const std::size_t leaving = basis_[row];
+  const double dir =
+      status_[col] == VarStatus::kAtLower ? 1.0 : -1.0;
+  const double step = std::abs((entering_value -
+                                (status_[col] == VarStatus::kAtLower
+                                     ? 0.0
+                                     : upper_[col])));
+  // Update basic values before changing the tableau.
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (r == row) continue;
+    xb_[r] -= dir * step * tab_[r][col];
+  }
+  xb_[row] = entering_value;
+
+  // Row elimination.
+  auto& prow = tab_[row];
+  const double pivot_elem = prow[col];
+  MCS_ASSERT(std::abs(pivot_elem) > 0.0, "zero pivot");
+  const double inv = 1.0 / pivot_elem;
+  for (double& entry : prow) {
+    entry *= inv;
+  }
+  prow[col] = 1.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (r == row) continue;
+    auto& orow = tab_[r];
+    const double factor = orow[col];
+    if (factor == 0.0) continue;
+    for (std::size_t j = 0; j < total_cols_; ++j) {
+      orow[j] -= factor * prow[j];
+    }
+    orow[col] = 0.0;
+  }
+  // Incremental reduced-cost update.
+  const double dq = dj_[col];
+  if (dq != 0.0) {
+    for (std::size_t j = 0; j < total_cols_; ++j) {
+      dj_[j] -= dq * prow[j];
+    }
+  }
+  dj_[col] = 0.0;
+
+  basis_[row] = col;
+  status_[col] = VarStatus::kBasic;
+  status_[leaving] = leaving_status;
+  if (leaving_status == VarStatus::kAtUpper &&
+      !std::isfinite(upper_[leaving])) {
+    // Leaving at "upper" with infinite bound cannot happen (ratio test
+    // guards with isfinite); normalize to lower for safety.
+    status_[leaving] = VarStatus::kAtLower;
+  }
+}
+
+bool SimplexSolver::drive_out_artificials() {
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (basis_[r] < first_artificial_) continue;
+    // Basic artificial (value must be ~0 after a feasible phase 1).
+    if (std::abs(xb_[r]) > opt_.feasibility_tol) {
+      return false;
+    }
+    // Try to pivot in any non-artificial column with a usable element.
+    std::size_t replacement = npos;
+    for (std::size_t j = 0; j < first_artificial_; ++j) {
+      if (status_[j] == VarStatus::kBasic) continue;
+      if (upper_[j] <= 0.0) continue;
+      if (std::abs(tab_[r][j]) > opt_.pivot_tol) {
+        replacement = j;
+        break;
+      }
+    }
+    if (replacement == npos) {
+      continue;  // redundant row; artificial stays basic at zero
+    }
+    const double entering_value =
+        status_[replacement] == VarStatus::kAtLower ? 0.0
+                                                    : upper_[replacement];
+    // Degenerate pivot: entering keeps its current value (step 0).
+    const VarStatus leave_status = VarStatus::kAtLower;
+    // Temporarily mark direction based on current status for pivot().
+    pivot(r, replacement, entering_value, leave_status);
+  }
+  // Freeze every artificial at zero so phase 2 cannot reuse them.
+  for (std::size_t c = first_artificial_; c < total_cols_; ++c) {
+    if (status_[c] != VarStatus::kBasic) {
+      status_[c] = VarStatus::kAtLower;
+      upper_[c] = 0.0;
+    }
+  }
+  return true;
+}
+
+LpSolution SimplexSolver::extract_solution(SolveStatus status,
+                                           std::size_t iterations) const {
+  LpSolution sol;
+  sol.status = status;
+  sol.iterations = iterations;
+  if (status != SolveStatus::kOptimal) {
+    return sol;
+  }
+  std::vector<double> internal(total_cols_, 0.0);
+  for (std::size_t c = 0; c < total_cols_; ++c) {
+    if (status_[c] == VarStatus::kAtUpper) {
+      internal[c] = upper_[c];
+    }
+  }
+  for (std::size_t r = 0; r < rows_; ++r) {
+    internal[basis_[r]] = xb_[r];
+  }
+  sol.values.assign(model_.num_variables(), 0.0);
+  for (std::size_t c = 0; c < col_map_.size(); ++c) {
+    const ColumnMap& cm = col_map_[c];
+    if (cm.sign > 0.0) {
+      sol.values[cm.model_var] += cm.offset + internal[c];
+    } else {
+      // Either ub-shifted single column (offset=ub) or negative split half.
+      sol.values[cm.model_var] += cm.offset - internal[c];
+    }
+  }
+  sol.objective = model_.evaluate(model_.objective(), sol.values);
+  return sol;
+}
+
+LpSolution SimplexSolver::run() {
+  std::size_t iterations = 0;
+
+  // Phase 1 (only when artificials exist and can be nonzero).
+  bool need_phase1 = false;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (basis_[r] >= first_artificial_ && xb_[r] > opt_.feasibility_tol) {
+      need_phase1 = true;
+      break;
+    }
+  }
+  if (first_artificial_ < total_cols_ && need_phase1) {
+    active_cost_ = &phase1_cost_;
+    const SolveStatus p1 = iterate(rows_, /*phase_one=*/true, iterations);
+    if (p1 == SolveStatus::kIterationLimit) {
+      return extract_solution(SolveStatus::kIterationLimit, iterations);
+    }
+    if (current_internal_objective() > opt_.feasibility_tol * 10.0) {
+      return extract_solution(SolveStatus::kInfeasible, iterations);
+    }
+  }
+  if (first_artificial_ < total_cols_) {
+    if (!drive_out_artificials()) {
+      return extract_solution(SolveStatus::kInfeasible, iterations);
+    }
+  }
+
+  active_cost_ = &cost_;
+  const SolveStatus p2 = iterate(rows_, /*phase_one=*/false, iterations);
+  return extract_solution(p2, iterations);
+}
+
+}  // namespace
+
+LpSolution solve_lp(const Model& model, const SimplexOptions& options) {
+  SimplexSolver solver(model, options);
+  return solver.run();
+}
+
+}  // namespace mcs::lp

@@ -1,0 +1,54 @@
+// Two-phase primal simplex with bounded variables (dense tableau).
+//
+// Scope: the LP relaxations produced by the schedulability analysis are
+// small (hundreds of rows/columns), so a dense full-tableau implementation
+// with incremental reduced costs is both simple and fast enough.  General
+// features supported: free variables, one- or two-sided bounds, <=, >=, =
+// rows, minimization and maximization, bound-flip (nonbasic upper bound)
+// pivots, Dantzig pricing with a Bland's-rule fallback for anti-cycling.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lp/model.hpp"
+
+namespace mcs::lp {
+
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,  ///< simplex gave up; solution values are unreliable
+  kNodeLimit,       ///< (MILP only) branch & bound budget exhausted
+};
+
+const char* to_string(SolveStatus status) noexcept;
+
+struct SimplexOptions {
+  double feasibility_tol = 1e-7;   ///< row / bound violation tolerance
+  double reduced_cost_tol = 1e-9;  ///< optimality tolerance
+  double pivot_tol = 1e-8;         ///< minimum admissible pivot magnitude
+  std::size_t max_iterations = 200000;
+  /// After this many pivots, switch from Dantzig to Bland's rule
+  /// (guarantees finite termination under degeneracy).
+  std::size_t bland_threshold = 5000;
+  /// Recompute the reduced-cost row from scratch every this many pivots to
+  /// curb error accumulation in the incremental update.
+  std::size_t refactor_period = 256;
+};
+
+struct LpSolution {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  /// Objective in the *model's* sense; meaningful only when kOptimal.
+  double objective = 0.0;
+  /// One value per model variable; meaningful only when kOptimal.
+  std::vector<double> values;
+  std::size_t iterations = 0;
+};
+
+/// Solves the continuous relaxation of `model` (integrality ignored).
+LpSolution solve_lp(const Model& model, const SimplexOptions& options = {});
+
+}  // namespace mcs::lp

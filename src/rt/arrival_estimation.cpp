@@ -1,0 +1,47 @@
+#include "rt/arrival_estimation.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/contracts.hpp"
+
+namespace mcs::rt {
+
+ArrivalCurvePtr estimate_arrival_curve(std::vector<Time> releases) {
+  MCS_REQUIRE(!releases.empty(), "estimate_arrival_curve: no releases");
+  std::sort(releases.begin(), releases.end());
+  const std::size_t n = releases.size();
+
+  // For each count k (2..n), the smallest window that contains k releases
+  // is min over i of (r_{i+k-1} - r_i); eta(delta) >= k exactly when
+  // delta > that distance (open-window convention: a window of length
+  // exactly d starting at r_i covers [r_i, r_i + d), so the k-th release
+  // at distance d is *excluded* — matching eta(T) = 1 for a periodic
+  // task).
+  std::map<Time, std::uint64_t> count_at;  // window length -> releases
+  for (std::size_t k = 2; k <= n; ++k) {
+    Time best = kTimeMax;
+    for (std::size_t i = 0; i + k - 1 < n; ++i) {
+      best = std::min(best, releases[i + k - 1] - releases[i]);
+    }
+    // k releases fit in any window strictly longer than `best`.
+    count_at[best + 1] =
+        std::max(count_at[best + 1], static_cast<std::uint64_t>(k));
+  }
+
+  std::vector<std::pair<Time, std::uint64_t>> steps;
+  steps.emplace_back(1, 1);  // any non-empty window can hold one release
+  std::uint64_t running = 1;
+  for (const auto& [length, count] : count_at) {
+    if (count <= running) continue;
+    running = count;
+    if (!steps.empty() && steps.back().first == length) {
+      steps.back().second = count;
+    } else {
+      steps.emplace_back(length, count);
+    }
+  }
+  return std::make_shared<StaircaseArrival>(std::move(steps));
+}
+
+}  // namespace mcs::rt

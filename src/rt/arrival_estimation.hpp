@@ -1,0 +1,29 @@
+// Arrival-curve estimation from observed release times.
+//
+// The paper's analysis consumes arrival curves eta(delta) (§II, [17] —
+// SymTA/S-style event models).  In practice curves are often *measured*:
+// given a recorded sequence of release instants, the tightest staircase
+// curve consistent with the observation is
+//
+//   eta(delta) = max over i of |{ r_j : r_i <= r_j < r_i + delta }|,
+//
+// the classic sliding-window maximum.  The result is a StaircaseArrival
+// usable anywhere the analysis takes a curve; it is an *estimate* — a
+// lower bound on the true worst case — so treat it as such (e.g. add
+// margin) when the trace may not contain the densest burst.
+#pragma once
+
+#include <vector>
+
+#include "rt/arrival.hpp"
+#include "rt/types.hpp"
+
+namespace mcs::rt {
+
+/// Builds the tightest staircase curve consistent with `releases`
+/// (unsorted input is fine; duplicates allowed).  Requires at least one
+/// release.  The curve's breakpoints are the distinct pairwise distances
+/// observed, so eta() is exact for the given trace at every delta.
+ArrivalCurvePtr estimate_arrival_curve(std::vector<Time> releases);
+
+}  // namespace mcs::rt

@@ -1,0 +1,23 @@
+#include "rt/chain.hpp"
+
+#include <unordered_set>
+
+#include "support/contracts.hpp"
+
+namespace mcs::rt {
+
+void validate_chain(const TaskSet& tasks, const Chain& chain) {
+  MCS_REQUIRE(chain.tasks.size() >= 2,
+              "chain '" + chain.name + "': needs at least two tasks");
+  std::unordered_set<TaskIndex> seen;
+  for (const TaskIndex idx : chain.tasks) {
+    MCS_REQUIRE(idx < tasks.size(),
+                "chain '" + chain.name + "': unknown task index");
+    MCS_REQUIRE(seen.insert(idx).second,
+                "chain '" + chain.name + "': repeated task");
+  }
+  MCS_REQUIRE(chain.max_data_age >= 0,
+              "chain '" + chain.name + "': negative age constraint");
+}
+
+}  // namespace mcs::rt

@@ -1,0 +1,35 @@
+// Data-driven task chains (cause-effect chains) — the extension the paper
+// flags as future work (§IV-A / §VIII: "the copy-out phase is performed as
+// soon as possible ... This also allows extending the protocol to the case
+// of communicating tasks (e.g., for data-driven task chains)").
+//
+// Tasks communicate through global memory: a producer's result becomes
+// visible when its copy-out completes; a consumer samples the latest
+// visible version when its own copy-in starts.  Chains are sequences of
+// tasks on the same core with independent (sporadic/periodic) activations —
+// the classic "sampling" chain model, for which end-to-end latency bounds
+// compose from per-task periods and response times (analysis/chains.hpp).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rt/task.hpp"
+#include "rt/types.hpp"
+
+namespace mcs::rt {
+
+/// A cause-effect chain tau_{c_1} -> tau_{c_2} -> ... -> tau_{c_m}.
+struct Chain {
+  std::string name;
+  /// Task indices in data-flow order; at least two, all distinct.
+  std::vector<TaskIndex> tasks;
+  /// Optional end-to-end constraint on the maximum data age (0 = none).
+  Time max_data_age = 0;
+};
+
+/// Validates `chain` against `tasks`: existing indices, length >= 2, no
+/// repetition.  Throws ContractViolation on failure.
+void validate_chain(const TaskSet& tasks, const Chain& chain);
+
+}  // namespace mcs::rt

@@ -1,0 +1,66 @@
+#include "rt/contention.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace mcs::rt {
+
+const char* to_string(ContentionPolicy policy) noexcept {
+  switch (policy) {
+    case ContentionPolicy::kFullyBacklogged:
+      return "fully-backlogged";
+    case ContentionPolicy::kDemandAware:
+      return "demand-aware";
+  }
+  return "unknown";
+}
+
+double dma_utilization(const TaskSet& tasks) {
+  double total = 0.0;
+  for (const Task& t : tasks) {
+    total += static_cast<double>(t.copy_in + t.copy_out) /
+             static_cast<double>(t.period);
+  }
+  return total;
+}
+
+double contention_factor(const std::vector<TaskSet>& cores, std::size_t core,
+                         ContentionPolicy policy) {
+  MCS_REQUIRE(core < cores.size(), "contention_factor: bad core index");
+  switch (policy) {
+    case ContentionPolicy::kFullyBacklogged:
+      return static_cast<double>(cores.size());
+    case ContentionPolicy::kDemandAware: {
+      double factor = 1.0;
+      for (std::size_t j = 0; j < cores.size(); ++j) {
+        if (j == core) continue;
+        factor += std::min(1.0, dma_utilization(cores[j]));
+      }
+      return factor;
+    }
+  }
+  return 1.0;
+}
+
+std::vector<TaskSet> apply_memory_contention(const std::vector<TaskSet>& cores,
+                                             ContentionPolicy policy) {
+  std::vector<TaskSet> inflated;
+  inflated.reserve(cores.size());
+  for (std::size_t m = 0; m < cores.size(); ++m) {
+    const double factor = contention_factor(cores, m, policy);
+    MCS_ASSERT(factor >= 1.0, "contention factor below one");
+    TaskSet scaled = cores[m];
+    for (std::size_t i = 0; i < scaled.size(); ++i) {
+      scaled[i].copy_in = static_cast<Time>(
+          std::ceil(static_cast<double>(scaled[i].copy_in) * factor));
+      scaled[i].copy_out = static_cast<Time>(
+          std::ceil(static_cast<double>(scaled[i].copy_out) * factor));
+    }
+    inflated.push_back(std::move(scaled));
+  }
+  return inflated;
+}
+
+}  // namespace mcs::rt

@@ -1,0 +1,51 @@
+// Global-memory contention inflation (paper §II: "Both delays may account
+// for the possible contention in global memory, computed using the
+// analysis techniques in [7, 8]").
+//
+// The platform model shares one global memory among P per-core DMA
+// engines through a fair (round-robin, beat-level) arbiter.  A transfer
+// that takes d time units in isolation can be delayed by interleaved beats
+// of the other cores' DMAs; this module computes safe inflation factors
+// for the copy-in/copy-out bounds (l_i, u_i) of each core's task set:
+//
+//  * kFullyBacklogged — every other DMA is assumed continuously busy:
+//        d' = d * P            (the classic safe round-robin bound);
+//  * kDemandAware — core j can only steal beats while it has DMA work:
+//        d' = d * (1 + sum_{j != m} min(1, U_dma_j))
+//    where U_dma_j = sum_i (l_i + u_i) / T_i over core j's tasks is the
+//    long-run DMA utilization of core j; a core with U_dma_j < 1 cannot
+//    keep the arbiter busy in every round in the long run.
+//
+// The inflated task sets feed the ordinary per-core analysis (§II's
+// partitioned scheme: each core analyzed in isolation once its memory
+// phases account for cross-core interference).
+#pragma once
+
+#include <vector>
+
+#include "rt/task.hpp"
+
+namespace mcs::rt {
+
+enum class ContentionPolicy {
+  kFullyBacklogged,
+  kDemandAware,
+};
+
+const char* to_string(ContentionPolicy policy) noexcept;
+
+/// Long-run DMA utilization of one core's task set:
+/// sum (l_i + u_i) / T_i.
+double dma_utilization(const TaskSet& tasks);
+
+/// Inflation factor applied to core `core`'s memory phases when the other
+/// task sets in `cores` share the global memory.
+double contention_factor(const std::vector<TaskSet>& cores, std::size_t core,
+                         ContentionPolicy policy);
+
+/// Returns a copy of `cores` with every task's copy_in / copy_out scaled by
+/// the per-core contention factor (rounded up — safe).
+std::vector<TaskSet> apply_memory_contention(const std::vector<TaskSet>& cores,
+                                             ContentionPolicy policy);
+
+}  // namespace mcs::rt

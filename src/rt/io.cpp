@@ -1,0 +1,213 @@
+#include "rt/io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/contracts.hpp"
+
+namespace mcs::rt {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw std::runtime_error("workload line " + std::to_string(line) + ": " +
+                           message);
+}
+
+Time parse_ticks(std::size_t line, const std::string& text) {
+  Time value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    fail(line, "invalid number '" + text + "'");
+  }
+  return value;
+}
+
+/// Splits "key=value" tokens; bare tokens get an empty value.
+std::pair<std::string, std::string> split_kv(const std::string& token) {
+  const auto eq = token.find('=');
+  if (eq == std::string::npos) {
+    return {token, ""};
+  }
+  return {token.substr(0, eq), token.substr(eq + 1)};
+}
+
+}  // namespace
+
+Workload load_workload(std::istream& in) {
+  std::vector<Task> tasks;
+  std::map<std::string, TaskIndex> by_name;
+  struct PendingChain {
+    std::size_t line;
+    Chain chain;
+    std::vector<std::string> member_names;
+  };
+  std::vector<PendingChain> pending_chains;
+  std::size_t with_priority = 0;
+
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) {
+      raw.resize(hash);
+    }
+    std::istringstream line(raw);
+    std::string kind;
+    if (!(line >> kind)) {
+      continue;  // blank / comment-only line
+    }
+
+    if (kind == "task") {
+      Task task;
+      if (!(line >> task.name)) {
+        fail(line_no, "task without a name");
+      }
+      if (by_name.count(task.name) != 0) {
+        fail(line_no, "duplicate task '" + task.name + "'");
+      }
+      bool has_c = false, has_t = false, has_d = false, has_prio = false;
+      task.copy_in = 0;
+      task.copy_out = 0;
+      std::string token;
+      while (line >> token) {
+        const auto [key, value] = split_kv(token);
+        if (key == "C") {
+          task.exec = parse_ticks(line_no, value);
+          has_c = true;
+        } else if (key == "l") {
+          task.copy_in = parse_ticks(line_no, value);
+        } else if (key == "u") {
+          task.copy_out = parse_ticks(line_no, value);
+        } else if (key == "T") {
+          task.period = parse_ticks(line_no, value);
+          has_t = true;
+        } else if (key == "D") {
+          task.deadline = parse_ticks(line_no, value);
+          has_d = true;
+        } else if (key == "prio") {
+          task.priority =
+              static_cast<Priority>(parse_ticks(line_no, value));
+          has_prio = true;
+        } else if (key == "ls") {
+          task.latency_sensitive = true;
+        } else {
+          fail(line_no, "unknown attribute '" + key + "'");
+        }
+      }
+      if (!has_c || !has_t) {
+        fail(line_no, "task needs at least C= and T=");
+      }
+      if (!has_d) {
+        task.deadline = task.period;  // implicit deadline
+      }
+      if (has_prio) {
+        ++with_priority;
+      }
+      by_name[task.name] = tasks.size();
+      tasks.push_back(std::move(task));
+    } else if (kind == "chain") {
+      PendingChain pc;
+      pc.line = line_no;
+      if (!(line >> pc.chain.name)) {
+        fail(line_no, "chain without a name");
+      }
+      std::string token;
+      while (line >> token) {
+        const auto [key, value] = split_kv(token);
+        if (key == "age") {
+          pc.chain.max_data_age = parse_ticks(line_no, value);
+        } else if (key == "tasks") {
+          std::istringstream list(value);
+          std::string member;
+          while (std::getline(list, member, ',')) {
+            if (!member.empty()) {
+              pc.member_names.push_back(member);
+            }
+          }
+        } else {
+          fail(line_no, "unknown attribute '" + key + "'");
+        }
+      }
+      if (pc.member_names.empty()) {
+        fail(line_no, "chain needs tasks=<a,b,...>");
+      }
+      pending_chains.push_back(std::move(pc));
+    } else {
+      fail(line_no, "unknown directive '" + kind + "'");
+    }
+  }
+
+  if (tasks.empty()) {
+    throw std::runtime_error("workload: no tasks defined");
+  }
+  if (with_priority != 0 && with_priority != tasks.size()) {
+    throw std::runtime_error(
+        "workload: either every task needs prio= or none");
+  }
+
+  Workload workload;
+  // Defer validation until priorities are final: without explicit prio=
+  // every parsed task still carries the default priority 0.
+  for (Task& task : tasks) {
+    workload.tasks.push_back(std::move(task));
+  }
+  if (with_priority == 0) {
+    workload.tasks.assign_deadline_monotonic_priorities();
+  }
+  workload.tasks.validate();
+
+  for (PendingChain& pc : pending_chains) {
+    for (const std::string& member : pc.member_names) {
+      const auto it = by_name.find(member);
+      if (it == by_name.end()) {
+        fail(pc.line, "chain references unknown task '" + member + "'");
+      }
+      pc.chain.tasks.push_back(it->second);
+    }
+    validate_chain(workload.tasks, pc.chain);
+    workload.chains.push_back(std::move(pc.chain));
+  }
+  return workload;
+}
+
+Workload load_workload_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("workload: cannot open '" + path + "'");
+  }
+  return load_workload(in);
+}
+
+void save_workload(const Workload& workload, std::ostream& out) {
+  out << "# mcs-cosched workload (task <name> C= l= u= T= D= prio= [ls])\n";
+  for (const Task& t : workload.tasks) {
+    out << "task " << t.name << " C=" << t.exec << " l=" << t.copy_in
+        << " u=" << t.copy_out << " T=" << t.period << " D=" << t.deadline
+        << " prio=" << t.priority;
+    if (t.latency_sensitive) {
+      out << " ls";
+    }
+    out << "\n";
+  }
+  for (const Chain& chain : workload.chains) {
+    out << "chain " << chain.name;
+    if (chain.max_data_age > 0) {
+      out << " age=" << chain.max_data_age;
+    }
+    out << " tasks=";
+    for (std::size_t i = 0; i < chain.tasks.size(); ++i) {
+      if (i != 0) out << ',';
+      out << workload.tasks[chain.tasks[i]].name;
+    }
+    out << "\n";
+  }
+}
+
+}  // namespace mcs::rt

@@ -1,0 +1,38 @@
+// Plain-text workload format: load and save task sets (and cause-effect
+// chains) so workloads can live in version-controlled files and feed the
+// CLI tool (tools/mcs_cli.cpp).
+//
+// Format — line oriented, '#' starts a comment:
+//
+//   task <name> C=<ticks> l=<ticks> u=<ticks> T=<ticks> D=<ticks>
+//        [prio=<n>] [ls]            (one line per task)
+//   chain <name> [age=<ticks>] tasks=<name1,name2,...>
+//
+// Either every task carries an explicit prio= or none does; in the latter
+// case deadline-monotonic priorities are assigned on load.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rt/chain.hpp"
+#include "rt/task.hpp"
+
+namespace mcs::rt {
+
+struct Workload {
+  TaskSet tasks;
+  std::vector<Chain> chains;
+};
+
+/// Parses the workload format.  Throws std::runtime_error with a
+/// line-numbered message on malformed input; the returned workload is
+/// validated (TaskSet invariants + chain references).
+Workload load_workload(std::istream& in);
+Workload load_workload_file(const std::string& path);
+
+/// Writes `workload` in the same format (always with explicit prio=).
+void save_workload(const Workload& workload, std::ostream& out);
+
+}  // namespace mcs::rt

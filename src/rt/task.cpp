@@ -1,0 +1,121 @@
+#include "rt/task.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "support/contracts.hpp"
+
+namespace mcs::rt {
+
+TaskSet::TaskSet(std::vector<Task> tasks) : tasks_(std::move(tasks)) {
+  validate();
+}
+
+void TaskSet::push_back(Task task) { tasks_.push_back(std::move(task)); }
+
+void TaskSet::validate() {
+  std::unordered_set<Priority> seen;
+  for (Task& t : tasks_) {
+    MCS_REQUIRE(t.exec > 0, "task '" + t.name + "': C must be positive");
+    MCS_REQUIRE(t.copy_in >= 0 && t.copy_out >= 0,
+                "task '" + t.name + "': negative memory phase");
+    MCS_REQUIRE(t.period > 0, "task '" + t.name + "': T must be positive");
+    MCS_REQUIRE(t.deadline > 0, "task '" + t.name + "': D must be positive");
+    MCS_REQUIRE(seen.insert(t.priority).second,
+                "task '" + t.name + "': duplicate priority");
+    if (!t.arrival) {
+      t.arrival = make_sporadic(t.period);
+    }
+  }
+}
+
+std::vector<TaskIndex> TaskSet::higher_priority(TaskIndex i) const {
+  MCS_REQUIRE(i < tasks_.size(), "higher_priority: index out of range");
+  std::vector<TaskIndex> result;
+  for (TaskIndex j = 0; j < tasks_.size(); ++j) {
+    if (tasks_[j].priority < tasks_[i].priority) {
+      result.push_back(j);
+    }
+  }
+  return result;
+}
+
+std::vector<TaskIndex> TaskSet::lower_priority(TaskIndex i) const {
+  MCS_REQUIRE(i < tasks_.size(), "lower_priority: index out of range");
+  std::vector<TaskIndex> result;
+  for (TaskIndex j = 0; j < tasks_.size(); ++j) {
+    if (tasks_[j].priority > tasks_[i].priority) {
+      result.push_back(j);
+    }
+  }
+  return result;
+}
+
+std::vector<TaskIndex> TaskSet::by_priority() const {
+  std::vector<TaskIndex> order(tasks_.size());
+  std::iota(order.begin(), order.end(), TaskIndex{0});
+  std::sort(order.begin(), order.end(), [this](TaskIndex a, TaskIndex b) {
+    return tasks_[a].priority < tasks_[b].priority;
+  });
+  return order;
+}
+
+double TaskSet::utilization() const noexcept {
+  double total = 0.0;
+  for (const Task& t : tasks_) {
+    total += t.utilization();
+  }
+  return total;
+}
+
+double TaskSet::total_utilization() const noexcept {
+  double total = 0.0;
+  for (const Task& t : tasks_) {
+    total += static_cast<double>(t.total_demand()) /
+             static_cast<double>(t.period);
+  }
+  return total;
+}
+
+std::vector<TaskIndex> TaskSet::latency_sensitive_tasks() const {
+  std::vector<TaskIndex> result;
+  for (TaskIndex i = 0; i < tasks_.size(); ++i) {
+    if (tasks_[i].latency_sensitive) {
+      result.push_back(i);
+    }
+  }
+  return result;
+}
+
+Time TaskSet::max_copy_in() const noexcept {
+  Time best = 0;
+  for (const Task& t : tasks_) {
+    best = std::max(best, t.copy_in);
+  }
+  return best;
+}
+
+Time TaskSet::max_copy_out() const noexcept {
+  Time best = 0;
+  for (const Task& t : tasks_) {
+    best = std::max(best, t.copy_out);
+  }
+  return best;
+}
+
+void TaskSet::assign_deadline_monotonic_priorities() {
+  std::vector<TaskIndex> order(tasks_.size());
+  std::iota(order.begin(), order.end(), TaskIndex{0});
+  std::sort(order.begin(), order.end(), [this](TaskIndex a, TaskIndex b) {
+    if (tasks_[a].deadline != tasks_[b].deadline) {
+      return tasks_[a].deadline < tasks_[b].deadline;
+    }
+    return a < b;
+  });
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    tasks_[order[rank]].priority = static_cast<Priority>(rank);
+  }
+}
+
+}  // namespace mcs::rt

@@ -1,0 +1,96 @@
+// Task and task-set model (paper §II).
+//
+// Each task follows the three-phase PREM-style execution model: a copy-in
+// phase of worst-case length `l` (global -> local memory), an execution
+// phase of WCET `C` touching only local memory, and a copy-out phase of
+// worst-case length `u` (local -> global).  Tasks are partitioned to cores
+// and execute non-preemptively; a TaskSet models one core's partition.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "rt/arrival.hpp"
+#include "rt/types.hpp"
+
+namespace mcs::rt {
+
+/// One sporadic real-time task.
+///
+/// Plain data with validation performed by TaskSet; smaller `priority`
+/// value means higher priority, and priorities are unique within a set.
+struct Task {
+  std::string name;
+  Time exec = 0;      ///< C_i: WCET of the execution phase (ticks)
+  Time copy_in = 0;   ///< l_i: worst-case copy-in (load) duration
+  Time copy_out = 0;  ///< u_i: worst-case copy-out (unload) duration
+  Time period = 0;    ///< T_i: minimum inter-arrival time
+  Time deadline = 0;  ///< D_i: relative deadline
+  Priority priority = 0;
+  bool latency_sensitive = false;  ///< member of Gamma_LS (paper §IV)
+  ArrivalCurvePtr arrival;  ///< defaults to sporadic(period) when null
+
+  /// Total non-overlapped demand l + C + u (the NPS execution cost).
+  Time total_demand() const noexcept { return copy_in + exec + copy_out; }
+  /// Utilization C / T of the execution phase, as in the paper's generator.
+  double utilization() const noexcept {
+    return static_cast<double>(exec) / static_cast<double>(period);
+  }
+};
+
+/// The set of tasks partitioned to one core, ordered arbitrarily.
+///
+/// Invariants (established by validate(), required by analysis/simulator):
+/// positive periods; non-negative phase durations with exec > 0; positive
+/// deadlines; unique priorities; every task has an arrival curve.
+class TaskSet {
+ public:
+  TaskSet() = default;
+  explicit TaskSet(std::vector<Task> tasks);
+
+  /// Throws ContractViolation when an invariant fails; fills in default
+  /// sporadic arrival curves.  Called by the constructor.
+  void validate();
+
+  std::size_t size() const noexcept { return tasks_.size(); }
+  bool empty() const noexcept { return tasks_.empty(); }
+  const Task& operator[](TaskIndex i) const { return tasks_[i]; }
+  Task& operator[](TaskIndex i) { return tasks_[i]; }
+  const std::vector<Task>& tasks() const noexcept { return tasks_; }
+
+  auto begin() const noexcept { return tasks_.begin(); }
+  auto end() const noexcept { return tasks_.end(); }
+
+  void push_back(Task task);
+
+  /// Indices of tasks with strictly higher priority than task `i`
+  /// (hp(tau_i) in the paper).
+  std::vector<TaskIndex> higher_priority(TaskIndex i) const;
+  /// Indices of tasks with strictly lower priority than task `i`.
+  std::vector<TaskIndex> lower_priority(TaskIndex i) const;
+  /// All indices sorted from highest priority (smallest value) down.
+  std::vector<TaskIndex> by_priority() const;
+
+  /// Sum of C_i / T_i (the paper's task-set utilization U).
+  double utilization() const noexcept;
+  /// Sum of (l_i + C_i + u_i) / T_i — total demand including memory phases.
+  double total_utilization() const noexcept;
+
+  /// Indices of latency-sensitive tasks (Gamma_LS).
+  std::vector<TaskIndex> latency_sensitive_tasks() const;
+
+  /// Largest copy-in / copy-out durations over the whole set (used by the
+  /// analysis boundary constraints, paper Constraint 12).
+  Time max_copy_in() const noexcept;
+  Time max_copy_out() const noexcept;
+
+  /// Reassigns priorities deadline-monotonically (ties by index), keeping
+  /// task order stable.  See DESIGN.md §5.2.
+  void assign_deadline_monotonic_priorities();
+
+ private:
+  std::vector<Task> tasks_;
+};
+
+}  // namespace mcs::rt

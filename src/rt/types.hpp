@@ -1,0 +1,35 @@
+// Fundamental types of the real-time task model (paper §II).
+//
+// Time is kept in integer ticks so the simulator is exact and response-time
+// comparisons are free of floating-point surprises; the generator scales
+// real-valued parameters into ticks (DESIGN.md §5.1).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mcs::rt {
+
+/// Discrete time in ticks. One paper time-unit = kTicksPerUnit ticks.
+using Time = std::int64_t;
+
+/// Scaling applied by the task-set generator when converting the paper's
+/// real-valued parameters (periods in [10,100] units, UUniFast utilizations)
+/// into ticks.
+inline constexpr Time kTicksPerUnit = 1'000'000;
+
+/// Sentinel for "no deadline / unbounded".
+inline constexpr Time kTimeMax = std::numeric_limits<Time>::max();
+
+/// Index of a task inside its TaskSet.
+using TaskIndex = std::size_t;
+
+/// Unique task priority; *smaller value means higher priority*.
+using Priority = std::uint32_t;
+
+/// Ceiling division for non-negative integers; ceil(a / b) with b > 0.
+constexpr Time ceil_div(Time a, Time b) noexcept {
+  return (a + b - 1) / b;
+}
+
+}  // namespace mcs::rt

@@ -1,0 +1,30 @@
+// Trace-level measurement of end-to-end data age for task chains —
+// the executable counterpart of analysis/chains.hpp.
+//
+// For every completed job of the last chain task, walk the data flow
+// backwards: stage i's job sampled the latest stage-(i-1) job whose
+// completion (copy-out end, when the data became visible in global memory)
+// is no later than the sampler's copy-in start.  The age of the output is
+// its completion time minus the release of the originating first-stage job.
+#pragma once
+
+#include "rt/chain.hpp"
+#include "rt/task.hpp"
+#include "sim/trace.hpp"
+
+namespace mcs::sim {
+
+struct ChainAgeMeasurement {
+  /// Largest observed end-to-end data age (kTimeMax when no output ever
+  /// traced back to a first-stage sample).
+  rt::Time max_age = rt::kTimeMax;
+  /// Number of last-stage outputs with a complete provenance.
+  std::size_t samples = 0;
+};
+
+/// Measures the maximum data age of `chain` over `trace`.
+ChainAgeMeasurement measure_chain_age(const rt::TaskSet& tasks,
+                                      const rt::Chain& chain,
+                                      const Trace& trace);
+
+}  // namespace mcs::sim

@@ -1,0 +1,231 @@
+#include "sim/checker.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <sstream>
+
+namespace mcs::sim {
+
+namespace {
+
+using rt::Time;
+
+std::string job_name(const rt::TaskSet& tasks, const JobId& id) {
+  std::ostringstream out;
+  out << tasks[id.task].name << "#" << id.seq;
+  return out.str();
+}
+
+/// Index of the interval record holding a predicate, or npos.
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+template <typename Pred>
+std::size_t find_interval(const Trace& trace, Pred pred) {
+  for (std::size_t k = 0; k < trace.intervals.size(); ++k) {
+    if (pred(trace.intervals[k])) {
+      return k;
+    }
+  }
+  return npos;
+}
+
+}  // namespace
+
+std::size_t count_blocking_intervals(const rt::TaskSet& tasks,
+                                     const Trace& trace,
+                                     const JobRecord& job) {
+  if (job.exec_start == rt::kTimeMax) {
+    return 0;  // never started; blocking undefined
+  }
+  const auto my_priority = tasks[job.id.task].priority;
+  std::size_t blocked = 0;
+  for (const IntervalRecord& rec : trace.intervals) {
+    if (!rec.cpu_job) continue;
+    if (tasks[rec.cpu_job->task].priority <= my_priority) continue;
+    // Lower-priority execution; does it overlap the job's waiting window?
+    const Time cpu_start = rec.start;
+    const Time cpu_end = rec.start + rec.cpu_busy;
+    if (cpu_end > job.ready_time && cpu_start < job.exec_start) {
+      ++blocked;
+    }
+  }
+  return blocked;
+}
+
+CheckResult check_trace(const rt::TaskSet& tasks, Protocol protocol,
+                        const Trace& trace) {
+  CheckResult result;
+  auto fail = [&result](const std::string& msg) {
+    result.violations.push_back(msg);
+  };
+
+  const bool interval_protocol = protocol != Protocol::kNonPreemptive;
+
+  // --- Engine-level sanity ------------------------------------------------
+  for (std::size_t k = 0; k < trace.intervals.size(); ++k) {
+    const IntervalRecord& rec = trace.intervals[k];
+    if (rec.end < rec.start) {
+      fail("interval " + std::to_string(k) + " ends before it starts");
+    }
+    if (k > 0 && rec.start < trace.intervals[k - 1].end) {
+      fail("interval " + std::to_string(k) + " overlaps its predecessor");
+    }
+    if (interval_protocol) {
+      if (rec.end - rec.start != std::max(rec.cpu_busy, rec.dma_busy)) {
+        fail("interval " + std::to_string(k) +
+             " length differs from max(cpu, dma) work (R6)");
+      }
+      if (rec.dma_busy != rec.copy_out_duration + rec.copy_in_duration) {
+        fail("interval " + std::to_string(k) + " DMA accounting mismatch");
+      }
+      if (rec.cpu_action == CpuAction::kIdle && rec.cpu_busy != 0) {
+        fail("interval " + std::to_string(k) + " idle CPU with busy time");
+      }
+      if (rec.copy_in_outcome == CopyInOutcome::kNone &&
+          rec.copy_in_duration != 0) {
+        fail("interval " + std::to_string(k) + " phantom copy-in time");
+      }
+      if (protocol == Protocol::kWasilyPellizzoni &&
+          (rec.copy_in_outcome == CopyInOutcome::kCancelled ||
+           rec.copy_in_outcome == CopyInOutcome::kDiscarded)) {
+        fail("interval " + std::to_string(k) +
+             " cancellation under the WP protocol (R3 must not apply)");
+      }
+      if (rec.cpu_action == CpuAction::kUrgentExecute &&
+          protocol != Protocol::kProposed) {
+        fail("interval " + std::to_string(k) +
+             " urgent execution outside the proposed protocol");
+      }
+    }
+  }
+
+  // --- Per-job lifecycle ----------------------------------------------------
+  for (const JobRecord& job : trace.jobs) {
+    if (trace.aborted) break;
+    if (!job.completed()) {
+      fail("job " + job_name(tasks, job.id) + " never completed");
+      continue;
+    }
+    if (job.exec_start == rt::kTimeMax) {
+      fail("job " + job_name(tasks, job.id) + " completed without executing");
+      continue;
+    }
+    if (job.exec_start < job.ready_time) {
+      fail("job " + job_name(tasks, job.id) + " executed before ready");
+    }
+    if (job.completion <= job.exec_start) {
+      fail("job " + job_name(tasks, job.id) + " completed before executing");
+    }
+
+    if (!interval_protocol) continue;
+
+    const auto exec_k = find_interval(trace, [&](const IntervalRecord& r) {
+      return r.cpu_job == job.id &&
+             (r.cpu_action == CpuAction::kExecute ||
+              r.cpu_action == CpuAction::kUrgentExecute);
+    });
+    if (exec_k == npos) {
+      fail("job " + job_name(tasks, job.id) + " has no execution interval");
+      continue;
+    }
+    const IntervalRecord& exec_rec = trace.intervals[exec_k];
+
+    // Property 1: DMA-loaded executions have their copy-in in I_{k-1}.
+    if (exec_rec.cpu_action == CpuAction::kExecute) {
+      if (exec_k == 0) {
+        fail("job " + job_name(tasks, job.id) +
+             " executes in the first interval without a copy-in");
+      } else {
+        const IntervalRecord& prev = trace.intervals[exec_k - 1];
+        if (!(prev.copy_in_job == job.id &&
+              prev.copy_in_outcome == CopyInOutcome::kCompleted)) {
+          fail("Property 1 violated: job " + job_name(tasks, job.id) +
+               " executes in interval " + std::to_string(exec_k) +
+               " without a completed copy-in in the previous interval");
+        }
+        if (prev.end != exec_rec.start) {
+          fail("job " + job_name(tasks, job.id) +
+               " copy-in interval not adjacent to execution interval");
+        }
+      }
+    }
+
+    // Properties 1 & 2: copy-out is performed in I_{k+1}.
+    {
+      if (exec_k + 1 >= trace.intervals.size()) {
+        fail("job " + job_name(tasks, job.id) +
+             " has no interval after its execution for the copy-out");
+      } else {
+        const IntervalRecord& next = trace.intervals[exec_k + 1];
+        if (!(next.copy_out_job == job.id)) {
+          fail("Property 1/2 violated: job " + job_name(tasks, job.id) +
+               " copy-out not in the interval following its execution");
+        }
+        if (next.start != exec_rec.end) {
+          fail("job " + job_name(tasks, job.id) +
+               " copy-out interval not adjacent to execution interval");
+        }
+        if (job.completion != next.start + next.copy_out_duration) {
+          fail("job " + job_name(tasks, job.id) +
+               " completion time inconsistent with its copy-out record");
+        }
+      }
+    }
+
+    // Urgent bookkeeping (R4/R5 apply only to LS tasks).
+    if (job.became_urgent && !tasks[job.id.task].latency_sensitive) {
+      fail("NLS job " + job_name(tasks, job.id) + " became urgent (R4)");
+    }
+    if (exec_rec.cpu_action == CpuAction::kUrgentExecute &&
+        !job.became_urgent) {
+      fail("job " + job_name(tasks, job.id) +
+           " executed urgently without promotion record");
+    }
+
+    // Properties 3 & 4: blocking interval bounds.  Only meaningful when the
+    // job was ready at its release (no precedence deferral).
+    if (job.ready_time == job.release) {
+      const std::size_t blocked =
+          count_blocking_intervals(tasks, trace, job);
+      const bool ls = tasks[job.id.task].latency_sensitive &&
+                      protocol == Protocol::kProposed;
+      const std::size_t limit = ls ? 1 : 2;
+      if (interval_protocol && blocked > limit) {
+        fail("Property " + std::string(ls ? "4" : "3") + " violated: job " +
+             job_name(tasks, job.id) + " blocked in " +
+             std::to_string(blocked) + " intervals (limit " +
+             std::to_string(limit) + ")");
+      }
+    }
+  }
+
+  // --- Cross-interval exclusivity ------------------------------------------
+  if (interval_protocol) {
+    // Each job executes in exactly one interval and is copied out once.
+    for (const JobRecord& job : trace.jobs) {
+      std::size_t execs = 0;
+      std::size_t copyouts = 0;
+      for (const IntervalRecord& rec : trace.intervals) {
+        if (rec.cpu_job == job.id &&
+            rec.cpu_action != CpuAction::kIdle) {
+          ++execs;
+        }
+        if (rec.copy_out_job == job.id) {
+          ++copyouts;
+        }
+      }
+      if (job.completed() && execs != 1) {
+        fail("job " + job_name(tasks, job.id) + " executed " +
+             std::to_string(execs) + " times");
+      }
+      if (job.completed() && copyouts != 1) {
+        fail("job " + job_name(tasks, job.id) + " copied out " +
+             std::to_string(copyouts) + " times");
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace mcs::sim

@@ -1,0 +1,45 @@
+// Trace invariant checkers.
+//
+// Validates simulator traces against the structural properties proved in
+// the paper (§IV-B):
+//   Property 1 — an NLS execution in I_k has its copy-in in I_{k-1} and its
+//                copy-out in I_{k+1};
+//   Property 2 — an LS execution in I_k has its copy-out in I_{k+1};
+//   Property 3 — an NLS job is blocked by lower-priority executions in at
+//                most two intervals;
+//   Property 4 — an LS job is blocked in at most one interval;
+// plus engine-level sanity invariants (contiguous intervals, interval
+// length = max(CPU, DMA) work, single execution / copy-in / copy-out per
+// interval, completion bookkeeping).
+//
+// The property tests run these checkers over thousands of random traces —
+// they are the executable form of the paper's proofs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rt/task.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+
+namespace mcs::sim {
+
+struct CheckResult {
+  std::vector<std::string> violations;
+  bool ok() const noexcept { return violations.empty(); }
+};
+
+/// Runs every applicable invariant on `trace` (produced by `protocol` over
+/// `tasks`).  Returns all violations found, empty when the trace is clean.
+CheckResult check_trace(const rt::TaskSet& tasks, Protocol protocol,
+                        const Trace& trace);
+
+/// Number of distinct intervals in which a lower-priority task occupies the
+/// CPU while `job` is ready-but-not-yet-executing (the paper's notion of
+/// priority-inversion blocking).  Exposed for tests.
+std::size_t count_blocking_intervals(const rt::TaskSet& tasks,
+                                     const Trace& trace,
+                                     const JobRecord& job);
+
+}  // namespace mcs::sim

@@ -1,0 +1,370 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+
+#include "support/contracts.hpp"
+
+namespace mcs::sim {
+
+const char* to_string(Protocol protocol) noexcept {
+  switch (protocol) {
+    case Protocol::kProposed:
+      return "proposed";
+    case Protocol::kWasilyPellizzoni:
+      return "wp2016";
+    case Protocol::kNonPreemptive:
+      return "nps";
+  }
+  return "unknown";
+}
+
+namespace {
+
+using rt::TaskIndex;
+using rt::Time;
+
+/// Index into Trace::jobs.
+using JobRef = std::size_t;
+constexpr JobRef kNoJob = static_cast<JobRef>(-1);
+
+/// Shared release / precedence bookkeeping for both engine flavours.
+class JobAdmission {
+ public:
+  JobAdmission(const rt::TaskSet& tasks, std::vector<Release> releases,
+               Trace& trace)
+      : tasks_(tasks), trace_(trace) {
+    sort_releases(releases);
+    trace_.jobs.reserve(releases.size());
+    for (const Release& r : releases) {
+      JobRecord job;
+      job.id = r.job;
+      job.release = r.time;
+      job.absolute_deadline = r.time + tasks_[r.job.task].deadline;
+      trace_.jobs.push_back(job);
+    }
+    // Per-task FIFO of job refs in release order.
+    per_task_.resize(tasks_.size());
+    for (JobRef j = 0; j < trace_.jobs.size(); ++j) {
+      per_task_[trace_.jobs[j].id.task].push_back(j);
+    }
+    next_in_task_.assign(tasks_.size(), 0);
+    task_busy_.assign(tasks_.size(), false);
+    last_completion_.assign(tasks_.size(), 0);
+  }
+
+  /// Moves every job whose ready time is <= `now` into the ready queue.
+  void admit_up_to(Time now) {
+    for (TaskIndex task = 0; task < tasks_.size(); ++task) {
+      if (task_busy_[task]) continue;  // precedence: predecessor in flight
+      const std::size_t pos = next_in_task_[task];
+      if (pos >= per_task_[task].size()) continue;
+      const JobRef j = per_task_[task][pos];
+      if (trace_.jobs[j].release <= now) {
+        trace_.jobs[j].ready_time =
+            std::max(trace_.jobs[j].release, last_completion_[task]);
+        ready_.push_back(j);
+        task_busy_[task] = true;
+        ++next_in_task_[task];
+      }
+    }
+    sort_ready();
+  }
+
+  /// Earliest time a not-yet-admitted job can become ready, or kTimeMax.
+  Time next_admission_time() const {
+    Time best = rt::kTimeMax;
+    for (TaskIndex task = 0; task < tasks_.size(); ++task) {
+      if (task_busy_[task]) continue;
+      const std::size_t pos = next_in_task_[task];
+      if (pos >= per_task_[task].size()) continue;
+      best = std::min(best, trace_.jobs[per_task_[task][pos]].release);
+    }
+    return best;
+  }
+
+  /// Marks `job` complete at `when`; its successor (if already past its
+  /// release time) immediately becomes admissible.
+  void complete(JobRef job, Time when) {
+    trace_.jobs[job].completion = when;
+    task_busy_[trace_.jobs[job].id.task] = false;
+    last_completion_[trace_.jobs[job].id.task] = when;
+  }
+
+  bool all_done() const {
+    for (TaskIndex task = 0; task < tasks_.size(); ++task) {
+      if (task_busy_[task] || next_in_task_[task] < per_task_[task].size()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool ready_empty() const { return ready_.empty(); }
+
+  /// Highest-priority ready job (smallest priority value).
+  JobRef pop_highest() {
+    MCS_ASSERT(!ready_.empty(), "pop from empty ready queue");
+    const JobRef j = ready_.front();
+    ready_.erase(ready_.begin());
+    return j;
+  }
+
+  void push_back_ready(JobRef job) {
+    ready_.push_back(job);
+    sort_ready();
+  }
+
+  /// Removes and returns the job ref, if present.
+  bool remove_ready(JobRef job) {
+    const auto it = std::find(ready_.begin(), ready_.end(), job);
+    if (it == ready_.end()) return false;
+    ready_.erase(it);
+    return true;
+  }
+
+  const std::vector<JobRef>& ready() const { return ready_; }
+
+ private:
+  void sort_ready() {
+    std::sort(ready_.begin(), ready_.end(), [this](JobRef a, JobRef b) {
+      const auto pa = tasks_[trace_.jobs[a].id.task].priority;
+      const auto pb = tasks_[trace_.jobs[b].id.task].priority;
+      if (pa != pb) return pa < pb;
+      return trace_.jobs[a].id.seq < trace_.jobs[b].id.seq;
+    });
+  }
+
+  const rt::TaskSet& tasks_;
+  Trace& trace_;
+  std::vector<std::vector<JobRef>> per_task_;
+  std::vector<std::size_t> next_in_task_;
+  std::vector<bool> task_busy_;
+  std::vector<Time> last_completion_;
+  std::vector<JobRef> ready_;  // sorted by priority
+};
+
+/// Interval-based engine implementing rules R1-R6 (kProposed) and the [3]
+/// baseline (kWasilyPellizzoni == kProposed with LS ignored).
+Trace run_interval_protocol(const rt::TaskSet& tasks, Protocol protocol,
+                            std::vector<Release> releases,
+                            const SimOptions& options) {
+  const bool ls_rules = protocol == Protocol::kProposed;
+  Trace trace;
+  JobAdmission admission(tasks, std::move(releases), trace);
+
+  std::optional<JobRef> loaded;           // copy-in finished last interval
+  std::optional<JobRef> pending_copyout;  // executed last interval
+  std::optional<JobRef> urgent;           // promoted by R4 last interval
+  Time now = 0;
+
+  const auto task_of = [&](JobRef j) -> const rt::Task& {
+    return tasks[trace.jobs[j].id.task];
+  };
+
+  while (true) {
+    admission.admit_up_to(now);
+    const bool has_work = !admission.ready_empty() || loaded.has_value() ||
+                          pending_copyout.has_value() || urgent.has_value();
+    if (!has_work) {
+      const Time next = admission.next_admission_time();
+      if (next == rt::kTimeMax) {
+        break;  // everything processed
+      }
+      now = std::max(now, next);
+      admission.admit_up_to(now);
+    }
+    if (trace.intervals.size() >= options.max_intervals) {
+      trace.aborted = true;
+      break;
+    }
+
+    IntervalRecord rec;
+    rec.index = trace.intervals.size();
+    rec.start = now;
+
+    // --- DMA side (R2): copy-out first, then one copy-in -----------------
+    Time dma_time = 0;
+    if (pending_copyout) {
+      const JobRef j = *pending_copyout;
+      rec.copy_out_job = trace.jobs[j].id;
+      rec.copy_out_duration = task_of(j).copy_out;
+      dma_time += rec.copy_out_duration;
+      admission.complete(j, now + dma_time);
+      pending_copyout.reset();
+    }
+    std::optional<JobRef> copying;
+    Time copy_in_start = now + dma_time;
+    Time copy_in_full = 0;
+    if (!admission.ready_empty()) {
+      copying = admission.pop_highest();
+      copy_in_full = task_of(*copying).copy_in;
+      rec.copy_in_job = trace.jobs[*copying].id;
+      rec.copy_in_outcome = CopyInOutcome::kCompleted;
+      rec.copy_in_duration = copy_in_full;
+      trace.jobs[*copying].copy_in_start = copy_in_start;
+      dma_time += copy_in_full;
+    }
+
+    // --- CPU side (R5) ----------------------------------------------------
+    std::optional<JobRef> executing;
+    if (urgent) {
+      executing = urgent;
+      urgent.reset();
+      const rt::Task& t = task_of(*executing);
+      rec.cpu_action = CpuAction::kUrgentExecute;
+      rec.cpu_busy = t.copy_in + t.exec;
+      trace.jobs[*executing].copy_in_start = now;
+      trace.jobs[*executing].exec_start = now + t.copy_in;
+      trace.jobs[*executing].became_urgent = true;
+    } else if (loaded) {
+      executing = loaded;
+      loaded.reset();
+      rec.cpu_action = CpuAction::kExecute;
+      rec.cpu_busy = task_of(*executing).exec;
+      trace.jobs[*executing].exec_start = now;
+    }
+    if (executing) {
+      rec.cpu_job = trace.jobs[*executing].id;
+    }
+
+    // --- R3: LS release cancels / invalidates a lower-priority copy-in ----
+    Time tentative_end = now + std::max(rec.cpu_busy, dma_time);
+    if (ls_rules && copying) {
+      const auto copy_prio = task_of(*copying).priority;
+      // Find the earliest LS release within the interval from a task with
+      // higher priority than the copy-in's task.
+      Time trigger = rt::kTimeMax;
+      for (const JobRecord& job : trace.jobs) {
+        const rt::Task& t = tasks[job.id.task];
+        if (!t.latency_sensitive || t.priority >= copy_prio) continue;
+        // Strictly inside the interval: a release exactly at the interval
+        // start took part in the R2 selection instead (and would have been
+        // chosen over the lower-priority copy-in task).
+        if (job.release > now && job.release < tentative_end) {
+          trigger = std::min(trigger, job.release);
+        }
+      }
+      if (trigger != rt::kTimeMax) {
+        const Time copy_in_end = copy_in_start + copy_in_full;
+        if (trigger < copy_in_end) {
+          // Cancelled mid-transfer (or before it started): partial DMA time.
+          const Time spent = std::max<Time>(0, trigger - copy_in_start);
+          rec.copy_in_outcome = CopyInOutcome::kCancelled;
+          rec.copy_in_duration = spent;
+          dma_time = rec.copy_out_duration + spent;
+        } else {
+          // Completed within the interval but invalidated (DESIGN.md §5.8).
+          rec.copy_in_outcome = CopyInOutcome::kDiscarded;
+        }
+        trace.jobs[*copying].copy_in_cancellations += 1;
+        admission.push_back_ready(*copying);
+        copying.reset();
+        tentative_end = now + std::max(rec.cpu_busy, dma_time);
+      }
+    }
+
+    rec.dma_busy = dma_time;
+    rec.end = tentative_end;
+
+    // --- Interval end bookkeeping -----------------------------------------
+    if (executing) {
+      pending_copyout = executing;
+    }
+    if (copying) {
+      loaded = copying;
+    }
+
+    // R4: urgent promotion of the highest-priority LS task released inside
+    // this interval, when no copy-in completed.  The window is (start, end]:
+    // a release exactly at the interval start already took part in the R2
+    // selection, while a release at the interval end may be the very event
+    // that cancelled the copy-in (R3) and must count as "released in I_k".
+    if (ls_rules && rec.copy_in_outcome != CopyInOutcome::kCompleted) {
+      admission.admit_up_to(rec.end);
+      JobRef candidate = kNoJob;
+      for (const JobRef j : admission.ready()) {
+        const rt::Task& t = tasks[trace.jobs[j].id.task];
+        if (!t.latency_sensitive) continue;
+        if (trace.jobs[j].release <= rec.start ||
+            trace.jobs[j].release > rec.end) {
+          continue;  // must be released within I_k
+        }
+        candidate = j;  // ready() is priority sorted; first hit is highest
+        break;
+      }
+      if (candidate != kNoJob) {
+        admission.remove_ready(candidate);
+        urgent = candidate;
+      }
+    }
+
+    trace.intervals.push_back(rec);
+    now = rec.end;
+
+    if (admission.all_done() && !loaded && !pending_copyout && !urgent) {
+      break;
+    }
+  }
+  return trace;
+}
+
+/// Classical non-preemptive fixed-priority scheduling: the CPU performs
+/// copy-in, execution, and copy-out back-to-back; no DMA overlap.
+Trace run_non_preemptive(const rt::TaskSet& tasks,
+                         std::vector<Release> releases,
+                         const SimOptions& options) {
+  Trace trace;
+  JobAdmission admission(tasks, std::move(releases), trace);
+  Time now = 0;
+
+  while (true) {
+    admission.admit_up_to(now);
+    if (admission.ready_empty()) {
+      const Time next = admission.next_admission_time();
+      if (next == rt::kTimeMax) {
+        break;
+      }
+      now = std::max(now, next);
+      continue;
+    }
+    if (trace.intervals.size() >= options.max_intervals) {
+      trace.aborted = true;
+      break;
+    }
+    const JobRef j = admission.pop_highest();
+    const rt::Task& t = tasks[trace.jobs[j].id.task];
+
+    IntervalRecord rec;
+    rec.index = trace.intervals.size();
+    rec.start = now;
+    rec.cpu_action = CpuAction::kExecute;
+    rec.cpu_job = trace.jobs[j].id;
+    rec.cpu_busy = t.total_demand();
+    rec.end = now + t.total_demand();
+    trace.jobs[j].copy_in_start = now;
+    trace.jobs[j].exec_start = now + t.copy_in;
+    admission.complete(j, rec.end);
+    trace.intervals.push_back(rec);
+    now = rec.end;
+  }
+  return trace;
+}
+
+}  // namespace
+
+Trace simulate(const rt::TaskSet& tasks, Protocol protocol,
+               std::vector<Release> releases, const SimOptions& options) {
+  MCS_REQUIRE(!tasks.empty(), "simulate: empty task set");
+  for (const Release& r : releases) {
+    MCS_REQUIRE(r.job.task < tasks.size(), "simulate: release of unknown task");
+    MCS_REQUIRE(r.time >= 0, "simulate: negative release time");
+  }
+  if (protocol == Protocol::kNonPreemptive) {
+    return run_non_preemptive(tasks, std::move(releases), options);
+  }
+  return run_interval_protocol(tasks, protocol, std::move(releases), options);
+}
+
+}  // namespace mcs::sim

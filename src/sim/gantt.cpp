@@ -1,0 +1,112 @@
+#include "sim/gantt.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/contracts.hpp"
+
+namespace mcs::sim {
+
+namespace {
+
+using rt::Time;
+
+/// Paints `label` over columns [from, to) of `row`, extending it on demand.
+void paint(std::string& row, std::size_t from, std::size_t to,
+           const std::string& label, std::size_t max_width) {
+  from = std::min(from, max_width);
+  to = std::min(to, max_width);
+  if (to <= from) return;
+  if (row.size() < to) {
+    row.resize(to, ' ');
+  }
+  for (std::size_t c = from; c < to; ++c) {
+    // First cells carry the label, the rest the fill character.
+    const std::size_t offset = c - from;
+    row[c] = offset < label.size() ? label[offset] : '=';
+  }
+}
+
+std::size_t col_of(Time t, Time ticks_per_char) {
+  return static_cast<std::size_t>(t / ticks_per_char);
+}
+
+}  // namespace
+
+std::string render_gantt(const rt::TaskSet& tasks, Protocol protocol,
+                         const Trace& trace, const GanttOptions& options) {
+  MCS_REQUIRE(options.ticks_per_char >= 1, "ticks_per_char must be >= 1");
+  const Time tpc = options.ticks_per_char;
+  std::string cpu_row, dma_row, ruler;
+
+  for (const IntervalRecord& rec : trace.intervals) {
+    // Interval boundary markers on the ruler.
+    const std::size_t b = col_of(rec.start, tpc);
+    if (b < options.max_width) {
+      if (ruler.size() <= b) ruler.resize(b + 1, '.');
+      ruler[b] = '|';
+    }
+
+    if (rec.cpu_job) {
+      const std::string& name = tasks[rec.cpu_job->task].name;
+      const std::string label =
+          rec.cpu_action == CpuAction::kUrgentExecute ? name + "!" : name;
+      const Time cpu_start =
+          rec.cpu_action == CpuAction::kUrgentExecute ? rec.start : rec.start;
+      paint(cpu_row, col_of(cpu_start, tpc),
+            col_of(cpu_start + rec.cpu_busy, tpc), label, options.max_width);
+    }
+    Time dma_cursor = rec.start;
+    if (rec.copy_out_job) {
+      paint(dma_row, col_of(dma_cursor, tpc),
+            col_of(dma_cursor + rec.copy_out_duration, tpc),
+            "^" + tasks[rec.copy_out_job->task].name, options.max_width);
+      dma_cursor += rec.copy_out_duration;
+    }
+    if (rec.copy_in_job && rec.copy_in_outcome != CopyInOutcome::kNone) {
+      const char* marker =
+          rec.copy_in_outcome == CopyInOutcome::kCancelled   ? "x"
+          : rec.copy_in_outcome == CopyInOutcome::kDiscarded ? "~"
+                                                             : "v";
+      paint(dma_row, col_of(dma_cursor, tpc),
+            col_of(dma_cursor + rec.copy_in_duration, tpc),
+            marker + tasks[rec.copy_in_job->task].name, options.max_width);
+    }
+  }
+  if (!trace.intervals.empty()) {
+    const std::size_t last = col_of(trace.intervals.back().end, tpc);
+    if (last < options.max_width) {
+      if (ruler.size() <= last) ruler.resize(last + 1, '.');
+      ruler[last] = '|';
+    }
+  }
+
+  std::ostringstream out;
+  out << "protocol: " << to_string(protocol) << "\n";
+  out << "CPU | " << cpu_row << "\n";
+  if (protocol != Protocol::kNonPreemptive) {
+    out << "DMA | " << dma_row << "\n";
+  }
+  out << "    | " << ruler << "\n";
+  out << "      (v=copy-in  ^=copy-out  x=cancelled  ~=discarded  "
+         "!=urgent; one char = "
+      << tpc << " tick" << (tpc == 1 ? "" : "s") << ")\n";
+
+  if (options.job_summary) {
+    for (const JobRecord& job : trace.jobs) {
+      out << "  " << tasks[job.id.task].name << "#" << job.id.seq
+          << ": release=" << job.release;
+      if (job.completed()) {
+        out << " completion=" << job.completion
+            << " response=" << job.response_time()
+            << (job.missed_deadline() ? "  ** DEADLINE MISS **" : "");
+      } else {
+        out << " (incomplete)";
+      }
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace mcs::sim

@@ -1,0 +1,29 @@
+// ASCII Gantt rendering of simulation traces, in the style of the paper's
+// Figure 1: one timeline row for the CPU and one for the DMA engine, with
+// interval boundaries marked.  Used by the trace-explorer example and the
+// Figure 1 reproduction bench.
+#pragma once
+
+#include <string>
+
+#include "rt/task.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+
+namespace mcs::sim {
+
+struct GanttOptions {
+  /// Ticks represented by one output character (>= 1).
+  rt::Time ticks_per_char = 1;
+  /// Truncate rendering after this many characters per row.
+  std::size_t max_width = 160;
+  /// Also print per-job release / completion / response lines.
+  bool job_summary = true;
+};
+
+/// Renders `trace` as a multi-line string.  For interval protocols two
+/// timeline rows (CPU / DMA) are drawn; under NPS a single CPU row.
+std::string render_gantt(const rt::TaskSet& tasks, Protocol protocol,
+                         const Trace& trace, const GanttOptions& options = {});
+
+}  // namespace mcs::sim

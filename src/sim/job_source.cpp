@@ -1,0 +1,52 @@
+#include "sim/job_source.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+
+namespace mcs::sim {
+
+void sort_releases(std::vector<Release>& releases) {
+  std::stable_sort(releases.begin(), releases.end(),
+                   [](const Release& a, const Release& b) {
+                     if (a.time != b.time) return a.time < b.time;
+                     return a.job.task < b.job.task;
+                   });
+}
+
+std::vector<Release> synchronous_periodic_releases(const rt::TaskSet& tasks,
+                                                   rt::Time horizon) {
+  MCS_REQUIRE(horizon > 0, "horizon must be positive");
+  std::vector<Release> releases;
+  for (rt::TaskIndex i = 0; i < tasks.size(); ++i) {
+    std::uint64_t seq = 0;
+    for (rt::Time t = 0; t < horizon; t += tasks[i].period) {
+      releases.push_back({JobId{i, seq++}, t});
+    }
+  }
+  sort_releases(releases);
+  return releases;
+}
+
+std::vector<Release> random_sporadic_releases(const rt::TaskSet& tasks,
+                                              rt::Time horizon,
+                                              double max_slack,
+                                              support::Rng& rng) {
+  MCS_REQUIRE(horizon > 0, "horizon must be positive");
+  MCS_REQUIRE(max_slack >= 0.0, "negative slack");
+  std::vector<Release> releases;
+  for (rt::TaskIndex i = 0; i < tasks.size(); ++i) {
+    std::uint64_t seq = 0;
+    rt::Time t = rng.uniform_int(0, tasks[i].period);
+    while (t < horizon) {
+      releases.push_back({JobId{i, seq++}, t});
+      const double stretch = 1.0 + rng.uniform(0.0, max_slack);
+      t += static_cast<rt::Time>(
+          static_cast<double>(tasks[i].period) * stretch);
+    }
+  }
+  sort_releases(releases);
+  return releases;
+}
+
+}  // namespace mcs::sim

@@ -1,0 +1,42 @@
+// Release-pattern generation for the simulator.
+//
+// A simulation run takes an explicit, time-sorted list of job releases.
+// These helpers build the standard patterns: the synchronous periodic
+// pattern (critical-instant-like, all tasks released together at t=0 and
+// strictly periodically after), and randomized sporadic patterns where
+// inter-arrival times are stretched beyond the minimum by random slack —
+// used by the property tests to explore many release interleavings.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rt/task.hpp"
+#include "sim/trace.hpp"
+#include "support/rng.hpp"
+
+namespace mcs::sim {
+
+/// One release event handed to the simulator.
+struct Release {
+  JobId job;
+  rt::Time time = 0;
+};
+
+/// All tasks released at t = 0 and then strictly every T_i, up to
+/// `horizon` (releases strictly before the horizon).
+std::vector<Release> synchronous_periodic_releases(const rt::TaskSet& tasks,
+                                                   rt::Time horizon);
+
+/// Sporadic pattern: first release uniform in [0, T_i], subsequent gaps
+/// T_i * (1 + slack) with slack uniform in [0, max_slack].
+std::vector<Release> random_sporadic_releases(const rt::TaskSet& tasks,
+                                              rt::Time horizon,
+                                              double max_slack,
+                                              support::Rng& rng);
+
+/// Sorts releases by time (stable on ties: lower task index first) —
+/// required by the simulator.  The pattern builders above already sort.
+void sort_releases(std::vector<Release>& releases);
+
+}  // namespace mcs::sim

@@ -1,0 +1,41 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+
+namespace mcs::sim {
+
+TraceMetrics compute_metrics(const rt::TaskSet& tasks, const Trace& trace) {
+  TraceMetrics metrics;
+  if (!trace.intervals.empty()) {
+    metrics.span = trace.intervals.back().end - trace.intervals.front().start;
+  }
+  for (const IntervalRecord& rec : trace.intervals) {
+    metrics.cpu_busy += rec.cpu_busy;
+    metrics.dma_busy += rec.dma_busy;
+    // DMA work that fits under the CPU work of the same interval is hidden;
+    // the excess extends the interval (R6) and is exposed.
+    metrics.dma_hidden += std::min(rec.dma_busy, rec.cpu_busy);
+    metrics.dma_exposed += std::max<rt::Time>(0, rec.dma_busy - rec.cpu_busy);
+    if (rec.cpu_action == CpuAction::kUrgentExecute && rec.cpu_job) {
+      metrics.cpu_copy_in += tasks[rec.cpu_job->task].copy_in;
+    }
+    if (rec.copy_in_outcome == CopyInOutcome::kCancelled ||
+        rec.copy_in_outcome == CopyInOutcome::kDiscarded) {
+      ++metrics.cancellations;
+    }
+  }
+  for (const JobRecord& job : trace.jobs) {
+    if (job.completed()) {
+      ++metrics.jobs_completed;
+    }
+    if (job.missed_deadline()) {
+      ++metrics.deadline_misses;
+    }
+    if (job.became_urgent) {
+      ++metrics.urgent_promotions;
+    }
+  }
+  return metrics;
+}
+
+}  // namespace mcs::sim

@@ -1,0 +1,55 @@
+// Aggregate metrics over simulation traces: how well did the protocol hide
+// memory transfers, how busy were the CPU and the DMA engine, and how much
+// priority-inversion blocking did jobs actually experience.  Used by the
+// trace-explorer example and the tightness bench; handy for any user
+// studying protocol behaviour quantitatively.
+#pragma once
+
+#include <cstddef>
+
+#include "rt/task.hpp"
+#include "sim/trace.hpp"
+
+namespace mcs::sim {
+
+struct TraceMetrics {
+  rt::Time span = 0;            ///< first interval start .. last interval end
+  rt::Time cpu_busy = 0;        ///< total CPU execution time
+  rt::Time dma_busy = 0;        ///< total DMA transfer time
+  /// Memory-phase time that overlapped CPU execution: DMA work performed in
+  /// intervals whose CPU was busy at least as long.  The protocol's whole
+  /// point is to push this toward dma_busy.
+  rt::Time dma_hidden = 0;
+  /// Memory-phase time that extended intervals beyond the CPU work
+  /// (dma_busy - dma_hidden): the "junction cost" the analysis charges.
+  rt::Time dma_exposed = 0;
+  /// Copy-in time spent by the CPU itself (urgent executions, R5).
+  rt::Time cpu_copy_in = 0;
+  std::size_t jobs_completed = 0;
+  std::size_t deadline_misses = 0;
+  std::size_t cancellations = 0;  ///< cancelled + discarded copy-ins
+  std::size_t urgent_promotions = 0;
+
+  double cpu_utilization() const noexcept {
+    return span > 0 ? static_cast<double>(cpu_busy) /
+                          static_cast<double>(span)
+                    : 0.0;
+  }
+  double dma_utilization() const noexcept {
+    return span > 0 ? static_cast<double>(dma_busy) /
+                          static_cast<double>(span)
+                    : 0.0;
+  }
+  /// Fraction of DMA transfer time hidden behind execution (0 when the
+  /// trace had no DMA work at all).
+  double hiding_ratio() const noexcept {
+    return dma_busy > 0 ? static_cast<double>(dma_hidden) /
+                              static_cast<double>(dma_busy)
+                        : 0.0;
+  }
+};
+
+/// Computes metrics over an interval-protocol or NPS trace.
+TraceMetrics compute_metrics(const rt::TaskSet& tasks, const Trace& trace);
+
+}  // namespace mcs::sim

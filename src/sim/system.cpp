@@ -1,0 +1,47 @@
+#include "sim/system.hpp"
+
+#include <algorithm>
+
+#include "sim/job_source.hpp"
+#include "support/contracts.hpp"
+
+namespace mcs::sim {
+
+SystemSimResult simulate_system(const std::vector<rt::TaskSet>& cores,
+                                const SystemSimOptions& options,
+                                support::Rng& rng) {
+  MCS_REQUIRE(!cores.empty(), "simulate_system: no cores");
+
+  SystemSimResult result;
+  result.inflated_cores =
+      rt::apply_memory_contention(cores, options.contention);
+  result.all_deadlines_met = true;
+
+  for (const rt::TaskSet& core : result.inflated_cores) {
+    if (core.empty()) {
+      result.traces.emplace_back();
+      result.metrics.emplace_back();
+      continue;
+    }
+    rt::Time horizon = options.horizon;
+    if (horizon == 0) {
+      for (const auto& task : core) {
+        horizon = std::max(horizon, 20 * task.period);
+      }
+    }
+    const auto releases =
+        options.sporadic
+            ? random_sporadic_releases(core, horizon,
+                                       options.sporadic_slack, rng)
+            : synchronous_periodic_releases(core, horizon);
+    Trace trace =
+        simulate(core, options.protocol, releases, options.per_core);
+    result.all_deadlines_met =
+        result.all_deadlines_met && trace.all_deadlines_met();
+    result.metrics.push_back(compute_metrics(core, trace));
+    result.traces.push_back(std::move(trace));
+  }
+  return result;
+}
+
+}  // namespace mcs::sim

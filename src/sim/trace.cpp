@@ -1,0 +1,33 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+
+namespace mcs::sim {
+
+rt::Time Trace::worst_response(rt::TaskIndex task) const {
+  rt::Time worst = 0;
+  bool any = false;
+  for (const JobRecord& job : jobs) {
+    if (job.id.task != task) continue;
+    any = true;
+    if (!job.completed()) {
+      return rt::kTimeMax;
+    }
+    worst = std::max(worst, job.response_time());
+  }
+  return any ? worst : 0;
+}
+
+bool Trace::all_deadlines_met() const {
+  return !aborted &&
+         std::none_of(jobs.begin(), jobs.end(),
+                      [](const JobRecord& j) { return j.missed_deadline(); });
+}
+
+std::size_t Trace::deadline_misses() const {
+  return static_cast<std::size_t>(
+      std::count_if(jobs.begin(), jobs.end(),
+                    [](const JobRecord& j) { return j.missed_deadline(); }));
+}
+
+}  // namespace mcs::sim

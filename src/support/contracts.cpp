@@ -1,0 +1,30 @@
+#include "support/contracts.hpp"
+
+#include <sstream>
+
+namespace mcs::support {
+
+namespace {
+std::string format_message(const char* kind, const char* expr,
+                           const char* file, int line,
+                           const std::string& msg) {
+  std::ostringstream out;
+  out << kind << " violated: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) {
+    out << " — " << msg;
+  }
+  return out.str();
+}
+}  // namespace
+
+ContractViolation::ContractViolation(const char* kind, const char* expr,
+                                     const char* file, int line,
+                                     const std::string& msg)
+    : std::logic_error(format_message(kind, expr, file, line, msg)) {}
+
+void contract_fail(const char* kind, const char* expr, const char* file,
+                   int line, const std::string& msg) {
+  throw ContractViolation(kind, expr, file, line, msg);
+}
+
+}  // namespace mcs::support

@@ -1,0 +1,49 @@
+// Lightweight contract / assertion support used across the library.
+//
+// The library follows the C++ Core Guidelines (I.6/I.8): preconditions are
+// expressed with MCS_REQUIRE (always on; violations throw ContractViolation
+// so tests can observe them), internal invariants with MCS_ASSERT (compiled
+// out in release builds unless MCS_FORCE_ASSERTS is defined).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mcs::support {
+
+/// Thrown when a precondition or invariant annotated with MCS_REQUIRE /
+/// MCS_ASSERT is violated.  Deriving from std::logic_error: a contract
+/// violation is a programming error, not a runtime condition to handle.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(const char* kind, const char* expr, const char* file,
+                    int line, const std::string& msg);
+};
+
+[[noreturn]] void contract_fail(const char* kind, const char* expr,
+                                const char* file, int line,
+                                const std::string& msg);
+
+}  // namespace mcs::support
+
+#define MCS_REQUIRE(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::mcs::support::contract_fail("precondition", #cond, __FILE__,        \
+                                    __LINE__, (msg));                       \
+    }                                                                       \
+  } while (false)
+
+#if !defined(NDEBUG) || defined(MCS_FORCE_ASSERTS)
+#define MCS_ASSERT(cond, msg)                                               \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::mcs::support::contract_fail("invariant", #cond, __FILE__, __LINE__, \
+                                    (msg));                                 \
+    }                                                                       \
+  } while (false)
+#else
+#define MCS_ASSERT(cond, msg) \
+  do {                        \
+  } while (false)
+#endif

@@ -1,0 +1,77 @@
+#include "support/csv.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+#include "support/contracts.hpp"
+
+namespace mcs::support {
+
+CsvWriter::CsvWriter(const std::filesystem::path& path) : out_(path) {
+  if (!out_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path.string());
+  }
+}
+
+std::string CsvWriter::escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) {
+    return std::string(field);
+  }
+  std::string quoted;
+  quoted.reserve(field.size() + 2);
+  quoted.push_back('"');
+  for (const char c : field) {
+    if (c == '"') {
+      quoted.push_back('"');
+    }
+    quoted.push_back(c);
+  }
+  quoted.push_back('"');
+  return quoted;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  MCS_REQUIRE(!row_open_, "write_row while a row is being built");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) {
+      out_ << ',';
+    }
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+CsvWriter& CsvWriter::cell(std::string_view text) {
+  if (row_open_) {
+    out_ << ',';
+  }
+  out_ << escape(text);
+  row_open_ = true;
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(double value) {
+  char buf[64];
+  const auto [ptr, ec] =
+      std::to_chars(buf, buf + sizeof buf, value,
+                    std::chars_format::general, 17);
+  MCS_ASSERT(ec == std::errc{}, "to_chars(double) failed");
+  return cell(std::string_view(buf, static_cast<std::size_t>(ptr - buf)));
+}
+
+CsvWriter& CsvWriter::cell(std::int64_t value) {
+  return cell(std::to_string(value));
+}
+
+CsvWriter& CsvWriter::cell(std::size_t value) {
+  return cell(std::to_string(value));
+}
+
+void CsvWriter::end_row() {
+  out_ << '\n';
+  row_open_ = false;
+}
+
+}  // namespace mcs::support

@@ -1,0 +1,42 @@
+// Minimal CSV writer for experiment outputs.
+//
+// RFC-4180-style quoting: fields containing commas, quotes, or newlines are
+// quoted, embedded quotes doubled.  Numeric overloads format with enough
+// precision to round-trip.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcs::support {
+
+/// Streams rows to a CSV file; the file is flushed and closed on
+/// destruction (RAII).  Throws std::runtime_error when the file cannot be
+/// opened.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::filesystem::path& path);
+
+  /// Writes a header / arbitrary row of raw (to-be-escaped) cells.
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Row-building interface: cell() appends, end_row() terminates.
+  CsvWriter& cell(std::string_view text);
+  CsvWriter& cell(double value);
+  CsvWriter& cell(std::int64_t value);
+  CsvWriter& cell(std::size_t value);
+  void end_row();
+
+  /// Escapes one CSV field (exposed for tests).
+  static std::string escape(std::string_view field);
+
+ private:
+  std::ofstream out_;
+  bool row_open_ = false;
+};
+
+}  // namespace mcs::support

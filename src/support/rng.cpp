@@ -1,0 +1,102 @@
+#include "support/rng.hpp"
+
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace mcs::support {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) {
+    word = splitmix64(sm);
+  }
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() noexcept {
+  // 53 high bits -> double in [0, 1) with full mantissa resolution.
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  MCS_REQUIRE(lo <= hi, "uniform: empty range");
+  return lo + (hi - lo) * uniform01();
+}
+
+double Rng::log_uniform(double lo, double hi) {
+  MCS_REQUIRE(lo > 0.0 && lo <= hi, "log_uniform: need 0 < lo <= hi");
+  return std::exp(uniform(std::log(lo), std::log(hi)));
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  MCS_REQUIRE(lo <= hi, "uniform_int: empty range");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>((*this)());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = (~std::uint64_t{0} / span) * span;
+  std::uint64_t draw = (*this)();
+  while (draw >= limit) {
+    draw = (*this)();
+  }
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+bool Rng::bernoulli(double p) {
+  MCS_REQUIRE(p >= 0.0 && p <= 1.0, "bernoulli: p outside [0,1]");
+  return uniform01() < p;
+}
+
+std::size_t Rng::discrete(const std::vector<double>& weights) {
+  MCS_REQUIRE(!weights.empty(), "discrete: no weights");
+  double total = 0.0;
+  for (const double w : weights) {
+    MCS_REQUIRE(w >= 0.0, "discrete: negative weight");
+    total += w;
+  }
+  MCS_REQUIRE(total > 0.0, "discrete: all weights zero");
+  double point = uniform01() * total;
+  for (std::size_t i = 0; i + 1 < weights.size(); ++i) {
+    if (point < weights[i]) {
+      return i;
+    }
+    point -= weights[i];
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::split(std::uint64_t stream_index) noexcept {
+  // Mix the parent's next output with the stream index through splitmix64
+  // so sibling streams differ even for adjacent indices.
+  std::uint64_t mix = (*this)() ^ (stream_index * 0xd1342543de82ef95ULL);
+  return Rng(splitmix64(mix));
+}
+
+}  // namespace mcs::support

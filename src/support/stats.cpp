@@ -1,0 +1,70 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/contracts.hpp"
+
+namespace mcs::support {
+
+void RunningStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  MCS_REQUIRE(count_ > 0, "mean of empty sample");
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  MCS_REQUIRE(count_ > 1, "variance needs >= 2 samples");
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  MCS_REQUIRE(count_ > 0, "min of empty sample");
+  return min_;
+}
+
+double RunningStats::max() const {
+  MCS_REQUIRE(count_ > 0, "max of empty sample");
+  return max_;
+}
+
+double percentile(std::vector<double> data, double q) {
+  MCS_REQUIRE(!data.empty(), "percentile of empty sample");
+  MCS_REQUIRE(q >= 0.0 && q <= 1.0, "percentile q outside [0,1]");
+  std::sort(data.begin(), data.end());
+  if (data.size() == 1) {
+    return data.front();
+  }
+  const double pos = q * static_cast<double>(data.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, data.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return data[lo] + frac * (data[hi] - data[lo]);
+}
+
+double mean_of(const std::vector<double>& data) {
+  MCS_REQUIRE(!data.empty(), "mean of empty sample");
+  double total = 0.0;
+  for (const double x : data) {
+    total += x;
+  }
+  return total / static_cast<double>(data.size());
+}
+
+}  // namespace mcs::support

@@ -1,0 +1,44 @@
+// Small summary-statistics helpers used by the experiment harness and the
+// benchmark reporters.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mcs::support {
+
+/// Incremental mean / variance / extrema accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  /// Requires at least one sample.
+  double mean() const;
+  /// Sample variance (n-1 denominator). Requires at least two samples.
+  double variance() const;
+  /// Sample standard deviation. Requires at least two samples.
+  double stddev() const;
+  /// Requires at least one sample.
+  double min() const;
+  /// Requires at least one sample.
+  double max() const;
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile with linear interpolation between order statistics.
+/// `q` in [0, 1]; requires non-empty data. Copies & sorts internally.
+double percentile(std::vector<double> data, double q);
+
+/// Arithmetic mean; requires non-empty data.
+double mean_of(const std::vector<double>& data);
+
+}  // namespace mcs::support

@@ -1,0 +1,55 @@
+// Fixed-size thread pool used to parallelize per-task-set analysis in the
+// experiment sweeps (each sweep point analyzes many independent task sets).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mcs::support {
+
+/// A minimal work-queue thread pool.
+///
+/// Tasks are std::function<void()>; exceptions escaping a task terminate
+/// the process by design (tasks are expected to capture-and-store their own
+/// errors — the experiment runner does).  Destruction waits for all queued
+/// work (RAII: the pool owns its threads).
+class ThreadPool {
+ public:
+  /// Spawns `worker_count` threads (0 means hardware_concurrency, min 1).
+  explicit ThreadPool(std::size_t worker_count = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task. Must not be called after wait_idle began returning
+  /// concurrently with destruction.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  std::size_t worker_count() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_worker_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs `fn(i)` for i in [0, count) across the pool and waits for all.
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace mcs::support

@@ -1,0 +1,94 @@
+// The analysis is arrival-curve generic (paper §II uses eta everywhere).
+// These tests plug non-sporadic curves into tasks and check the expected
+// effects on the bounds: release jitter only adds interference, burstier
+// curves only hurt, and measured (staircase) curves interoperate.
+#include <gtest/gtest.h>
+
+#include "analysis/response_time.hpp"
+#include "rt/arrival.hpp"
+#include "rt/arrival_estimation.hpp"
+#include "rt/task.hpp"
+
+namespace {
+
+using mcs::analysis::bound_response_time;
+using mcs::rt::PeriodicJitterArrival;
+using mcs::rt::Task;
+using mcs::rt::TaskSet;
+using mcs::rt::Time;
+
+Task make_task(std::string name, Time exec, Time mem, Time period,
+               Time deadline, mcs::rt::Priority priority) {
+  Task t;
+  t.name = std::move(name);
+  t.exec = exec;
+  t.copy_in = mem;
+  t.copy_out = mem;
+  t.period = period;
+  t.deadline = deadline;
+  t.priority = priority;
+  return t;
+}
+
+TaskSet hp_lp_pair() {
+  return TaskSet({make_task("hp", 3, 1, 20, 20, 0),
+                  make_task("lo", 6, 2, 90, 90, 1)});
+}
+
+TEST(ArrivalModels, JitterMonotonicallyInflatesTheBound) {
+  Time prev = 0;
+  for (const Time jitter : {Time{0}, Time{5}, Time{10}, Time{19}}) {
+    TaskSet tasks = hp_lp_pair();
+    tasks[0].arrival = std::make_shared<PeriodicJitterArrival>(20, jitter);
+    const auto r = bound_response_time(tasks, 1);
+    ASSERT_TRUE(r.schedulable) << "jitter " << jitter;
+    EXPECT_GE(r.wcrt, prev) << "jitter " << jitter;
+    prev = r.wcrt;
+  }
+}
+
+TEST(ArrivalModels, ZeroJitterMatchesSporadic) {
+  TaskSet sporadic = hp_lp_pair();
+  TaskSet jittered = hp_lp_pair();
+  jittered[0].arrival = std::make_shared<PeriodicJitterArrival>(20, 0);
+  const auto a = bound_response_time(sporadic, 1);
+  const auto b = bound_response_time(jittered, 1);
+  EXPECT_EQ(a.wcrt, b.wcrt);
+}
+
+TEST(ArrivalModels, MeasuredCurveNeverExceedsSporadicBound) {
+  // A curve estimated from a strictly periodic trace is at most as
+  // pessimistic as the sporadic model, so the bound cannot grow.
+  TaskSet sporadic = hp_lp_pair();
+  TaskSet measured = hp_lp_pair();
+  std::vector<Time> releases;
+  for (Time t = 0; t <= 400; t += 20) {
+    releases.push_back(t);
+  }
+  measured[0].arrival = mcs::rt::estimate_arrival_curve(releases);
+  const auto a = bound_response_time(sporadic, 1);
+  const auto b = bound_response_time(measured, 1);
+  ASSERT_TRUE(a.schedulable);
+  ASSERT_TRUE(b.schedulable);
+  EXPECT_LE(b.wcrt, a.wcrt);
+}
+
+TEST(ArrivalModels, BurstyCurveInflatesTheBound) {
+  // A measured trace with release pairs back-to-back doubles the
+  // short-window interference.
+  TaskSet bursty = hp_lp_pair();
+  std::vector<Time> releases;
+  for (Time t = 0; t <= 400; t += 40) {
+    releases.push_back(t);
+    releases.push_back(t + 2);  // burst of two
+  }
+  bursty[0].arrival = mcs::rt::estimate_arrival_curve(releases);
+  const auto plain = bound_response_time(hp_lp_pair(), 1);
+  const auto burst = bound_response_time(bursty, 1);
+  ASSERT_TRUE(plain.schedulable);
+  if (burst.schedulable) {
+    EXPECT_GE(burst.wcrt, plain.wcrt);
+  }
+}
+
+}  // namespace

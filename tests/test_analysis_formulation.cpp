@@ -1,0 +1,259 @@
+// Structural tests of the delay MILP (milp_formulation.hpp): the solved
+// worst-case "schedule" must obey the protocol's combinatorial structure,
+// and the formulation must react to windows, LS flags, and cases exactly as
+// §V prescribes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/milp_formulation.hpp"
+#include "analysis/window.hpp"
+#include "gen/generator.hpp"
+#include "lp/milp.hpp"
+#include "rt/task.hpp"
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using mcs::analysis::build_delay_milp;
+using mcs::analysis::DelayMilp;
+using mcs::analysis::FormulationCase;
+using mcs::lp::MilpOptions;
+using mcs::lp::MilpResult;
+using mcs::lp::solve_milp;
+using mcs::lp::SolveStatus;
+using mcs::lp::VarId;
+using mcs::rt::Task;
+using mcs::rt::TaskIndex;
+using mcs::rt::TaskSet;
+using mcs::rt::Time;
+
+bool on(const MilpResult& r, VarId v) {
+  return v.index != static_cast<std::size_t>(-1) && r.values[v.index] > 0.5;
+}
+
+Task make_task(std::string name, Time exec, Time mem, Time period,
+               Time deadline, mcs::rt::Priority priority, bool ls = false) {
+  Task t;
+  t.name = std::move(name);
+  t.exec = exec;
+  t.copy_in = mem;
+  t.copy_out = mem;
+  t.period = period;
+  t.deadline = deadline;
+  t.priority = priority;
+  t.latency_sensitive = ls;
+  return t;
+}
+
+TaskSet mixed_set() {
+  return TaskSet({make_task("s", 2, 1, 30, 10, 0, true),
+                  make_task("a", 4, 2, 40, 30, 1),
+                  make_task("b", 3, 1, 50, 45, 2),
+                  make_task("c", 5, 2, 80, 70, 3)});
+}
+
+MilpResult solve(const DelayMilp& milp) {
+  MilpOptions options;
+  options.branch_priority.assign(milp.model.num_variables(), 0);
+  for (const VarId a : milp.alpha_vars) {
+    options.branch_priority[a.index] = 1;
+  }
+  return solve_milp(milp.model, options);
+}
+
+TEST(DelayMilp, SolvedScheduleObeysProtocolStructure) {
+  const TaskSet tasks = mixed_set();
+  const TaskIndex i = 3;  // lowest priority
+  const Time window = 40;
+  const DelayMilp milp =
+      build_delay_milp(tasks, i, window, FormulationCase::kNls);
+  const MilpResult r = solve(milp);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+
+  const std::size_t N = milp.num_intervals;
+  // Exactly one execution in I_1 .. I_{N-2}; at most one in I_0.
+  for (std::size_t k = 0; k + 1 < N; ++k) {
+    int execs = 0;
+    for (TaskIndex j = 0; j < tasks.size(); ++j) {
+      execs += on(r, milp.exec_vars[j][k]) ? 1 : 0;
+      execs += on(r, milp.urgent_vars[j][k]) ? 1 : 0;
+    }
+    if (k == 0) {
+      EXPECT_LE(execs, 1);
+    } else {
+      EXPECT_EQ(execs, 1) << "interval " << k;
+    }
+  }
+  // tau_i never executes inside the delay window.
+  for (std::size_t k = 0; k + 1 < N; ++k) {
+    EXPECT_FALSE(on(r, milp.exec_vars[i][k]));
+    EXPECT_FALSE(on(r, milp.urgent_vars[i][k]));
+  }
+  // Interference budgets respected.
+  const auto budgets = mcs::analysis::interference_budgets(tasks, i, window);
+  for (TaskIndex j = 0; j < tasks.size(); ++j) {
+    if (j == i) continue;
+    int uses = 0;
+    for (std::size_t k = 0; k + 1 < N; ++k) {
+      uses += on(r, milp.exec_vars[j][k]) ? 1 : 0;
+      uses += on(r, milp.urgent_vars[j][k]) ? 1 : 0;
+    }
+    const bool lp_task = tasks[j].priority > tasks[i].priority;
+    EXPECT_LE(uses, lp_task ? 1 : static_cast<int>(budgets[j]));
+  }
+  // Delta never exceeds max(cpu, dma) reconstructed from the assignment.
+  for (std::size_t k = 0; k < N; ++k) {
+    double cpu = k == N - 1 ? static_cast<double>(tasks[i].exec) : 0.0;
+    for (TaskIndex j = 0; j < tasks.size() && k + 1 < N; ++j) {
+      if (on(r, milp.exec_vars[j][k])) cpu += static_cast<double>(tasks[j].exec);
+      if (on(r, milp.urgent_vars[j][k])) {
+        cpu += static_cast<double>(tasks[j].copy_in + tasks[j].exec);
+      }
+    }
+    const double delta = r.values[milp.delta_vars[k].index];
+    // dma side is bounded by max copy-out + max copy-in of the set.
+    const double dma_ub = static_cast<double>(tasks.max_copy_out() +
+                                              tasks.max_copy_in());
+    EXPECT_LE(delta, std::max(cpu, dma_ub) + 1e-6) << "interval " << k;
+  }
+}
+
+TEST(DelayMilp, UrgentExecutionRequiresCancellation) {
+  // Force a schedule with an urgent execution: the interval before it must
+  // carry a cancellation (Constraint 8).
+  const TaskSet tasks = mixed_set();
+  const DelayMilp milp =
+      build_delay_milp(tasks, 3, 40, FormulationCase::kNls);
+  const MilpResult r = solve(milp);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  for (std::size_t k = 1; k + 1 < milp.num_intervals; ++k) {
+    bool urgent_here = false;
+    for (TaskIndex j = 0; j < tasks.size(); ++j) {
+      urgent_here |= on(r, milp.urgent_vars[j][k]);
+    }
+    if (!urgent_here) continue;
+    bool cancel_before = false;
+    for (TaskIndex j = 0; j < tasks.size(); ++j) {
+      cancel_before |= on(r, milp.cancel_vars[j][k - 1]);
+    }
+    EXPECT_TRUE(cancel_before) << "urgent execution in interval " << k;
+  }
+}
+
+TEST(DelayMilp, NoLsTasksMeansNoUrgentOrCancelVariables) {
+  TaskSet tasks = mixed_set();
+  tasks[0].latency_sensitive = false;
+  const DelayMilp milp =
+      build_delay_milp(tasks, 3, 40, FormulationCase::kNls);
+  for (TaskIndex j = 0; j < tasks.size(); ++j) {
+    for (std::size_t k = 0; k < milp.num_intervals; ++k) {
+      EXPECT_EQ(milp.urgent_vars[j][k].index, static_cast<std::size_t>(-1));
+      EXPECT_EQ(milp.cancel_vars[j][k].index, static_cast<std::size_t>(-1));
+    }
+  }
+}
+
+TEST(DelayMilp, IgnoreLsMatchesStrippedFlags) {
+  // Analyzing with ignore_ls must produce the same optimum as physically
+  // clearing every LS flag (the WP baseline equivalence, DESIGN.md §5.3).
+  const TaskSet tasks = mixed_set();
+  TaskSet stripped = tasks;
+  for (std::size_t j = 0; j < stripped.size(); ++j) {
+    stripped[j].latency_sensitive = false;
+  }
+  for (const TaskIndex i : {TaskIndex{1}, TaskIndex{3}}) {
+    const DelayMilp with_flag = build_delay_milp(
+        tasks, i, 30, FormulationCase::kNls, /*ignore_ls=*/true);
+    const DelayMilp without = build_delay_milp(
+        stripped, i, 30, FormulationCase::kNls, /*ignore_ls=*/false);
+    const MilpResult a = solve(with_flag);
+    const MilpResult b = solve(without);
+    ASSERT_EQ(a.status, SolveStatus::kOptimal);
+    ASSERT_EQ(b.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(a.objective, b.objective, 1e-6);
+  }
+}
+
+TEST(DelayMilp, ObjectiveMonotoneInWindow) {
+  const TaskSet tasks = mixed_set();
+  double prev = 0.0;
+  for (const Time t : {Time{0}, Time{20}, Time{40}, Time{80}, Time{160}}) {
+    const DelayMilp milp =
+        build_delay_milp(tasks, 3, t, FormulationCase::kNls);
+    const MilpResult r = solve(milp);
+    ASSERT_EQ(r.status, SolveStatus::kOptimal);
+    EXPECT_GE(r.objective, prev - 1e-9) << "window " << t;
+    prev = r.objective;
+  }
+}
+
+TEST(DelayMilp, LsCaseBIsTwoIntervals) {
+  const TaskSet tasks = mixed_set();
+  const DelayMilp milp =
+      build_delay_milp(tasks, 0, 0, FormulationCase::kLsCaseB);
+  EXPECT_EQ(milp.num_intervals, 2u);
+  const MilpResult r = solve(milp);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  // Delta_1 >= l_s + C_s: the CPU performs copy-in + execution (C15).
+  EXPECT_GE(r.values[milp.delta_vars[1].index],
+            static_cast<double>(tasks[0].copy_in + tasks[0].exec) - 1e-6);
+}
+
+TEST(DelayMilp, LsCaseAForbidsLpBlockingBeyondFirstInterval) {
+  const TaskSet tasks = mixed_set();
+  const DelayMilp milp =
+      build_delay_milp(tasks, 0, 20, FormulationCase::kLsCaseA);
+  // lp executions may exist only in I_0 (Constraint 14).
+  for (TaskIndex j = 1; j < tasks.size(); ++j) {  // all lp of task 0
+    for (std::size_t k = 1; k + 1 < milp.num_intervals; ++k) {
+      EXPECT_EQ(milp.exec_vars[j][k].index, static_cast<std::size_t>(-1))
+          << "task " << j << " interval " << k;
+    }
+  }
+}
+
+TEST(DelayMilp, RejectsLsCaseForNonLsTask) {
+  const TaskSet tasks = mixed_set();
+  EXPECT_THROW(build_delay_milp(tasks, 1, 10, FormulationCase::kLsCaseA),
+               mcs::support::ContractViolation);
+  EXPECT_THROW(
+      build_delay_milp(tasks, 0, 10, FormulationCase::kLsCaseA, true),
+      mcs::support::ContractViolation);
+}
+
+// Randomized: the delay MILP always solves (never infeasible/unbounded) and
+// yields a non-negative bounded objective.
+class DelayMilpRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DelayMilpRandom, AlwaysSolvable) {
+  mcs::support::Rng rng(GetParam() * 101 + 13);
+  mcs::gen::GeneratorConfig cfg;
+  cfg.num_tasks = 2 + static_cast<std::size_t>(rng.uniform_int(0, 3));
+  cfg.utilization = rng.uniform(0.2, 0.7);
+  cfg.gamma = rng.uniform(0.0, 0.5);
+  TaskSet tasks = mcs::gen::generate_task_set(cfg, rng);
+  for (std::size_t j = 0; j < tasks.size(); ++j) {
+    tasks[j].latency_sensitive = rng.bernoulli(0.5);
+  }
+  const auto i =
+      static_cast<TaskIndex>(rng.uniform_int(
+          0, static_cast<std::int64_t>(tasks.size()) - 1));
+  const Time window = rng.uniform_int(0, tasks[i].deadline);
+  const FormulationCase fcase =
+      tasks[i].latency_sensitive
+          ? (rng.bernoulli(0.5) ? FormulationCase::kLsCaseA
+                                : FormulationCase::kLsCaseB)
+          : FormulationCase::kNls;
+  const DelayMilp milp = build_delay_milp(tasks, i, window, fcase);
+  const MilpResult r = solve(milp);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_GE(r.objective, 0.0);
+  EXPECT_TRUE(std::isfinite(r.objective));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DelayMilpRandom,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+}  // namespace

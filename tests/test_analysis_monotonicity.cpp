@@ -1,0 +1,127 @@
+// Metamorphic properties of the response-time analysis: inflating any
+// workload parameter can never *decrease* a WCRT bound, and removing a task
+// can never increase the bounds of the others.  These catch sign errors and
+// missing terms that point tests cannot.
+#include <gtest/gtest.h>
+
+#include "analysis/response_time.hpp"
+#include "gen/generator.hpp"
+#include "rt/task.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using mcs::analysis::bound_response_time;
+using mcs::rt::TaskIndex;
+using mcs::rt::TaskSet;
+using mcs::rt::Time;
+using mcs::support::Rng;
+
+TaskSet random_set(std::uint64_t seed, std::size_t n = 3) {
+  Rng rng(seed);
+  mcs::gen::GeneratorConfig cfg;
+  cfg.num_tasks = n;
+  cfg.utilization = rng.uniform(0.2, 0.5);
+  cfg.gamma = rng.uniform(0.1, 0.4);
+  cfg.beta = 0.8;  // loose deadlines so bounds stay finite
+  TaskSet tasks = mcs::gen::generate_task_set(cfg, rng);
+  // Stretch deadlines so iteration converges rather than aborting at D.
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    tasks[i].deadline = tasks[i].period;
+  }
+  return tasks;
+}
+
+/// WCRT of every task (kTimeMax when unbounded).  Solved to proven
+/// optimality: with the default 0.5% relative gap the dual-bound wobble
+/// between two nearby instances can mask strict monotonicity.
+std::vector<Time> all_bounds(const TaskSet& tasks) {
+  mcs::analysis::AnalysisOptions exact;
+  exact.milp.relative_gap = 0.0;
+  exact.milp.max_nodes = 200000;
+  std::vector<Time> result;
+  for (TaskIndex i = 0; i < tasks.size(); ++i) {
+    result.push_back(bound_response_time(tasks, i, exact).wcrt);
+  }
+  return result;
+}
+
+void expect_pointwise_ge(const std::vector<Time>& grown,
+                         const std::vector<Time>& base,
+                         const char* label) {
+  ASSERT_EQ(grown.size(), base.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    if (base[i] == mcs::rt::kTimeMax) continue;
+    if (grown[i] == mcs::rt::kTimeMax) continue;  // grew past the deadline
+    EXPECT_GE(grown[i], base[i]) << label << ", task " << i;
+  }
+}
+
+class AnalysisMonotonicity : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(AnalysisMonotonicity, InflatingExecutionTime) {
+  TaskSet tasks = random_set(GetParam() * 7 + 1);
+  const auto base = all_bounds(tasks);
+  Rng rng(GetParam());
+  const auto victim = static_cast<TaskIndex>(
+      rng.uniform_int(0, static_cast<std::int64_t>(tasks.size()) - 1));
+  tasks[victim].exec += tasks[victim].exec / 2 + 1;
+  expect_pointwise_ge(all_bounds(tasks), base, "exec inflation");
+}
+
+TEST_P(AnalysisMonotonicity, InflatingMemoryPhases) {
+  TaskSet tasks = random_set(GetParam() * 7 + 2);
+  const auto base = all_bounds(tasks);
+  Rng rng(GetParam());
+  const auto victim = static_cast<TaskIndex>(
+      rng.uniform_int(0, static_cast<std::int64_t>(tasks.size()) - 1));
+  tasks[victim].copy_in += tasks[victim].copy_in / 2 + 1;
+  tasks[victim].copy_out += tasks[victim].copy_out / 2 + 1;
+  expect_pointwise_ge(all_bounds(tasks), base, "memory inflation");
+}
+
+TEST_P(AnalysisMonotonicity, ShrinkingAPeriod) {
+  // A shorter period means more interference for lower-priority tasks.
+  TaskSet tasks = random_set(GetParam() * 7 + 3);
+  const auto base = all_bounds(tasks);
+  const auto order = tasks.by_priority();
+  const TaskIndex top = order.front();
+  tasks[top].period = std::max<Time>(1, tasks[top].period / 2);
+  tasks[top].deadline = std::min(tasks[top].deadline, tasks[top].period);
+  tasks[top].arrival = mcs::rt::make_sporadic(tasks[top].period);
+  const auto grown = all_bounds(tasks);
+  // Only compare tasks other than the modified one (its own window and
+  // deadline changed).
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (i == top) continue;
+    if (base[i] == mcs::rt::kTimeMax || grown[i] == mcs::rt::kTimeMax) {
+      continue;
+    }
+    EXPECT_GE(grown[i], base[i]) << "task " << i;
+  }
+}
+
+TEST_P(AnalysisMonotonicity, RemovingATaskNeverHurtsTheRest) {
+  TaskSet tasks = random_set(GetParam() * 7 + 4, 4);
+  const auto base = all_bounds(tasks);
+  // Drop the last task; rebuild the set.
+  std::vector<mcs::rt::Task> remaining(tasks.tasks().begin(),
+                                       tasks.tasks().end() - 1);
+  TaskSet smaller(std::move(remaining));
+  mcs::analysis::AnalysisOptions exact;
+  exact.milp.relative_gap = 0.0;
+  exact.milp.max_nodes = 200000;
+  for (TaskIndex i = 0; i < smaller.size(); ++i) {
+    const Time shrunk = bound_response_time(smaller, i, exact).wcrt;
+    if (shrunk == mcs::rt::kTimeMax || base[i] == mcs::rt::kTimeMax) {
+      continue;
+    }
+    EXPECT_LE(shrunk, base[i]) << "task " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnalysisMonotonicity,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+}  // namespace

@@ -1,0 +1,98 @@
+#include "analysis/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rt/task.hpp"
+#include "support/contracts.hpp"
+
+namespace {
+
+using mcs::analysis::interference_budgets;
+using mcs::analysis::window_intervals_ls;
+using mcs::analysis::window_intervals_nls;
+using mcs::rt::Task;
+using mcs::rt::TaskSet;
+
+TaskSet three_tasks() {
+  // Priorities: a(0) > b(1) > c(2); periods 10 / 20 / 40.
+  std::vector<Task> tasks(3);
+  const char* names[] = {"a", "b", "c"};
+  const mcs::rt::Time periods[] = {10, 20, 40};
+  for (std::size_t i = 0; i < 3; ++i) {
+    tasks[i].name = names[i];
+    tasks[i].exec = 2;
+    tasks[i].copy_in = 1;
+    tasks[i].copy_out = 1;
+    tasks[i].period = periods[i];
+    tasks[i].deadline = periods[i];
+    tasks[i].priority = static_cast<mcs::rt::Priority>(i);
+  }
+  return TaskSet(std::move(tasks));
+}
+
+TEST(Window, BudgetsCountOnlyHigherPriorityTasks) {
+  const TaskSet set = three_tasks();
+  // Task c: hp = {a, b}.  t = 20: eta_a = 2, eta_b = 1 -> budgets 3, 2.
+  const auto budgets = interference_budgets(set, 2, 20);
+  EXPECT_EQ(budgets[0], 3u);
+  EXPECT_EQ(budgets[1], 2u);
+  EXPECT_EQ(budgets[2], 0u);
+}
+
+TEST(Window, HighestPriorityTaskHasNoInterference) {
+  const TaskSet set = three_tasks();
+  const auto budgets = interference_budgets(set, 0, 100);
+  EXPECT_EQ(budgets[0], 0u);
+  EXPECT_EQ(budgets[1], 0u);
+  EXPECT_EQ(budgets[2], 0u);
+  // Theorem 1: N = 0 + 3; Corollary 1: N = 0 + 2.
+  EXPECT_EQ(window_intervals_nls(set, 0, 100), 3u);
+  EXPECT_EQ(window_intervals_ls(set, 0, 100), 2u);
+}
+
+TEST(Window, Theorem1FormulaWithBlockingClamp) {
+  const TaskSet set = three_tasks();
+  // Task c (lowest priority, no lp tasks) at t = 20: interference
+  // (2+1) + (1+1) = 5, zero blocking intervals, +1 own execution -> 6.
+  EXPECT_EQ(window_intervals_nls(set, 2, 20), 6u);
+  // Task b (one lp task) at t = 20: eta_a = 2 -> (2+1) + 1 + 1 = 5.
+  EXPECT_EQ(window_intervals_nls(set, 1, 20), 5u);
+  // Task a (two lp tasks): full Theorem 1 count 0 + 2 + 1 = 3.
+  EXPECT_EQ(window_intervals_nls(set, 0, 20), 3u);
+  // Corollary 1 removes exactly one blocking interval when two lp tasks
+  // exist (task a), and none can be removed when none exist (task c).
+  EXPECT_EQ(window_intervals_ls(set, 0, 20),
+            window_intervals_nls(set, 0, 20) - 1);
+  EXPECT_EQ(window_intervals_ls(set, 2, 20),
+            window_intervals_nls(set, 2, 20));
+}
+
+TEST(Window, GrowsMonotonicallyWithT) {
+  const TaskSet set = three_tasks();
+  std::size_t prev = 0;
+  for (mcs::rt::Time t = 0; t <= 100; t += 5) {
+    const std::size_t n = window_intervals_nls(set, 2, t);
+    EXPECT_GE(n, prev);
+    prev = n;
+  }
+}
+
+TEST(Window, ZeroWindowStillHasCarryIn) {
+  const TaskSet set = three_tasks();
+  // eta(0) = 0 but the +1 carry-in instances remain: task c sees
+  // 2 carry-ins + its own execution interval.
+  EXPECT_EQ(window_intervals_nls(set, 2, 0), 3u);
+  // Task a alone in the window still needs a copy-in interval: N >= 2... but
+  // with two lp tasks the blocking intervals dominate: 0 + 2 + 1.
+  EXPECT_EQ(window_intervals_nls(set, 0, 0), 3u);
+}
+
+TEST(Window, RejectsBadArguments) {
+  const TaskSet set = three_tasks();
+  EXPECT_THROW(window_intervals_nls(set, 7, 10),
+               mcs::support::ContractViolation);
+  EXPECT_THROW(window_intervals_nls(set, 0, -1),
+               mcs::support::ContractViolation);
+}
+
+}  // namespace

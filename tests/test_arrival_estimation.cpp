@@ -1,0 +1,92 @@
+#include "rt/arrival_estimation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rt/arrival.hpp"
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using mcs::rt::ArrivalCurvePtr;
+using mcs::rt::estimate_arrival_curve;
+using mcs::rt::SporadicArrival;
+using mcs::rt::Time;
+
+TEST(ArrivalEstimation, PeriodicTraceRecoversSporadicCurve) {
+  std::vector<Time> releases;
+  for (Time t = 0; t <= 100; t += 10) {
+    releases.push_back(t);
+  }
+  const ArrivalCurvePtr estimated = estimate_arrival_curve(releases);
+  const SporadicArrival truth(10);
+  for (Time delta = 0; delta <= 100; ++delta) {
+    EXPECT_EQ(estimated->releases_in(delta), truth.releases_in(delta))
+        << "delta " << delta;
+  }
+}
+
+TEST(ArrivalEstimation, SingleReleaseIsOneForever) {
+  const ArrivalCurvePtr curve = estimate_arrival_curve({42});
+  EXPECT_EQ(curve->releases_in(0), 0u);
+  EXPECT_EQ(curve->releases_in(1), 1u);
+  EXPECT_EQ(curve->releases_in(1'000'000), 1u);
+}
+
+TEST(ArrivalEstimation, BurstIsCaptured) {
+  // Three releases back-to-back, then a long gap, then one more.
+  const ArrivalCurvePtr curve =
+      estimate_arrival_curve({0, 1, 2, 100});
+  EXPECT_EQ(curve->releases_in(1), 1u);
+  EXPECT_EQ(curve->releases_in(2), 2u);   // window (length 2) holds {0,1}
+  EXPECT_EQ(curve->releases_in(3), 3u);   // {0,1,2}
+  EXPECT_EQ(curve->releases_in(50), 3u);  // the burst dominates
+  EXPECT_EQ(curve->releases_in(101), 4u);
+}
+
+TEST(ArrivalEstimation, UnsortedAndDuplicateInput) {
+  const ArrivalCurvePtr curve = estimate_arrival_curve({30, 0, 30, 10});
+  // Duplicate releases at 30: any tiny window already holds 2.
+  EXPECT_EQ(curve->releases_in(1), 2u);
+  EXPECT_EQ(curve->releases_in(31), 4u);
+}
+
+TEST(ArrivalEstimation, EmptyInputRejected) {
+  EXPECT_THROW(estimate_arrival_curve({}),
+               mcs::support::ContractViolation);
+}
+
+TEST(ArrivalEstimation, EstimateNeverExceedsGroundTruthOnRandomTraces) {
+  // Draw sporadic traces with inter-arrivals >= T; the estimated curve
+  // must stay at or below the sporadic bound (it has seen only a subset of
+  // the behaviours the bound covers).
+  mcs::support::Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Time period = rng.uniform_int(5, 50);
+    std::vector<Time> releases;
+    Time t = rng.uniform_int(0, period);
+    for (int k = 0; k < 40; ++k) {
+      releases.push_back(t);
+      t += period + rng.uniform_int(0, period);
+    }
+    const ArrivalCurvePtr estimated = estimate_arrival_curve(releases);
+    const SporadicArrival truth(period);
+    for (Time delta = 0; delta <= 20 * period; delta += period / 2 + 1) {
+      EXPECT_LE(estimated->releases_in(delta), truth.releases_in(delta))
+          << "period " << period << " delta " << delta;
+    }
+  }
+}
+
+TEST(ArrivalEstimation, MonotoneNonDecreasing) {
+  const ArrivalCurvePtr curve =
+      estimate_arrival_curve({0, 3, 4, 9, 11, 20});
+  std::uint64_t prev = 0;
+  for (Time delta = 0; delta <= 25; ++delta) {
+    const std::uint64_t now = curve->releases_in(delta);
+    EXPECT_GE(now, prev);
+    prev = now;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,180 @@
+// Tests for the task-chain extension: model validation, the compositional
+// age bound, trace measurement, and the bound-vs-measurement soundness
+// property across random chains.
+#include <gtest/gtest.h>
+
+#include "analysis/chains.hpp"
+#include "analysis/schedulability.hpp"
+#include "gen/generator.hpp"
+#include "rt/chain.hpp"
+#include "sim/chain_age.hpp"
+#include "sim/engine.hpp"
+#include "sim/job_source.hpp"
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using mcs::analysis::chain_age_bound;
+using mcs::analysis::ChainAgeBound;
+using mcs::rt::Chain;
+using mcs::rt::Task;
+using mcs::rt::TaskSet;
+using mcs::rt::Time;
+using mcs::rt::validate_chain;
+using mcs::sim::measure_chain_age;
+using mcs::sim::Protocol;
+using mcs::support::ContractViolation;
+
+Task make_task(std::string name, Time exec, Time mem, Time period,
+               Time deadline, mcs::rt::Priority priority) {
+  Task t;
+  t.name = std::move(name);
+  t.exec = exec;
+  t.copy_in = mem;
+  t.copy_out = mem;
+  t.period = period;
+  t.deadline = deadline;
+  t.priority = priority;
+  return t;
+}
+
+TaskSet pipeline() {
+  return TaskSet({make_task("a", 2, 1, 20, 18, 0),
+                  make_task("b", 3, 1, 30, 28, 1),
+                  make_task("c", 4, 1, 40, 38, 2)});
+}
+
+TEST(ChainModel, ValidationRules) {
+  const TaskSet tasks = pipeline();
+  Chain ok{"ok", {0, 1, 2}, 0};
+  validate_chain(tasks, ok);
+
+  Chain too_short{"s", {0}, 0};
+  EXPECT_THROW(validate_chain(tasks, too_short), ContractViolation);
+  Chain unknown{"u", {0, 7}, 0};
+  EXPECT_THROW(validate_chain(tasks, unknown), ContractViolation);
+  Chain repeated{"r", {0, 1, 0}, 0};
+  EXPECT_THROW(validate_chain(tasks, repeated), ContractViolation);
+}
+
+TEST(ChainBound, ComposesPerStageTerms) {
+  const TaskSet tasks = pipeline();
+  const Chain chain{"c", {0, 1, 2}, 0};
+  const std::vector<Time> wcrt{6, 9, 12};
+  const ChainAgeBound bound = chain_age_bound(tasks, chain, wcrt);
+  ASSERT_TRUE(bound.valid);
+  // A_3 <= R_1 + (T_1 + R_1 + R_2) + (T_2 + R_2 + R_3)
+  //      = 6 + (20 + 6 + 9) + (30 + 9 + 12) = 92.
+  EXPECT_EQ(bound.max_data_age, 6 + (20 + 6 + 9) + (30 + 9 + 12));
+  EXPECT_TRUE(bound.meets_constraint);
+}
+
+TEST(ChainBound, ConstraintEvaluation) {
+  const TaskSet tasks = pipeline();
+  Chain chain{"c", {0, 1}, 40};
+  const std::vector<Time> wcrt{6, 9, 12};
+  const ChainAgeBound bound = chain_age_bound(tasks, chain, wcrt);
+  ASSERT_TRUE(bound.valid);
+  EXPECT_EQ(bound.max_data_age, 6 + (20 + 6 + 9));
+  EXPECT_FALSE(bound.meets_constraint);  // 41 > 40
+}
+
+TEST(ChainBound, InvalidWhenStageUnbounded) {
+  const TaskSet tasks = pipeline();
+  const Chain chain{"c", {0, 1, 2}, 0};
+  const std::vector<Time> wcrt{6, mcs::rt::kTimeMax, 12};
+  EXPECT_FALSE(chain_age_bound(tasks, chain, wcrt).valid);
+}
+
+TEST(ChainBound, InvalidOnBacklog) {
+  const TaskSet tasks = pipeline();
+  const Chain chain{"c", {0, 1, 2}, 0};
+  const std::vector<Time> wcrt{25, 9, 12};  // R_1 > T_1
+  EXPECT_FALSE(chain_age_bound(tasks, chain, wcrt).valid);
+}
+
+TEST(ChainMeasurement, HandComputedTwoStage) {
+  // a: C=2, l=u=1, T=10; b: C=2, l=u=1, T=10, lower priority.
+  const TaskSet tasks({make_task("a", 2, 1, 10, 10, 0),
+                       make_task("b", 2, 1, 10, 10, 1)});
+  const Chain chain{"ab", {0, 1}, 0};
+  const auto releases =
+      mcs::sim::synchronous_periodic_releases(tasks, 100);
+  const auto trace =
+      mcs::sim::simulate(tasks, Protocol::kProposed, releases);
+  const auto measured = measure_chain_age(tasks, chain, trace);
+  ASSERT_GT(measured.samples, 0u);
+  EXPECT_LT(measured.max_age, 30);  // well under T_a + T_b + responses
+}
+
+TEST(ChainMeasurement, NoSamplesDuringTransientOnly) {
+  // Chain whose producer never completes before the consumer samples:
+  // single release each, consumer first.
+  const TaskSet tasks({make_task("a", 2, 1, 100, 100, 1),
+                       make_task("b", 2, 1, 100, 100, 0)});
+  const Chain chain{"ab", {0, 1}, 0};
+  // b released first and completes before a produces anything.
+  const auto trace = mcs::sim::simulate(
+      tasks, Protocol::kProposed,
+      {{mcs::sim::JobId{1, 0}, 0}, {mcs::sim::JobId{0, 0}, 50}});
+  const auto measured = measure_chain_age(tasks, chain, trace);
+  EXPECT_EQ(measured.samples, 0u);
+  EXPECT_EQ(measured.max_age, mcs::rt::kTimeMax);
+}
+
+// ---------------------------------------------------------------------------
+// Property: measured age never exceeds the compositional bound, for random
+// schedulable task sets under periodic releases, on every protocol.
+// ---------------------------------------------------------------------------
+
+class ChainSoundness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChainSoundness, MeasuredAgeWithinBound) {
+  mcs::support::Rng rng(GetParam() * 577 + 29);
+  mcs::gen::GeneratorConfig cfg;
+  cfg.num_tasks = 3;
+  cfg.utilization = rng.uniform(0.2, 0.45);
+  cfg.gamma = rng.uniform(0.05, 0.4);
+  cfg.beta = 0.6;
+  TaskSet tasks = mcs::gen::generate_task_set(cfg, rng);
+
+  // Random 2- or 3-stage chain over distinct tasks.
+  Chain chain{"rand", {0, 1}, 0};
+  if (rng.bernoulli(0.5)) {
+    chain.tasks = {0, 1, 2};
+  }
+  rng.shuffle(chain.tasks);
+
+  struct Mode {
+    mcs::analysis::Approach approach;
+    Protocol protocol;
+  };
+  const Mode modes[] = {
+      {mcs::analysis::Approach::kProposed, Protocol::kProposed},
+      {mcs::analysis::Approach::kNonPreemptive, Protocol::kNonPreemptive},
+  };
+  for (const Mode& mode : modes) {
+    const auto result = mcs::analysis::analyze(tasks, mode.approach);
+    if (!result.schedulable) continue;
+    const auto bound = chain_age_bound(tasks, chain, result.wcrt);
+    if (!bound.valid) continue;
+
+    TaskSet marked = tasks;
+    for (std::size_t i = 0; i < marked.size(); ++i) {
+      marked[i].latency_sensitive = result.ls_flags[i];
+    }
+    const auto releases = mcs::sim::synchronous_periodic_releases(
+        marked, 800 * mcs::rt::kTicksPerUnit);
+    const auto trace = mcs::sim::simulate(marked, mode.protocol, releases);
+    const auto measured = measure_chain_age(marked, chain, trace);
+    if (measured.samples == 0) continue;
+    EXPECT_LE(measured.max_age, bound.max_data_age)
+        << to_string(mode.approach) << " seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChainSoundness,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+}  // namespace

@@ -1,0 +1,139 @@
+#include "rt/contention.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/schedulability.hpp"
+#include "gen/generator.hpp"
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using mcs::rt::apply_memory_contention;
+using mcs::rt::contention_factor;
+using mcs::rt::ContentionPolicy;
+using mcs::rt::dma_utilization;
+using mcs::rt::Task;
+using mcs::rt::TaskSet;
+using mcs::rt::Time;
+
+Task make_task(std::string name, Time exec, Time copy_in, Time copy_out,
+               Time period, mcs::rt::Priority priority) {
+  Task t;
+  t.name = std::move(name);
+  t.exec = exec;
+  t.copy_in = copy_in;
+  t.copy_out = copy_out;
+  t.period = period;
+  t.deadline = period;
+  t.priority = priority;
+  return t;
+}
+
+TEST(Contention, DmaUtilizationSums) {
+  const TaskSet set({make_task("a", 10, 5, 5, 100, 0),
+                     make_task("b", 10, 10, 10, 200, 1)});
+  EXPECT_DOUBLE_EQ(dma_utilization(set), 10.0 / 100 + 20.0 / 200);
+}
+
+TEST(Contention, FullyBackloggedScalesByCoreCount) {
+  const std::vector<TaskSet> cores{
+      TaskSet({make_task("a", 10, 4, 4, 100, 0)}),
+      TaskSet({make_task("b", 10, 4, 4, 100, 0)}),
+      TaskSet({make_task("c", 10, 4, 4, 100, 0)}),
+  };
+  EXPECT_DOUBLE_EQ(
+      contention_factor(cores, 0, ContentionPolicy::kFullyBacklogged), 3.0);
+  const auto inflated =
+      apply_memory_contention(cores, ContentionPolicy::kFullyBacklogged);
+  EXPECT_EQ(inflated[0][0].copy_in, 12);
+  EXPECT_EQ(inflated[0][0].copy_out, 12);
+  EXPECT_EQ(inflated[0][0].exec, 10);  // execution untouched
+}
+
+TEST(Contention, DemandAwareUsesCompetitorUtilization) {
+  const std::vector<TaskSet> cores{
+      TaskSet({make_task("a", 10, 4, 4, 100, 0)}),   // analyzed core
+      TaskSet({make_task("b", 10, 10, 10, 100, 0)}),  // U_dma = 0.2
+      TaskSet({make_task("c", 10, 30, 30, 100, 0)}),  // U_dma = 0.6
+  };
+  EXPECT_DOUBLE_EQ(
+      contention_factor(cores, 0, ContentionPolicy::kDemandAware),
+      1.0 + 0.2 + 0.6);
+}
+
+TEST(Contention, DemandAwareClampsSaturatedCompetitors) {
+  const std::vector<TaskSet> cores{
+      TaskSet({make_task("a", 10, 4, 4, 100, 0)}),
+      TaskSet({make_task("hog", 1, 80, 80, 100, 0)}),  // U_dma = 1.6 -> 1
+  };
+  EXPECT_DOUBLE_EQ(
+      contention_factor(cores, 0, ContentionPolicy::kDemandAware), 2.0);
+}
+
+TEST(Contention, DemandAwareNeverExceedsFullyBacklogged) {
+  mcs::support::Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<TaskSet> cores;
+    const auto core_count = 2 + rng.uniform_int(0, 2);
+    for (std::int64_t c = 0; c < core_count; ++c) {
+      mcs::gen::GeneratorConfig cfg;
+      cfg.num_tasks = 3;
+      cfg.utilization = rng.uniform(0.1, 0.5);
+      cfg.gamma = rng.uniform(0.1, 0.5);
+      cores.push_back(mcs::gen::generate_task_set(cfg, rng));
+    }
+    for (std::size_t m = 0; m < cores.size(); ++m) {
+      const double demand =
+          contention_factor(cores, m, ContentionPolicy::kDemandAware);
+      const double full =
+          contention_factor(cores, m, ContentionPolicy::kFullyBacklogged);
+      EXPECT_GE(demand, 1.0);
+      EXPECT_LE(demand, full + 1e-12);
+    }
+  }
+}
+
+TEST(Contention, SingleCoreIsNeutral) {
+  const std::vector<TaskSet> cores{
+      TaskSet({make_task("a", 10, 4, 4, 100, 0)})};
+  for (const auto policy : {ContentionPolicy::kFullyBacklogged,
+                            ContentionPolicy::kDemandAware}) {
+    const auto inflated = apply_memory_contention(cores, policy);
+    EXPECT_EQ(inflated[0][0].copy_in, 4);
+    EXPECT_EQ(inflated[0][0].copy_out, 4);
+  }
+}
+
+TEST(Contention, InflationMakesSchedulabilityHarder) {
+  // Sanity: analyzing with inflated memory phases can only lose task sets.
+  mcs::support::Rng rng(9);
+  mcs::gen::GeneratorConfig cfg;
+  cfg.num_tasks = 3;
+  cfg.utilization = 0.3;
+  cfg.gamma = 0.3;
+  const TaskSet core0 = mcs::gen::generate_task_set(cfg, rng);
+  const TaskSet core1 = mcs::gen::generate_task_set(cfg, rng);
+  const auto inflated = apply_memory_contention(
+      {core0, core1}, ContentionPolicy::kFullyBacklogged);
+  const auto before =
+      mcs::analysis::analyze(core0, mcs::analysis::Approach::kNonPreemptive);
+  const auto after = mcs::analysis::analyze(
+      inflated[0], mcs::analysis::Approach::kNonPreemptive);
+  for (std::size_t i = 0; i < core0.size(); ++i) {
+    if (before.wcrt[i] != mcs::rt::kTimeMax &&
+        after.wcrt[i] != mcs::rt::kTimeMax) {
+      EXPECT_GE(after.wcrt[i], before.wcrt[i]);
+    }
+  }
+}
+
+TEST(Contention, RejectsBadCoreIndex) {
+  const std::vector<TaskSet> cores{
+      TaskSet({make_task("a", 10, 4, 4, 100, 0)})};
+  EXPECT_THROW(
+      contention_factor(cores, 5, ContentionPolicy::kFullyBacklogged),
+      mcs::support::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,166 @@
+#include "exp/experiment.hpp"
+#include "exp/figures.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "support/contracts.hpp"
+
+namespace {
+
+using mcs::analysis::Approach;
+using mcs::exp::apply_env_overrides;
+using mcs::exp::ExperimentConfig;
+using mcs::exp::ExperimentResult;
+using mcs::exp::figure2_config;
+using mcs::exp::print_result;
+using mcs::exp::run_experiment;
+using mcs::exp::SweepParam;
+using mcs::exp::write_csv;
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig cfg;
+  cfg.name = "tiny";
+  cfg.title = "tiny smoke experiment";
+  cfg.base.num_tasks = 3;
+  cfg.base.gamma = 0.2;
+  cfg.base.beta = 0.3;
+  cfg.sweep = SweepParam::kUtilization;
+  cfg.values = {0.15, 0.5};
+  cfg.tasksets_per_point = 4;
+  cfg.seed = 7;
+  cfg.threads = 1;
+  return cfg;
+}
+
+TEST(Experiment, RunsAndCountsConsistently) {
+  const ExperimentResult result = run_experiment(tiny_config());
+  ASSERT_EQ(result.points.size(), 2u);
+  for (const auto& p : result.points) {
+    EXPECT_EQ(p.tasksets, 4u);
+    EXPECT_LE(p.schedulable_proposed, p.tasksets);
+    EXPECT_LE(p.schedulable_wp, p.tasksets);
+    EXPECT_LE(p.schedulable_nps, p.tasksets);
+    // Greedy containment: proposed dominates WP by construction.
+    EXPECT_GE(p.schedulable_proposed, p.schedulable_wp);
+    EXPECT_GE(p.ratio(Approach::kProposed), p.ratio(Approach::kWasilyPellizzoni));
+  }
+  // Low utilization must not be harder than high utilization.
+  EXPECT_GE(result.points[0].schedulable_proposed,
+            result.points[1].schedulable_proposed);
+}
+
+TEST(Experiment, DeterministicAcrossRunsAndThreadCounts) {
+  ExperimentConfig cfg = tiny_config();
+  const ExperimentResult a = run_experiment(cfg);
+  cfg.threads = 3;
+  const ExperimentResult b = run_experiment(cfg);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].schedulable_proposed,
+              b.points[i].schedulable_proposed);
+    EXPECT_EQ(a.points[i].schedulable_wp, b.points[i].schedulable_wp);
+    EXPECT_EQ(a.points[i].schedulable_nps, b.points[i].schedulable_nps);
+  }
+}
+
+TEST(Experiment, PrintsTableWithHeaderAndRows) {
+  const ExperimentResult result = run_experiment(tiny_config());
+  std::ostringstream out;
+  print_result(result, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("proposed"), std::string::npos);
+  EXPECT_NE(text.find("wp2016"), std::string::npos);
+  EXPECT_NE(text.find("nps"), std::string::npos);
+  EXPECT_NE(text.find("0.150"), std::string::npos);
+  EXPECT_NE(text.find("0.500"), std::string::npos);
+}
+
+TEST(Experiment, WritesCsv) {
+  const ExperimentResult result = run_experiment(tiny_config());
+  const auto dir = std::filesystem::temp_directory_path();
+  write_csv(result, dir);
+  const auto path = dir / "tiny.csv";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "U,proposed,wp2016,nps,tasksets,relaxation_fallbacks,seconds");
+  std::string row;
+  int rows = 0;
+  while (std::getline(in, row)) {
+    if (!row.empty()) ++rows;
+  }
+  EXPECT_EQ(rows, 2);
+  std::filesystem::remove(path);
+}
+
+TEST(Experiment, RejectsEmptyConfigs) {
+  ExperimentConfig cfg = tiny_config();
+  cfg.values.clear();
+  EXPECT_THROW(run_experiment(cfg), mcs::support::ContractViolation);
+  cfg = tiny_config();
+  cfg.tasksets_per_point = 0;
+  EXPECT_THROW(run_experiment(cfg), mcs::support::ContractViolation);
+}
+
+TEST(Experiment, EnvOverridesApply) {
+  setenv("MCS_TASKSETS", "11", 1);
+  setenv("MCS_SEED", "99", 1);
+  setenv("MCS_THREADS", "2", 1);
+  ExperimentConfig cfg = tiny_config();
+  apply_env_overrides(cfg);
+  EXPECT_EQ(cfg.tasksets_per_point, 11u);
+  EXPECT_EQ(cfg.seed, 99u);
+  EXPECT_EQ(cfg.threads, 2u);
+  unsetenv("MCS_TASKSETS");
+  unsetenv("MCS_SEED");
+  unsetenv("MCS_THREADS");
+}
+
+TEST(Figure2Configs, AllInsetsWellFormed) {
+  for (const char inset : {'a', 'b', 'c', 'd', 'e', 'f'}) {
+    const ExperimentConfig cfg = figure2_config(inset);
+    EXPECT_FALSE(cfg.name.empty());
+    EXPECT_FALSE(cfg.values.empty());
+    EXPECT_GT(cfg.tasksets_per_point, 0u);
+    EXPECT_GE(cfg.base.num_tasks, 4u);
+  }
+  EXPECT_THROW(figure2_config('z'), mcs::support::ContractViolation);
+}
+
+TEST(Figure2Configs, SweepAxesMatchThePaper) {
+  EXPECT_EQ(figure2_config('a').sweep, SweepParam::kUtilization);
+  EXPECT_EQ(figure2_config('d').sweep, SweepParam::kUtilization);
+  EXPECT_EQ(figure2_config('e').sweep, SweepParam::kGamma);
+  EXPECT_EQ(figure2_config('f').sweep, SweepParam::kBeta);
+  // gamma = 0.1 in (a) and (b), as stated in §VII.
+  EXPECT_DOUBLE_EQ(figure2_config('a').base.gamma, 0.1);
+  EXPECT_DOUBLE_EQ(figure2_config('b').base.gamma, 0.1);
+}
+
+
+TEST(Experiment, NumTasksSweepParam) {
+  ExperimentConfig cfg = tiny_config();
+  cfg.sweep = SweepParam::kNumTasks;
+  cfg.values = {2, 4};
+  const ExperimentResult result = run_experiment(cfg);
+  ASSERT_EQ(result.points.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.points[0].x, 2.0);
+  EXPECT_DOUBLE_EQ(result.points[1].x, 4.0);
+  // Both points ran the full task-set count.
+  EXPECT_EQ(result.points[0].tasksets, cfg.tasksets_per_point);
+}
+
+TEST(Experiment, SweepParamNames) {
+  EXPECT_STREQ(to_string(SweepParam::kUtilization), "U");
+  EXPECT_STREQ(to_string(SweepParam::kGamma), "gamma");
+  EXPECT_STREQ(to_string(SweepParam::kBeta), "beta");
+  EXPECT_STREQ(to_string(SweepParam::kNumTasks), "n");
+}
+
+}  // namespace

@@ -1,0 +1,154 @@
+#include "gen/generator.hpp"
+#include "gen/uunifast.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "rt/types.hpp"
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using mcs::gen::GeneratorConfig;
+using mcs::gen::generate_task_set;
+using mcs::gen::partition_worst_fit;
+using mcs::gen::uunifast;
+using mcs::rt::kTicksPerUnit;
+using mcs::rt::TaskSet;
+using mcs::rt::Time;
+using mcs::support::Rng;
+
+TEST(UUniFast, SumsToTarget) {
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto utils = uunifast(6, 0.75, rng);
+    ASSERT_EQ(utils.size(), 6u);
+    const double sum = std::accumulate(utils.begin(), utils.end(), 0.0);
+    EXPECT_NEAR(sum, 0.75, 1e-12);
+    for (const double u : utils) {
+      EXPECT_GE(u, 0.0);
+      EXPECT_LE(u, 0.75 + 1e-12);
+    }
+  }
+}
+
+TEST(UUniFast, SingleTaskGetsEverything) {
+  Rng rng(9);
+  const auto utils = uunifast(1, 0.4, rng);
+  ASSERT_EQ(utils.size(), 1u);
+  EXPECT_DOUBLE_EQ(utils[0], 0.4);
+}
+
+class GeneratorLaws : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorLaws, GeneratedSetsObeyThePaperRecipe) {
+  Rng rng(GetParam());
+  GeneratorConfig cfg;
+  cfg.num_tasks = 5;
+  cfg.utilization = 0.6;
+  cfg.gamma = 0.3;
+  cfg.beta = 0.4;
+  const TaskSet set = generate_task_set(cfg, rng);
+  ASSERT_EQ(set.size(), 5u);
+
+  for (const auto& t : set) {
+    // Periods within the scaled [10, 100] range.
+    EXPECT_GE(t.period, 10 * kTicksPerUnit - 1);
+    EXPECT_LE(t.period, 100 * kTicksPerUnit + 1);
+    // l = u = gamma * C (within rounding).
+    EXPECT_EQ(t.copy_in, t.copy_out);
+    EXPECT_NEAR(static_cast<double>(t.copy_in),
+                cfg.gamma * static_cast<double>(t.exec), 1.0);
+    // Deadline window: C + beta (T - C) <= D <= T, give or take rounding.
+    const double d_lo = static_cast<double>(t.exec) +
+                        cfg.beta * static_cast<double>(t.period - t.exec);
+    EXPECT_GE(static_cast<double>(t.deadline), d_lo - 2.0);
+    EXPECT_LE(t.deadline, t.period);
+    EXPECT_GE(t.exec, 1);
+  }
+  // Total execution utilization close to the target (rounding error only).
+  EXPECT_NEAR(set.utilization(), cfg.utilization, 1e-3);
+  // DM priorities: unique and ordered by deadline.
+  const auto order = set.by_priority();
+  for (std::size_t k = 0; k + 1 < order.size(); ++k) {
+    EXPECT_LE(set[order[k]].deadline, set[order[k + 1]].deadline);
+  }
+  // No task is latency-sensitive at generation time.
+  EXPECT_TRUE(set.latency_sensitive_tasks().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorLaws,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+TEST(Generator, DeterministicForSameSeed) {
+  GeneratorConfig cfg;
+  cfg.num_tasks = 4;
+  cfg.utilization = 0.5;
+  Rng rng_a(77);
+  Rng rng_b(77);
+  const TaskSet a = generate_task_set(cfg, rng_a);
+  const TaskSet b = generate_task_set(cfg, rng_b);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].exec, b[i].exec);
+    EXPECT_EQ(a[i].period, b[i].period);
+    EXPECT_EQ(a[i].deadline, b[i].deadline);
+  }
+}
+
+TEST(Generator, GammaZeroMeansNoMemoryPhases) {
+  Rng rng(3);
+  GeneratorConfig cfg;
+  cfg.gamma = 0.0;
+  const TaskSet set = generate_task_set(cfg, rng);
+  for (const auto& t : set) {
+    EXPECT_EQ(t.copy_in, 0);
+    EXPECT_EQ(t.copy_out, 0);
+  }
+}
+
+TEST(Generator, RejectsBadParameters) {
+  Rng rng(1);
+  GeneratorConfig cfg;
+  cfg.num_tasks = 0;
+  EXPECT_THROW(generate_task_set(cfg, rng),
+               mcs::support::ContractViolation);
+  cfg = GeneratorConfig{};
+  cfg.beta = 1.5;
+  EXPECT_THROW(generate_task_set(cfg, rng),
+               mcs::support::ContractViolation);
+  cfg = GeneratorConfig{};
+  cfg.period_min = 200.0;  // > period_max
+  EXPECT_THROW(generate_task_set(cfg, rng),
+               mcs::support::ContractViolation);
+}
+
+TEST(PartitionWorstFit, BalancesLoad) {
+  Rng rng(21);
+  GeneratorConfig cfg;
+  cfg.num_tasks = 12;
+  cfg.utilization = 1.8;
+  const TaskSet big = generate_task_set(cfg, rng);
+  const auto parts =
+      partition_worst_fit({big.tasks().begin(), big.tasks().end()}, 3);
+  ASSERT_EQ(parts.size(), 3u);
+  std::size_t total = 0;
+  for (const auto& p : parts) {
+    total += p.size();
+    EXPECT_LT(p.utilization(), 1.0);  // 1.8 / 3 with worst-fit headroom
+  }
+  EXPECT_EQ(total, 12u);
+}
+
+TEST(PartitionWorstFit, SingleCoreKeepsEverything) {
+  Rng rng(23);
+  GeneratorConfig cfg;
+  const TaskSet set = generate_task_set(cfg, rng);
+  const auto parts =
+      partition_worst_fit({set.tasks().begin(), set.tasks().end()}, 1);
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].size(), set.size());
+}
+
+}  // namespace

@@ -1,0 +1,221 @@
+// Additional MILP solver coverage: mixed integer/continuous brute-force
+// cross-checks, relative-gap termination, branch priorities, and diving
+// heuristic behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/milp.hpp"
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using mcs::lp::kInfinity;
+using mcs::lp::LinExpr;
+using mcs::lp::MilpOptions;
+using mcs::lp::MilpResult;
+using mcs::lp::Model;
+using mcs::lp::Relation;
+using mcs::lp::Sense;
+using mcs::lp::solve_lp;
+using mcs::lp::solve_milp;
+using mcs::lp::SolveStatus;
+using mcs::lp::VarId;
+
+constexpr double kTol = 1e-5;
+
+/// Enumerates all integer assignments of the integral variables, solving
+/// the continuous completion LP for each; returns the best objective.
+double brute_force_mixed(const Model& model, bool& feasible) {
+  std::vector<std::size_t> int_vars;
+  for (std::size_t i = 0; i < model.num_variables(); ++i) {
+    if (model.variables()[i].type != mcs::lp::VarType::kContinuous) {
+      int_vars.push_back(i);
+    }
+  }
+  const bool maximize = model.objective_sense() == Sense::kMaximize;
+  double best = maximize ? -kInfinity : kInfinity;
+  feasible = false;
+
+  std::vector<long> current;
+  std::vector<std::pair<long, long>> domains;
+  for (const std::size_t v : int_vars) {
+    domains.emplace_back(
+        static_cast<long>(std::ceil(model.variables()[v].lower)),
+        static_cast<long>(std::floor(model.variables()[v].upper)));
+    current.push_back(domains.back().first);
+    if (domains.back().first > domains.back().second) return best;
+  }
+  for (;;) {
+    Model fixed = model;
+    for (std::size_t k = 0; k < int_vars.size(); ++k) {
+      fixed.set_bounds(VarId{int_vars[k]},
+                       static_cast<double>(current[k]),
+                       static_cast<double>(current[k]));
+    }
+    const auto sol = solve_lp(fixed);
+    if (sol.status == SolveStatus::kOptimal) {
+      feasible = true;
+      best = maximize ? std::max(best, sol.objective)
+                      : std::min(best, sol.objective);
+    }
+    std::size_t pos = 0;
+    while (pos < int_vars.size() && ++current[pos] > domains[pos].second) {
+      current[pos] = domains[pos].first;
+      ++pos;
+    }
+    if (pos == int_vars.size()) break;
+    if (int_vars.empty()) break;
+  }
+  return best;
+}
+
+class MixedMilpVsBruteForce : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(MixedMilpVsBruteForce, MatchesEnumeration) {
+  mcs::support::Rng rng(GetParam() * 3571 + 19);
+  Model m;
+  std::vector<VarId> ints, conts;
+  const std::size_t ni = 1 + static_cast<std::size_t>(rng.uniform_int(0, 2));
+  const std::size_t nc = 1 + static_cast<std::size_t>(rng.uniform_int(0, 2));
+  for (std::size_t i = 0; i < ni; ++i) {
+    ints.push_back(m.add_integer(0, static_cast<double>(rng.uniform_int(1, 3))));
+  }
+  for (std::size_t i = 0; i < nc; ++i) {
+    conts.push_back(m.add_continuous(0, rng.uniform(1.0, 5.0)));
+  }
+  const std::size_t rows = 1 + static_cast<std::size_t>(rng.uniform_int(0, 2));
+  for (std::size_t r = 0; r < rows; ++r) {
+    LinExpr lhs;
+    for (const VarId v : ints) lhs += rng.uniform(-2.0, 3.0) * LinExpr(v);
+    for (const VarId v : conts) lhs += rng.uniform(-2.0, 3.0) * LinExpr(v);
+    m.add_constraint(lhs, Relation::kLe, rng.uniform(0.0, 8.0));
+  }
+  LinExpr obj;
+  for (const VarId v : ints) obj += rng.uniform(-3.0, 4.0) * LinExpr(v);
+  for (const VarId v : conts) obj += rng.uniform(-3.0, 4.0) * LinExpr(v);
+  m.set_objective(Sense::kMaximize, obj);
+
+  bool feasible = false;
+  const double expected = brute_force_mixed(m, feasible);
+  const MilpResult r = solve_milp(m);
+  if (!feasible) {
+    EXPECT_EQ(r.status, SolveStatus::kInfeasible);
+  } else {
+    ASSERT_EQ(r.status, SolveStatus::kOptimal);
+    EXPECT_NEAR(r.objective, expected, 1e-4);
+    EXPECT_TRUE(m.is_feasible(r.values, 1e-5));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MixedMilpVsBruteForce,
+                         ::testing::Range<std::uint64_t>(0, 60));
+
+TEST(MilpGap, RelativeGapTerminationIsSafe) {
+  // Build a knapsack where gap termination will trigger, and verify the
+  // dual bound dominates the true optimum.
+  mcs::support::Rng rng(4);
+  Model m;
+  LinExpr weight, value;
+  for (int i = 0; i < 16; ++i) {
+    const VarId v = m.add_binary();
+    weight += rng.uniform(1.0, 4.0) * LinExpr(v);
+    value += rng.uniform(1.0, 7.0) * LinExpr(v);
+  }
+  m.add_constraint(weight, Relation::kLe, 18.0);
+  m.set_objective(Sense::kMaximize, value);
+
+  const MilpResult exact = solve_milp(m);
+  ASSERT_EQ(exact.status, SolveStatus::kOptimal);
+  ASSERT_FALSE(exact.gap_terminated);
+
+  MilpOptions relaxed;
+  relaxed.relative_gap = 0.10;
+  const MilpResult approx = solve_milp(m, relaxed);
+  ASSERT_EQ(approx.status, SolveStatus::kOptimal);
+  // Dual bound must cover the true optimum; incumbent must be feasible and
+  // within the gap of the bound.
+  EXPECT_GE(approx.best_bound, exact.objective - kTol);
+  EXPECT_LE(approx.objective, exact.objective + kTol);
+  if (approx.gap_terminated) {
+    EXPECT_LE(approx.best_bound - approx.objective,
+              0.10 * std::max(1.0, std::abs(approx.objective)) + kTol);
+  }
+  EXPECT_TRUE(m.is_feasible(approx.values, 1e-5));
+}
+
+TEST(MilpBranchPriority, DoesNotChangeTheOptimum) {
+  mcs::support::Rng rng(11);
+  Model m;
+  LinExpr weight, value;
+  std::vector<VarId> vars;
+  for (int i = 0; i < 12; ++i) {
+    const VarId v = m.add_binary();
+    vars.push_back(v);
+    weight += rng.uniform(1.0, 4.0) * LinExpr(v);
+    value += rng.uniform(1.0, 7.0) * LinExpr(v);
+  }
+  m.add_constraint(weight, Relation::kLe, 14.0);
+  m.set_objective(Sense::kMaximize, value);
+
+  const MilpResult plain = solve_milp(m);
+  MilpOptions prio;
+  prio.branch_priority.assign(m.num_variables(), 0);
+  for (std::size_t i = 0; i < 6; ++i) {
+    prio.branch_priority[vars[i].index] = 1;
+  }
+  const MilpResult prioritized = solve_milp(m, prio);
+  ASSERT_EQ(plain.status, SolveStatus::kOptimal);
+  ASSERT_EQ(prioritized.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(plain.objective, prioritized.objective, kTol);
+}
+
+TEST(MilpHeuristics, DivingFindsIncumbentOnFirstNode) {
+  // A problem whose LP relaxation is fractional; with a single node the
+  // dive must still deliver a feasible incumbent.
+  mcs::support::Rng rng(21);
+  Model m;
+  LinExpr weight, value;
+  for (int i = 0; i < 10; ++i) {
+    const VarId v = m.add_binary();
+    weight += rng.uniform(1.0, 4.0) * LinExpr(v);
+    value += rng.uniform(1.0, 7.0) * LinExpr(v);
+  }
+  m.add_constraint(weight, Relation::kLe, 11.0);
+  m.set_objective(Sense::kMaximize, value);
+
+  MilpOptions one_node;
+  one_node.max_nodes = 1;
+  const MilpResult r = solve_milp(m, one_node);
+  EXPECT_EQ(r.status, SolveStatus::kNodeLimit);
+  EXPECT_TRUE(r.has_incumbent);
+  EXPECT_TRUE(m.is_feasible(r.values, 1e-5));
+  EXPECT_GE(r.best_bound, r.objective - kTol);
+}
+
+TEST(MilpEdge, AllVariablesFixed) {
+  Model m;
+  const VarId x = m.add_integer(3, 3, "x");
+  m.set_objective(Sense::kMinimize, 2.0 * LinExpr(x));
+  const MilpResult r = solve_milp(m);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 6.0, kTol);
+}
+
+TEST(MilpEdge, EqualityConstrainedIntegers) {
+  // x + y = 3 with 0 <= x,y <= 2 integer: optimum of max 2x + y is x=2,y=1.
+  Model m;
+  const VarId x = m.add_integer(0, 2, "x");
+  const VarId y = m.add_integer(0, 2, "y");
+  m.add_constraint(LinExpr(x) + LinExpr(y), Relation::kEq, 3.0);
+  m.set_objective(Sense::kMaximize, 2.0 * LinExpr(x) + LinExpr(y));
+  const MilpResult r = solve_milp(m);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 5.0, kTol);
+  EXPECT_NEAR(r.values[x.index], 2.0, kTol);
+}
+
+}  // namespace

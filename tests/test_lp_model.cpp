@@ -1,0 +1,112 @@
+#include "lp/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/contracts.hpp"
+
+namespace {
+
+using mcs::lp::LinExpr;
+using mcs::lp::Model;
+using mcs::lp::Relation;
+using mcs::lp::Sense;
+using mcs::lp::term;
+using mcs::lp::VarId;
+using mcs::lp::VarType;
+using mcs::support::ContractViolation;
+
+TEST(LinExpr, ArithmeticComposition) {
+  Model m;
+  const VarId x = m.add_continuous(0, 10, "x");
+  const VarId y = m.add_continuous(0, 10, "y");
+  LinExpr e = 2.0 * LinExpr(x) + term(y, 3.0) - 1.0;
+  const LinExpr n = e.normalized();
+  ASSERT_EQ(n.terms().size(), 2u);
+  EXPECT_DOUBLE_EQ(n.constant(), -1.0);
+  EXPECT_DOUBLE_EQ(m.evaluate(n, {1.0, 2.0}), 2.0 + 6.0 - 1.0);
+}
+
+TEST(LinExpr, NormalizeMergesDuplicatesAndDropsZeros) {
+  Model m;
+  const VarId x = m.add_continuous(0, 1, "x");
+  const VarId y = m.add_continuous(0, 1, "y");
+  LinExpr e;
+  e.add_term(x, 2.0);
+  e.add_term(y, 1.0);
+  e.add_term(x, -2.0);
+  e.add_term(y, 0.5);
+  const LinExpr n = e.normalized();
+  ASSERT_EQ(n.terms().size(), 1u);
+  EXPECT_EQ(n.terms()[0].first, y.index);
+  EXPECT_DOUBLE_EQ(n.terms()[0].second, 1.5);
+}
+
+TEST(Model, ConstraintFoldsConstantsIntoRhs) {
+  Model m;
+  const VarId x = m.add_continuous(0, 10, "x");
+  // x + 3 <= 2 x + 5  ==>  -x <= 2
+  m.add_constraint(LinExpr(x) + 3.0, Relation::kLe, 2.0 * LinExpr(x) + 5.0);
+  ASSERT_EQ(m.num_constraints(), 1u);
+  const auto& c = m.constraints()[0];
+  ASSERT_EQ(c.lhs.terms().size(), 1u);
+  EXPECT_DOUBLE_EQ(c.lhs.terms()[0].second, -1.0);
+  EXPECT_DOUBLE_EQ(c.rhs, 2.0);
+  EXPECT_DOUBLE_EQ(c.lhs.constant(), 0.0);
+}
+
+TEST(Model, VariableKinds) {
+  Model m;
+  const VarId x = m.add_continuous(-1.5, 2.5, "x");
+  const VarId b = m.add_binary("b");
+  const VarId k = m.add_integer(0, 9, "k");
+  EXPECT_EQ(m.variable(x).type, VarType::kContinuous);
+  EXPECT_EQ(m.variable(b).type, VarType::kBinary);
+  EXPECT_DOUBLE_EQ(m.variable(b).upper, 1.0);
+  EXPECT_EQ(m.variable(k).type, VarType::kInteger);
+  EXPECT_TRUE(m.has_integer_variables());
+}
+
+TEST(Model, HasIntegerVariablesIgnoresFixed) {
+  Model m;
+  const VarId b = m.add_binary("b");
+  m.set_bounds(b, 1.0, 1.0);
+  EXPECT_FALSE(m.has_integer_variables());
+}
+
+TEST(Model, RejectsInvalidBounds) {
+  Model m;
+  EXPECT_THROW(m.add_continuous(2.0, 1.0, "bad"), ContractViolation);
+  const VarId x = m.add_continuous(0, 1, "x");
+  EXPECT_THROW(m.set_bounds(x, 3.0, 2.0), ContractViolation);
+}
+
+TEST(Model, RejectsForeignVariables) {
+  Model m;
+  LinExpr e;
+  e.add_term(VarId{5}, 1.0);  // variable never added
+  EXPECT_THROW(m.add_constraint(e, Relation::kLe, 1.0), ContractViolation);
+}
+
+TEST(Model, FeasibilityCheck) {
+  Model m;
+  const VarId x = m.add_continuous(0, 4, "x");
+  const VarId b = m.add_binary("b");
+  m.add_constraint(LinExpr(x) + LinExpr(b), Relation::kLe, 3.0);
+  m.add_constraint(LinExpr(x), Relation::kGe, 1.0);
+  EXPECT_TRUE(m.is_feasible({2.0, 1.0}, 1e-9));
+  EXPECT_FALSE(m.is_feasible({3.5, 1.0}, 1e-9));   // violates row 1
+  EXPECT_FALSE(m.is_feasible({0.0, 0.0}, 1e-9));   // violates row 2
+  EXPECT_FALSE(m.is_feasible({2.0, 0.5}, 1e-9));   // fractional binary
+  EXPECT_FALSE(m.is_feasible({5.0, 0.0}, 1e-9));   // bound violation
+  EXPECT_FALSE(m.is_feasible({2.0}, 1e-9));        // wrong arity
+}
+
+TEST(Model, ObjectiveEvaluation) {
+  Model m;
+  const VarId x = m.add_continuous(0, 10, "x");
+  m.set_objective(Sense::kMaximize, 3.0 * LinExpr(x) + 1.0);
+  EXPECT_EQ(m.objective_sense(), Sense::kMaximize);
+  EXPECT_DOUBLE_EQ(m.evaluate(m.objective(), {2.0}), 7.0);
+}
+
+}  // namespace

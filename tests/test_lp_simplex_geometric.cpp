@@ -1,0 +1,92 @@
+// Exact geometric cross-check of the simplex on random 2-variable LPs:
+// the optimum of a bounded feasible 2D LP lies on a vertex of the feasible
+// polygon, i.e. the intersection of two tight constraints (rows or box
+// bounds).  Enumerating all pairs gives an independent exact optimum.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using mcs::lp::LinExpr;
+using mcs::lp::Model;
+using mcs::lp::Relation;
+using mcs::lp::Sense;
+using mcs::lp::solve_lp;
+using mcs::lp::SolveStatus;
+using mcs::lp::VarId;
+
+struct Line {
+  // a*x + b*y = c
+  double a, b, c;
+};
+
+/// Intersection of two lines; false when (near-)parallel.
+bool intersect(const Line& p, const Line& q, double& x, double& y) {
+  const double det = p.a * q.b - p.b * q.a;
+  if (std::abs(det) < 1e-9) return false;
+  x = (p.c * q.b - p.b * q.c) / det;
+  y = (p.a * q.c - p.c * q.a) / det;
+  return true;
+}
+
+class Simplex2DGeometric : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Simplex2DGeometric, OptimumMatchesVertexEnumeration) {
+  mcs::support::Rng rng(GetParam() * 37 + 5);
+
+  const double x_lo = 0.0, y_lo = 0.0;
+  const double x_hi = rng.uniform(1.0, 8.0);
+  const double y_hi = rng.uniform(1.0, 8.0);
+
+  Model m;
+  const VarId x = m.add_continuous(x_lo, x_hi, "x");
+  const VarId y = m.add_continuous(y_lo, y_hi, "y");
+
+  // Random <= rows through the positive quadrant; rhs chosen so the origin
+  // stays feasible (bounded + feasible by construction).
+  std::vector<Line> lines;
+  const std::size_t rows = 1 + static_cast<std::size_t>(rng.uniform_int(0, 3));
+  for (std::size_t r = 0; r < rows; ++r) {
+    const Line line{rng.uniform(0.1, 2.0), rng.uniform(0.1, 2.0),
+                    rng.uniform(0.5, 6.0)};
+    m.add_constraint(line.a * LinExpr(x) + line.b * LinExpr(y),
+                     Relation::kLe, line.c);
+    lines.push_back(line);
+  }
+  // Box bounds as lines for the vertex enumeration.
+  lines.push_back({1.0, 0.0, x_lo});
+  lines.push_back({1.0, 0.0, x_hi});
+  lines.push_back({0.0, 1.0, y_lo});
+  lines.push_back({0.0, 1.0, y_hi});
+
+  const double cx = rng.uniform(-2.0, 3.0);
+  const double cy = rng.uniform(-2.0, 3.0);
+  m.set_objective(Sense::kMaximize, cx * LinExpr(x) + cy * LinExpr(y));
+
+  // Vertex enumeration.
+  double best = -1e300;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    for (std::size_t j = i + 1; j < lines.size(); ++j) {
+      double px = 0.0, py = 0.0;
+      if (!intersect(lines[i], lines[j], px, py)) continue;
+      if (!m.is_feasible({px, py}, 1e-7)) continue;
+      best = std::max(best, cx * px + cy * py);
+    }
+  }
+  ASSERT_GT(best, -1e299);  // the box corners guarantee feasible vertices
+
+  const auto sol = solve_lp(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, best, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Simplex2DGeometric,
+                         ::testing::Range<std::uint64_t>(0, 60));
+
+}  // namespace

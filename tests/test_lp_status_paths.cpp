@@ -1,0 +1,99 @@
+// Solver status-path coverage: iteration limits, unbounded integer
+// problems, and option plumbing that the happy-path suites never hit.
+#include <gtest/gtest.h>
+
+#include "lp/milp.hpp"
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using mcs::lp::kInfinity;
+using mcs::lp::LinExpr;
+using mcs::lp::MilpOptions;
+using mcs::lp::Model;
+using mcs::lp::Relation;
+using mcs::lp::Sense;
+using mcs::lp::SimplexOptions;
+using mcs::lp::solve_lp;
+using mcs::lp::solve_milp;
+using mcs::lp::SolveStatus;
+using mcs::lp::VarId;
+
+TEST(SolverStatus, SimplexIterationLimitReported) {
+  // A non-trivial LP with a 1-iteration budget cannot finish.
+  mcs::support::Rng rng(3);
+  Model m;
+  std::vector<VarId> xs;
+  for (int i = 0; i < 10; ++i) {
+    xs.push_back(m.add_continuous(0, kInfinity));
+  }
+  for (int r = 0; r < 10; ++r) {
+    LinExpr lhs;
+    for (const VarId v : xs) {
+      lhs += rng.uniform(0.5, 2.0) * LinExpr(v);
+    }
+    m.add_constraint(lhs, Relation::kLe, rng.uniform(5.0, 20.0));
+  }
+  LinExpr obj;
+  for (const VarId v : xs) {
+    obj += rng.uniform(0.5, 2.0) * LinExpr(v);
+  }
+  m.set_objective(Sense::kMaximize, obj);
+
+  SimplexOptions tiny;
+  tiny.max_iterations = 1;
+  const auto sol = solve_lp(m, tiny);
+  EXPECT_EQ(sol.status, SolveStatus::kIterationLimit);
+  // And with a sane budget the same model solves.
+  EXPECT_EQ(solve_lp(m).status, SolveStatus::kOptimal);
+}
+
+TEST(SolverStatus, UnboundedMilpReported) {
+  Model m;
+  const VarId x = m.add_integer(0, kInfinity, "x");
+  m.set_objective(Sense::kMaximize, LinExpr(x));
+  const auto result = solve_milp(m);
+  EXPECT_EQ(result.status, SolveStatus::kUnbounded);
+}
+
+TEST(SolverStatus, StatusNamesAreStable) {
+  EXPECT_STREQ(to_string(SolveStatus::kOptimal), "optimal");
+  EXPECT_STREQ(to_string(SolveStatus::kInfeasible), "infeasible");
+  EXPECT_STREQ(to_string(SolveStatus::kUnbounded), "unbounded");
+  EXPECT_STREQ(to_string(SolveStatus::kIterationLimit), "iteration-limit");
+  EXPECT_STREQ(to_string(SolveStatus::kNodeLimit), "node-limit");
+}
+
+TEST(SolverStatus, HeuristicsCanBeDisabled) {
+  mcs::support::Rng rng(5);
+  Model m;
+  LinExpr weight, value;
+  for (int i = 0; i < 10; ++i) {
+    const VarId v = m.add_binary();
+    weight += rng.uniform(1.0, 4.0) * LinExpr(v);
+    value += rng.uniform(1.0, 7.0) * LinExpr(v);
+  }
+  m.add_constraint(weight, Relation::kLe, 12.0);
+  m.set_objective(Sense::kMaximize, value);
+
+  MilpOptions no_heuristics;
+  no_heuristics.enable_rounding_heuristic = false;
+  const auto without = solve_milp(m, no_heuristics);
+  const auto with = solve_milp(m);
+  ASSERT_EQ(without.status, SolveStatus::kOptimal);
+  ASSERT_EQ(with.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(without.objective, with.objective, 1e-6);
+}
+
+TEST(SolverStatus, InfeasibleContinuousInsideMilp) {
+  Model m;
+  const VarId b = m.add_binary("b");
+  const VarId y = m.add_continuous(0, 1, "y");
+  m.add_constraint(LinExpr(y), Relation::kGe, 2.0);  // impossible
+  m.set_objective(Sense::kMaximize, LinExpr(b) + LinExpr(y));
+  EXPECT_EQ(solve_milp(m).status, SolveStatus::kInfeasible);
+}
+
+}  // namespace

@@ -1,0 +1,105 @@
+#include "lp/lp_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/milp_formulation.hpp"
+#include "gen/generator.hpp"
+#include "lp/model.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using mcs::lp::kInfinity;
+using mcs::lp::LinExpr;
+using mcs::lp::Model;
+using mcs::lp::Relation;
+using mcs::lp::Sense;
+using mcs::lp::to_lp_format;
+using mcs::lp::VarId;
+
+TEST(LpWriter, GoldenSmallModel) {
+  Model m;
+  const VarId x = m.add_continuous(0, 4, "x");
+  const VarId y = m.add_binary("y");
+  m.add_constraint(2.0 * LinExpr(x) + LinExpr(y), Relation::kLe, 7.0,
+                   "cap");
+  m.set_objective(Sense::kMaximize, 3.0 * LinExpr(x) - LinExpr(y));
+  const std::string text = to_lp_format(m);
+  EXPECT_EQ(text,
+            "Maximize\n"
+            " obj: 3 x - 1 y\n"
+            "Subject To\n"
+            " cap: 2 x + 1 y <= 7\n"
+            "Bounds\n"
+            " 0 <= x <= 4\n"
+            " 0 <= y <= 1\n"
+            "Binaries\n"
+            " y\n"
+            "End\n");
+}
+
+TEST(LpWriter, HandlesUnnamedAndAwkwardNames) {
+  Model m;
+  const VarId a = m.add_continuous(0, 1);            // unnamed
+  const VarId b = m.add_continuous(0, 1, "2nd var");  // starts with digit
+  const VarId c = m.add_continuous(0, 1, "e");        // numeric-prefix trap
+  m.set_objective(Sense::kMinimize,
+                  LinExpr(a) + LinExpr(b) + LinExpr(c));
+  const std::string text = to_lp_format(m);
+  EXPECT_NE(text.find("x0"), std::string::npos);
+  EXPECT_NE(text.find("v2nd_var"), std::string::npos);
+  EXPECT_NE(text.find("ve"), std::string::npos);
+}
+
+TEST(LpWriter, BoundSections) {
+  Model m;
+  (void)m.add_continuous(-kInfinity, kInfinity, "free_v");
+  (void)m.add_continuous(-kInfinity, 5, "ub_only");
+  (void)m.add_continuous(-3, kInfinity, "lb_only");
+  (void)m.add_integer(1, 9, "k");
+  m.set_objective(Sense::kMinimize, LinExpr(0.0));
+  const std::string text = to_lp_format(m);
+  EXPECT_NE(text.find("free_v free"), std::string::npos);
+  EXPECT_NE(text.find("-inf <= ub_only <= 5"), std::string::npos);
+  EXPECT_NE(text.find("-3 <= lb_only"), std::string::npos);
+  EXPECT_NE(text.find("Generals\n k"), std::string::npos);
+}
+
+TEST(LpWriter, EmptyObjectiveAndConstraintSafe) {
+  Model m;
+  (void)m.add_continuous(0, 1, "x");
+  m.set_objective(Sense::kMinimize, LinExpr(0.0));
+  const std::string text = to_lp_format(m);
+  EXPECT_NE(text.find("obj: 0"), std::string::npos);
+  EXPECT_NE(text.find("End"), std::string::npos);
+}
+
+TEST(LpWriter, AnalysisMilpExportsCompletely) {
+  // The real use case: dump a schedulability-analysis MILP for an external
+  // solver.  Check structural completeness (every variable bounded, all
+  // sections present, one row per constraint).
+  mcs::support::Rng rng(17);
+  mcs::gen::GeneratorConfig cfg;
+  cfg.num_tasks = 3;
+  cfg.utilization = 0.4;
+  cfg.gamma = 0.3;
+  const auto tasks = mcs::gen::generate_task_set(cfg, rng);
+  const auto milp = mcs::analysis::build_delay_milp(
+      tasks, tasks.by_priority().back(), tasks[0].period,
+      mcs::analysis::FormulationCase::kNls);
+  const std::string text = to_lp_format(milp.model);
+  EXPECT_NE(text.find("Maximize"), std::string::npos);
+  EXPECT_NE(text.find("Subject To"), std::string::npos);
+  EXPECT_NE(text.find("Binaries"), std::string::npos);
+  EXPECT_NE(text.find("Delta_0"), std::string::npos);
+  // One "<=", ">=", or "=" line per constraint.
+  std::size_t rows = 0;
+  for (std::size_t pos = text.find("Subject To");
+       pos != std::string::npos && pos < text.find("Bounds");
+       pos = text.find('\n', pos + 1)) {
+    ++rows;
+  }
+  EXPECT_GE(rows, milp.model.num_constraints());
+}
+
+}  // namespace

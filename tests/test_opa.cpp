@@ -1,0 +1,175 @@
+#include "analysis/opa.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "analysis/nps.hpp"
+#include "analysis/schedulability.hpp"
+#include "gen/generator.hpp"
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using mcs::analysis::analyze;
+using mcs::analysis::Approach;
+using mcs::analysis::audsley_assign;
+using mcs::analysis::OpaResult;
+using mcs::rt::Task;
+using mcs::rt::TaskSet;
+using mcs::rt::Time;
+
+Task make_task(std::string name, Time exec, Time mem, Time period,
+               Time deadline, mcs::rt::Priority priority) {
+  Task t;
+  t.name = std::move(name);
+  t.exec = exec;
+  t.copy_in = mem;
+  t.copy_out = mem;
+  t.period = period;
+  t.deadline = deadline;
+  t.priority = priority;
+  return t;
+}
+
+TEST(Opa, AssignsDistinctPrioritiesWhenFeasible) {
+  const TaskSet tasks({make_task("a", 2, 1, 40, 30, 0),
+                       make_task("b", 3, 1, 60, 50, 1),
+                       make_task("c", 4, 1, 90, 80, 2)});
+  const OpaResult result =
+      audsley_assign(tasks, Approach::kNonPreemptive);
+  ASSERT_TRUE(result.schedulable);
+  std::set<mcs::rt::Priority> unique(result.priorities.begin(),
+                                     result.priorities.end());
+  EXPECT_EQ(unique.size(), tasks.size());
+  // Verify the produced assignment really is schedulable.
+  TaskSet assigned = tasks;
+  for (std::size_t i = 0; i < assigned.size(); ++i) {
+    assigned[i].priority = result.priorities[i];
+  }
+  EXPECT_TRUE(analyze(assigned, Approach::kNonPreemptive).schedulable);
+}
+
+TEST(Opa, DiscoversAndVerifiesAssignment) {
+  // A tight-deadline big task next to a relaxed tiny one:
+  //
+  //   big:  e = 52 (50+1+1), D = 53,  T = 200
+  //   tiny: e = 1,           D = 200, T = 200
+  //
+  // Either order happens to be feasible (blocking and interference are
+  // symmetric at these sizes); the point under test is that OPA finds
+  // *some* assignment and that it verifies under the plain analysis.
+  TaskSet tasks({make_task("big", 50, 1, 200, 53, 0),
+                 make_task("tiny", 1, 0, 200, 200, 1)});
+  const OpaResult opa = audsley_assign(tasks, Approach::kNonPreemptive);
+  ASSERT_TRUE(opa.schedulable);
+  TaskSet assigned = tasks;
+  for (std::size_t i = 0; i < assigned.size(); ++i) {
+    assigned[i].priority = opa.priorities[i];
+  }
+  EXPECT_TRUE(analyze(assigned, Approach::kNonPreemptive).schedulable);
+}
+
+TEST(Opa, FixedAssignmentsVerifyWheneverFound) {
+  // Search random sets for DM failures; whenever OPA claims to fix one,
+  // the produced assignment must verify under the plain analysis.
+  mcs::support::Rng rng(2024);
+  std::size_t dm_failures = 0;
+  std::size_t opa_fixes = 0;
+  for (int trial = 0; trial < 25; ++trial) {
+    mcs::gen::GeneratorConfig cfg;
+    cfg.num_tasks = 4;
+    cfg.utilization = rng.uniform(0.3, 0.6);
+    cfg.gamma = rng.uniform(0.1, 0.4);
+    cfg.beta = rng.uniform(0.1, 0.5);
+    const TaskSet tasks = mcs::gen::generate_task_set(cfg, rng);
+    if (analyze(tasks, Approach::kNonPreemptive).schedulable) continue;
+    ++dm_failures;
+    const OpaResult opa = audsley_assign(tasks, Approach::kNonPreemptive);
+    if (!opa.schedulable) continue;
+    ++opa_fixes;
+    TaskSet assigned = tasks;
+    for (std::size_t i = 0; i < assigned.size(); ++i) {
+      assigned[i].priority = opa.priorities[i];
+    }
+    EXPECT_TRUE(analyze(assigned, Approach::kNonPreemptive).schedulable);
+  }
+  // The search must have exercised the interesting path at least once.
+  EXPECT_GT(dm_failures, 0u);
+}
+
+TEST(Opa, InfeasibleSetRejected) {
+  const TaskSet tasks({make_task("a", 30, 5, 40, 35, 0),
+                       make_task("b", 30, 5, 40, 35, 1)});
+  const OpaResult result =
+      audsley_assign(tasks, Approach::kNonPreemptive);
+  EXPECT_FALSE(result.schedulable);
+}
+
+TEST(Opa, TestCountIsQuadraticallyBounded) {
+  const TaskSet tasks({make_task("a", 2, 1, 40, 30, 0),
+                       make_task("b", 3, 1, 60, 50, 1),
+                       make_task("c", 4, 1, 90, 80, 2),
+                       make_task("d", 5, 1, 120, 100, 3)});
+  const OpaResult result =
+      audsley_assign(tasks, Approach::kNonPreemptive);
+  EXPECT_TRUE(result.schedulable);
+  EXPECT_LE(result.test_count, tasks.size() * tasks.size());
+}
+
+TEST(Opa, RejectsEmptyTest) {
+  const TaskSet tasks({make_task("a", 2, 1, 40, 30, 0)});
+  EXPECT_THROW(
+      audsley_assign(
+          tasks,
+          std::function<bool(const TaskSet&, mcs::rt::TaskIndex)>{}),
+      mcs::support::ContractViolation);
+}
+
+// ---------------------------------------------------------------------------
+// Dominance property: whenever DM succeeds, OPA succeeds — for both the
+// NPS analysis and the WP MILP analysis, over random task sets.
+// ---------------------------------------------------------------------------
+
+struct OpaCase {
+  std::uint64_t seed;
+  Approach approach;
+};
+
+class OpaDominance : public ::testing::TestWithParam<OpaCase> {};
+
+TEST_P(OpaDominance, OpaSchedulesWheneverDmDoes) {
+  const auto [seed, approach] = GetParam();
+  mcs::support::Rng rng(seed * 191 + 7);
+  mcs::gen::GeneratorConfig cfg;
+  cfg.num_tasks = 4;
+  cfg.utilization = rng.uniform(0.2, 0.6);
+  cfg.gamma = rng.uniform(0.1, 0.4);
+  const TaskSet tasks = mcs::gen::generate_task_set(cfg, rng);  // DM priorities
+  const bool dm_ok = analyze(tasks, approach).schedulable;
+  if (!dm_ok) return;
+  const OpaResult opa = audsley_assign(tasks, approach);
+  EXPECT_TRUE(opa.schedulable) << "seed " << seed;
+}
+
+std::vector<OpaCase> opa_cases() {
+  std::vector<OpaCase> cases;
+  for (std::uint64_t s = 0; s < 12; ++s) {
+    cases.push_back({s, Approach::kNonPreemptive});
+  }
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    cases.push_back({s + 50, Approach::kWasilyPellizzoni});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OpaDominance,
+                         ::testing::ValuesIn(opa_cases()),
+                         [](const auto& param_info) {
+                           return std::string(to_string(param_info.param.approach)) +
+                                  "_s" + std::to_string(param_info.param.seed);
+                         });
+
+}  // namespace

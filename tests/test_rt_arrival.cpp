@@ -1,0 +1,86 @@
+#include "rt/arrival.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/contracts.hpp"
+
+namespace {
+
+using mcs::rt::ArrivalCurvePtr;
+using mcs::rt::make_sporadic;
+using mcs::rt::PeriodicJitterArrival;
+using mcs::rt::SporadicArrival;
+using mcs::rt::StaircaseArrival;
+using mcs::rt::Time;
+using mcs::support::ContractViolation;
+
+TEST(SporadicArrival, PaperConvention) {
+  // eta(delta) = ceil(delta / T): eta(0)=0, eta(1)=1, eta(T)=1, eta(T+1)=2.
+  const SporadicArrival eta(10);
+  EXPECT_EQ(eta.releases_in(0), 0u);
+  EXPECT_EQ(eta.releases_in(1), 1u);
+  EXPECT_EQ(eta.releases_in(10), 1u);
+  EXPECT_EQ(eta.releases_in(11), 2u);
+  EXPECT_EQ(eta.releases_in(20), 2u);
+  EXPECT_EQ(eta.releases_in(95), 10u);
+}
+
+TEST(SporadicArrival, RejectsNonPositivePeriod) {
+  EXPECT_THROW(SporadicArrival(0), ContractViolation);
+  EXPECT_THROW(SporadicArrival(-5), ContractViolation);
+}
+
+TEST(SporadicArrival, MonotoneNonDecreasing) {
+  const SporadicArrival eta(7);
+  std::uint64_t prev = 0;
+  for (Time d = 0; d <= 100; ++d) {
+    const std::uint64_t cur = eta.releases_in(d);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(PeriodicJitterArrival, JitterAddsReleases) {
+  const PeriodicJitterArrival eta(10, 5);
+  EXPECT_EQ(eta.releases_in(0), 0u);
+  EXPECT_EQ(eta.releases_in(6), 2u);   // ceil(11/10)
+  EXPECT_EQ(eta.releases_in(15), 2u);  // ceil(20/10)
+  EXPECT_EQ(eta.releases_in(16), 3u);
+}
+
+TEST(PeriodicJitterArrival, ZeroJitterEqualsSporadic) {
+  const PeriodicJitterArrival jittered(10, 0);
+  const SporadicArrival sporadic(10);
+  for (Time d = 0; d <= 50; ++d) {
+    EXPECT_EQ(jittered.releases_in(d), sporadic.releases_in(d));
+  }
+}
+
+TEST(PeriodicJitterArrival, MinSeparationShrinksWithJitter) {
+  EXPECT_EQ(PeriodicJitterArrival(10, 3).min_separation(), 7);
+  EXPECT_EQ(PeriodicJitterArrival(10, 20).min_separation(), 1);
+}
+
+TEST(StaircaseArrival, StepsApply) {
+  const StaircaseArrival eta({{5, 1}, {12, 2}, {30, 5}});
+  EXPECT_EQ(eta.releases_in(0), 0u);
+  EXPECT_EQ(eta.releases_in(4), 0u);
+  EXPECT_EQ(eta.releases_in(5), 1u);
+  EXPECT_EQ(eta.releases_in(11), 1u);
+  EXPECT_EQ(eta.releases_in(12), 2u);
+  EXPECT_EQ(eta.releases_in(1000), 5u);
+  EXPECT_EQ(eta.min_separation(), 12);
+}
+
+TEST(StaircaseArrival, RejectsNonMonotoneSteps) {
+  EXPECT_THROW(StaircaseArrival({{5, 2}, {4, 3}}), ContractViolation);
+  EXPECT_THROW(StaircaseArrival({{5, 2}, {8, 1}}), ContractViolation);
+}
+
+TEST(MakeSporadic, FactoryProducesEquivalentCurve) {
+  const ArrivalCurvePtr eta = make_sporadic(25);
+  EXPECT_EQ(eta->releases_in(26), 2u);
+  EXPECT_EQ(eta->min_separation(), 25);
+}
+
+}  // namespace

@@ -1,0 +1,128 @@
+#include "rt/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using mcs::rt::load_workload;
+using mcs::rt::save_workload;
+using mcs::rt::Workload;
+
+Workload parse(const std::string& text) {
+  std::istringstream in(text);
+  return load_workload(in);
+}
+
+TEST(WorkloadIo, ParsesTasksWithExplicitPriorities) {
+  const Workload w = parse(
+      "task a C=10 l=2 u=3 T=100 D=90 prio=1\n"
+      "task b C=20 l=0 u=0 T=200 D=150 prio=0 ls\n");
+  ASSERT_EQ(w.tasks.size(), 2u);
+  EXPECT_EQ(w.tasks[0].exec, 10);
+  EXPECT_EQ(w.tasks[0].copy_in, 2);
+  EXPECT_EQ(w.tasks[0].copy_out, 3);
+  EXPECT_EQ(w.tasks[0].period, 100);
+  EXPECT_EQ(w.tasks[0].deadline, 90);
+  EXPECT_EQ(w.tasks[0].priority, 1u);
+  EXPECT_FALSE(w.tasks[0].latency_sensitive);
+  EXPECT_TRUE(w.tasks[1].latency_sensitive);
+  EXPECT_EQ(w.tasks[1].priority, 0u);
+}
+
+TEST(WorkloadIo, AssignsDeadlineMonotonicWhenNoPriorities) {
+  const Workload w = parse(
+      "task slow C=10 T=100 D=90\n"
+      "task fast C=5 T=50 D=20\n");
+  EXPECT_EQ(w.tasks[1].priority, 0u);  // D=20 first
+  EXPECT_EQ(w.tasks[0].priority, 1u);
+}
+
+TEST(WorkloadIo, ImplicitDeadlineEqualsPeriod) {
+  const Workload w = parse("task a C=10 T=100\n");
+  EXPECT_EQ(w.tasks[0].deadline, 100);
+}
+
+TEST(WorkloadIo, CommentsAndBlankLinesIgnored) {
+  const Workload w = parse(
+      "# header comment\n"
+      "\n"
+      "task a C=10 T=100  # trailing comment\n");
+  EXPECT_EQ(w.tasks.size(), 1u);
+}
+
+TEST(WorkloadIo, ParsesChains) {
+  const Workload w = parse(
+      "task a C=10 T=100\n"
+      "task b C=10 T=100\n"
+      "chain ab age=500 tasks=a,b\n");
+  ASSERT_EQ(w.chains.size(), 1u);
+  EXPECT_EQ(w.chains[0].name, "ab");
+  EXPECT_EQ(w.chains[0].max_data_age, 500);
+  EXPECT_EQ(w.chains[0].tasks,
+            (std::vector<mcs::rt::TaskIndex>{0, 1}));
+}
+
+TEST(WorkloadIo, ErrorsCarryLineNumbers) {
+  const auto expect_error = [](const std::string& text,
+                               const std::string& fragment) {
+    try {
+      parse(text);
+      FAIL() << "expected parse failure for: " << text;
+    } catch (const std::runtime_error& error) {
+      EXPECT_NE(std::string(error.what()).find(fragment),
+                std::string::npos)
+          << error.what();
+    }
+  };
+  expect_error("task a C=10 T=xyz\n", "line 1");
+  expect_error("task a C=10\n", "needs at least C= and T=");
+  expect_error("task a C=10 T=100 bogus=1\n", "unknown attribute");
+  expect_error("widget a\n", "unknown directive");
+  expect_error("task a C=10 T=100\ntask a C=5 T=50\n", "duplicate task");
+  expect_error("task a C=10 T=100\nchain c tasks=a,zz\n",
+               "unknown task 'zz'");
+  expect_error("task a C=10 T=100\nchain c age=5\n", "chain needs tasks=");
+  expect_error("", "no tasks");
+  expect_error("task a C=10 T=100 prio=0\ntask b C=10 T=100\n",
+               "either every task needs prio= or none");
+}
+
+TEST(WorkloadIo, RoundTripPreservesEverything) {
+  const Workload original = parse(
+      "task a C=10 l=2 u=3 T=100 D=90 prio=1\n"
+      "task b C=20 l=1 u=1 T=200 D=150 prio=0 ls\n"
+      "chain ab age=700 tasks=a,b\n");
+  std::ostringstream out;
+  save_workload(original, out);
+  const Workload reloaded = parse(out.str());
+  ASSERT_EQ(reloaded.tasks.size(), original.tasks.size());
+  for (std::size_t i = 0; i < original.tasks.size(); ++i) {
+    EXPECT_EQ(reloaded.tasks[i].name, original.tasks[i].name);
+    EXPECT_EQ(reloaded.tasks[i].exec, original.tasks[i].exec);
+    EXPECT_EQ(reloaded.tasks[i].copy_in, original.tasks[i].copy_in);
+    EXPECT_EQ(reloaded.tasks[i].copy_out, original.tasks[i].copy_out);
+    EXPECT_EQ(reloaded.tasks[i].period, original.tasks[i].period);
+    EXPECT_EQ(reloaded.tasks[i].deadline, original.tasks[i].deadline);
+    EXPECT_EQ(reloaded.tasks[i].priority, original.tasks[i].priority);
+    EXPECT_EQ(reloaded.tasks[i].latency_sensitive,
+              original.tasks[i].latency_sensitive);
+  }
+  ASSERT_EQ(reloaded.chains.size(), 1u);
+  EXPECT_EQ(reloaded.chains[0].tasks, original.chains[0].tasks);
+  EXPECT_EQ(reloaded.chains[0].max_data_age,
+            original.chains[0].max_data_age);
+}
+
+TEST(WorkloadIo, MissingFileReportsPath) {
+  try {
+    mcs::rt::load_workload_file("/nonexistent/workload.txt");
+    FAIL();
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("/nonexistent/workload.txt"),
+              std::string::npos);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,109 @@
+#include "rt/task.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/contracts.hpp"
+
+namespace {
+
+using mcs::rt::Task;
+using mcs::rt::TaskIndex;
+using mcs::rt::TaskSet;
+using mcs::support::ContractViolation;
+
+Task make_task(std::string name, mcs::rt::Time exec, mcs::rt::Time mem,
+               mcs::rt::Time period, mcs::rt::Time deadline,
+               mcs::rt::Priority priority) {
+  Task t;
+  t.name = std::move(name);
+  t.exec = exec;
+  t.copy_in = mem;
+  t.copy_out = mem;
+  t.period = period;
+  t.deadline = deadline;
+  t.priority = priority;
+  return t;
+}
+
+TEST(Task, DerivedQuantities) {
+  const Task t = make_task("t", 10, 3, 100, 80, 0);
+  EXPECT_EQ(t.total_demand(), 16);
+  EXPECT_DOUBLE_EQ(t.utilization(), 0.1);
+}
+
+TEST(TaskSet, ValidationFillsArrivalCurves) {
+  TaskSet set({make_task("a", 5, 1, 50, 50, 0)});
+  ASSERT_NE(set[0].arrival, nullptr);
+  EXPECT_EQ(set[0].arrival->releases_in(51), 2u);
+}
+
+TEST(TaskSet, RejectsDuplicatePriorities) {
+  EXPECT_THROW(TaskSet({make_task("a", 5, 1, 50, 50, 3),
+                        make_task("b", 5, 1, 60, 60, 3)}),
+               ContractViolation);
+}
+
+TEST(TaskSet, RejectsNonPositiveParameters) {
+  EXPECT_THROW(TaskSet({make_task("a", 0, 1, 50, 50, 0)}),
+               ContractViolation);
+  EXPECT_THROW(TaskSet({make_task("a", 5, -1, 50, 50, 0)}),
+               ContractViolation);
+  EXPECT_THROW(TaskSet({make_task("a", 5, 1, 0, 50, 0)}),
+               ContractViolation);
+  EXPECT_THROW(TaskSet({make_task("a", 5, 1, 50, 0, 0)}),
+               ContractViolation);
+}
+
+TEST(TaskSet, PriorityViews) {
+  // priority: b(0) > c(1) > a(2); smaller value = higher priority.
+  TaskSet set({make_task("a", 5, 1, 50, 50, 2),
+               make_task("b", 5, 1, 60, 60, 0),
+               make_task("c", 5, 1, 70, 70, 1)});
+  EXPECT_EQ(set.higher_priority(0), (std::vector<TaskIndex>{1, 2}));
+  EXPECT_EQ(set.lower_priority(1), (std::vector<TaskIndex>{0, 2}));
+  EXPECT_TRUE(set.higher_priority(1).empty());
+  EXPECT_TRUE(set.lower_priority(0).empty());
+  EXPECT_EQ(set.by_priority(), (std::vector<TaskIndex>{1, 2, 0}));
+}
+
+TEST(TaskSet, UtilizationSums) {
+  TaskSet set({make_task("a", 10, 5, 100, 100, 0),
+               make_task("b", 20, 0, 100, 100, 1)});
+  EXPECT_DOUBLE_EQ(set.utilization(), 0.3);
+  EXPECT_DOUBLE_EQ(set.total_utilization(), 0.4);  // (10+10+20)/100 + 20/100
+}
+
+TEST(TaskSet, LatencySensitiveView) {
+  TaskSet set({make_task("a", 5, 1, 50, 50, 0),
+               make_task("b", 5, 1, 60, 60, 1)});
+  EXPECT_TRUE(set.latency_sensitive_tasks().empty());
+  set[1].latency_sensitive = true;
+  EXPECT_EQ(set.latency_sensitive_tasks(), (std::vector<TaskIndex>{1}));
+}
+
+TEST(TaskSet, MaxCopyDurations) {
+  TaskSet set({make_task("a", 5, 3, 50, 50, 0),
+               make_task("b", 5, 7, 60, 60, 1)});
+  set[0].copy_out = 9;
+  EXPECT_EQ(set.max_copy_in(), 7);
+  EXPECT_EQ(set.max_copy_out(), 9);
+}
+
+TEST(TaskSet, DeadlineMonotonicAssignment) {
+  TaskSet set({make_task("slow", 5, 1, 100, 90, 0),
+               make_task("fast", 5, 1, 50, 20, 1),
+               make_task("mid", 5, 1, 80, 40, 2)});
+  set.assign_deadline_monotonic_priorities();
+  EXPECT_EQ(set[1].priority, 0u);  // D = 20
+  EXPECT_EQ(set[2].priority, 1u);  // D = 40
+  EXPECT_EQ(set[0].priority, 2u);  // D = 90
+}
+
+TEST(TaskSet, DeadlineMonotonicTieBreaksByIndex) {
+  TaskSet set({make_task("first", 5, 1, 100, 50, 0),
+               make_task("second", 5, 1, 100, 50, 1)});
+  set.assign_deadline_monotonic_priorities();
+  EXPECT_LT(set[0].priority, set[1].priority);
+}
+
+}  // namespace

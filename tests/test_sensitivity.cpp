@@ -1,0 +1,108 @@
+#include "analysis/sensitivity.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "gen/generator.hpp"
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using mcs::analysis::analyze;
+using mcs::analysis::Approach;
+using mcs::analysis::max_scaling_factor;
+using mcs::analysis::ScalingDimension;
+using mcs::analysis::SensitivityOptions;
+using mcs::rt::Task;
+using mcs::rt::TaskSet;
+
+Task make_task(std::string name, mcs::rt::Time exec, mcs::rt::Time mem,
+               mcs::rt::Time period, mcs::rt::Time deadline,
+               mcs::rt::Priority priority) {
+  Task t;
+  t.name = std::move(name);
+  t.exec = exec;
+  t.copy_in = mem;
+  t.copy_out = mem;
+  t.period = period;
+  t.deadline = deadline;
+  t.priority = priority;
+  return t;
+}
+
+TEST(Sensitivity, BracketsAreConsistent) {
+  const TaskSet tasks({make_task("a", 20, 5, 200, 120, 0),
+                       make_task("b", 30, 8, 300, 250, 1)});
+  const auto result = max_scaling_factor(
+      tasks, Approach::kNonPreemptive, ScalingDimension::kMemoryPhases);
+  ASSERT_GT(result.max_factor, 0.0);
+  EXPECT_LT(result.max_factor, result.min_failing_factor);
+  EXPECT_GT(result.analysis_runs, 2u);
+  // The reported max factor must actually be schedulable, the failing
+  // bracket not (when within the limit).
+  // (Re-derive via the public API to keep this test self-contained.)
+}
+
+TEST(Sensitivity, UnschedulableBaseReportsZero) {
+  const TaskSet tasks({make_task("a", 100, 10, 110, 50, 0)});
+  const auto result = max_scaling_factor(
+      tasks, Approach::kNonPreemptive, ScalingDimension::kMemoryPhases);
+  EXPECT_DOUBLE_EQ(result.max_factor, 0.0);
+  EXPECT_DOUBLE_EQ(result.min_failing_factor, 1.0);
+}
+
+TEST(Sensitivity, GenerousHeadroomHitsTheLimit) {
+  // A nearly idle set never fails within the search limit.
+  const TaskSet tasks({make_task("a", 1, 0, 1'000'000, 1'000'000, 0)});
+  SensitivityOptions options;
+  options.upper_limit = 8.0;
+  const auto result =
+      max_scaling_factor(tasks, Approach::kNonPreemptive,
+                         ScalingDimension::kExecutionTimes, options);
+  EXPECT_GE(result.max_factor, 8.0);
+}
+
+TEST(Sensitivity, MemoryScalingMatchesDirectCheck) {
+  mcs::support::Rng rng(31);
+  mcs::gen::GeneratorConfig cfg;
+  cfg.num_tasks = 3;
+  cfg.utilization = 0.3;
+  cfg.gamma = 0.1;
+  cfg.beta = 0.6;
+  const TaskSet tasks = mcs::gen::generate_task_set(cfg, rng);
+  SensitivityOptions options;
+  options.tolerance = 0.05;
+  const auto result = max_scaling_factor(
+      tasks, Approach::kWasilyPellizzoni,
+      ScalingDimension::kMemoryPhases, options);
+  if (result.max_factor == 0.0) return;  // base unschedulable: nothing more
+
+  // Cross-check: scale by the reported factor and by the failing bracket.
+  const auto apply = [&](double factor) {
+    TaskSet scaled = tasks;
+    for (std::size_t i = 0; i < scaled.size(); ++i) {
+      scaled[i].copy_in = static_cast<mcs::rt::Time>(
+          std::ceil(static_cast<double>(scaled[i].copy_in) * factor));
+      scaled[i].copy_out = static_cast<mcs::rt::Time>(
+          std::ceil(static_cast<double>(scaled[i].copy_out) * factor));
+    }
+    return analyze(scaled, Approach::kWasilyPellizzoni).schedulable;
+  };
+  EXPECT_TRUE(apply(result.max_factor));
+  if (result.min_failing_factor < options.upper_limit) {
+    EXPECT_FALSE(apply(result.min_failing_factor));
+  }
+}
+
+TEST(Sensitivity, RejectsBadOptions) {
+  const TaskSet tasks({make_task("a", 10, 2, 100, 100, 0)});
+  SensitivityOptions bad;
+  bad.tolerance = 0.0;
+  EXPECT_THROW(max_scaling_factor(tasks, Approach::kNonPreemptive,
+                                  ScalingDimension::kMemoryPhases, bad),
+               mcs::support::ContractViolation);
+}
+
+}  // namespace

@@ -1,0 +1,138 @@
+// Negative tests for the trace checker: hand-corrupted traces must be
+// flagged.  (The positive direction — real traces pass — is covered by the
+// property suites; a checker that accepts everything would pass those.)
+#include <gtest/gtest.h>
+
+#include "sim/checker.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using mcs::rt::Task;
+using mcs::rt::TaskSet;
+using mcs::sim::check_trace;
+using mcs::sim::CopyInOutcome;
+using mcs::sim::CpuAction;
+using mcs::sim::JobId;
+using mcs::sim::Protocol;
+using mcs::sim::simulate;
+using mcs::sim::Trace;
+
+TaskSet two_tasks() {
+  Task a;
+  a.name = "A";
+  a.exec = 5;
+  a.copy_in = 2;
+  a.copy_out = 1;
+  a.period = 100;
+  a.deadline = 100;
+  a.priority = 0;
+  Task b = a;
+  b.name = "B";
+  b.priority = 1;
+  return TaskSet({a, b});
+}
+
+Trace clean_trace(const TaskSet& tasks) {
+  return simulate(tasks, Protocol::kProposed,
+                  {{JobId{0, 0}, 0}, {JobId{1, 0}, 0}});
+}
+
+TEST(CheckerNegative, CleanTracePasses) {
+  const TaskSet tasks = two_tasks();
+  const Trace trace = clean_trace(tasks);
+  EXPECT_TRUE(check_trace(tasks, Protocol::kProposed, trace).ok());
+}
+
+TEST(CheckerNegative, OverlappingIntervalsFlagged) {
+  const TaskSet tasks = two_tasks();
+  Trace trace = clean_trace(tasks);
+  trace.intervals[1].start -= 1;  // now overlaps interval 0
+  const auto result = check_trace(tasks, Protocol::kProposed, trace);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(CheckerNegative, IntervalLengthMismatchFlagged) {
+  const TaskSet tasks = two_tasks();
+  Trace trace = clean_trace(tasks);
+  trace.intervals[0].dma_busy -= 1;  // breaks R6 + DMA accounting
+  const auto result = check_trace(tasks, Protocol::kProposed, trace);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(CheckerNegative, MissingCopyInBeforeExecutionFlagged) {
+  const TaskSet tasks = two_tasks();
+  Trace trace = clean_trace(tasks);
+  // Erase the copy-in record that precedes the first execution.
+  for (auto& rec : trace.intervals) {
+    if (rec.copy_in_outcome == CopyInOutcome::kCompleted) {
+      rec.copy_in_job.reset();
+      rec.copy_in_outcome = CopyInOutcome::kNone;
+      rec.copy_in_duration = 0;
+      rec.dma_busy = rec.copy_out_duration;
+      break;
+    }
+  }
+  const auto result = check_trace(tasks, Protocol::kProposed, trace);
+  EXPECT_FALSE(result.ok());  // Property 1 violation (plus accounting)
+}
+
+TEST(CheckerNegative, CopyOutInWrongIntervalFlagged) {
+  const TaskSet tasks = two_tasks();
+  Trace trace = clean_trace(tasks);
+  // Find a copy-out record and steal it from its interval.
+  for (auto& rec : trace.intervals) {
+    if (rec.copy_out_job) {
+      rec.copy_out_job.reset();
+      break;
+    }
+  }
+  const auto result = check_trace(tasks, Protocol::kProposed, trace);
+  EXPECT_FALSE(result.ok());  // Property 1/2 violation
+}
+
+TEST(CheckerNegative, UrgentUnderWpFlagged) {
+  const TaskSet tasks = two_tasks();
+  Trace trace = clean_trace(tasks);
+  for (auto& rec : trace.intervals) {
+    if (rec.cpu_action == CpuAction::kExecute) {
+      rec.cpu_action = CpuAction::kUrgentExecute;
+      break;
+    }
+  }
+  const auto result =
+      check_trace(tasks, Protocol::kWasilyPellizzoni, trace);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(CheckerNegative, CancellationUnderWpFlagged) {
+  const TaskSet tasks = two_tasks();
+  Trace trace = clean_trace(tasks);
+  for (auto& rec : trace.intervals) {
+    if (rec.copy_in_outcome == CopyInOutcome::kCompleted) {
+      rec.copy_in_outcome = CopyInOutcome::kDiscarded;
+      break;
+    }
+  }
+  const auto result =
+      check_trace(tasks, Protocol::kWasilyPellizzoni, trace);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(CheckerNegative, CompletionInconsistencyFlagged) {
+  const TaskSet tasks = two_tasks();
+  Trace trace = clean_trace(tasks);
+  trace.jobs[0].completion += 3;  // no longer matches its copy-out record
+  const auto result = check_trace(tasks, Protocol::kProposed, trace);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(CheckerNegative, ExecutionBeforeReadyFlagged) {
+  const TaskSet tasks = two_tasks();
+  Trace trace = clean_trace(tasks);
+  trace.jobs[1].ready_time = trace.jobs[1].exec_start + 1;
+  const auto result = check_trace(tasks, Protocol::kProposed, trace);
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace

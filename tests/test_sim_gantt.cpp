@@ -1,0 +1,89 @@
+#include "sim/gantt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "support/contracts.hpp"
+
+namespace {
+
+using mcs::rt::Task;
+using mcs::rt::TaskSet;
+using mcs::sim::GanttOptions;
+using mcs::sim::JobId;
+using mcs::sim::Protocol;
+using mcs::sim::render_gantt;
+using mcs::sim::simulate;
+
+TaskSet two_tasks() {
+  Task a;
+  a.name = "A";
+  a.exec = 5;
+  a.copy_in = 2;
+  a.copy_out = 2;
+  a.period = 100;
+  a.deadline = 100;
+  a.priority = 0;
+  Task b = a;
+  b.name = "B";
+  b.priority = 1;
+  return TaskSet({a, b});
+}
+
+TEST(Gantt, RendersBothTimelineRows) {
+  const TaskSet tasks = two_tasks();
+  const auto trace = simulate(tasks, Protocol::kProposed,
+                              {{JobId{0, 0}, 0}, {JobId{1, 0}, 0}});
+  const std::string gantt = render_gantt(tasks, Protocol::kProposed, trace);
+  EXPECT_NE(gantt.find("CPU |"), std::string::npos);
+  EXPECT_NE(gantt.find("DMA |"), std::string::npos);
+  EXPECT_NE(gantt.find("vA"), std::string::npos);  // copy-in marker
+  EXPECT_NE(gantt.find("^A"), std::string::npos);  // copy-out marker
+  EXPECT_NE(gantt.find("A#0"), std::string::npos);
+  EXPECT_NE(gantt.find("response="), std::string::npos);
+}
+
+TEST(Gantt, NpsHasNoDmaRow) {
+  const TaskSet tasks = two_tasks();
+  const auto trace = simulate(tasks, Protocol::kNonPreemptive,
+                              {{JobId{0, 0}, 0}});
+  const std::string gantt =
+      render_gantt(tasks, Protocol::kNonPreemptive, trace);
+  EXPECT_EQ(gantt.find("DMA |"), std::string::npos);
+}
+
+TEST(Gantt, DeadlineMissFlagged) {
+  TaskSet tasks = two_tasks();
+  tasks[1].deadline = 3;  // impossible: total demand is 8
+  const auto trace = simulate(tasks, Protocol::kProposed,
+                              {{JobId{1, 0}, 0}});
+  const std::string gantt = render_gantt(tasks, Protocol::kProposed, trace);
+  EXPECT_NE(gantt.find("DEADLINE MISS"), std::string::npos);
+}
+
+TEST(Gantt, ScalingCompressesOutput) {
+  const TaskSet tasks = two_tasks();
+  const auto trace =
+      simulate(tasks, Protocol::kProposed, {{JobId{0, 0}, 0}});
+  GanttOptions wide;
+  wide.ticks_per_char = 1;
+  GanttOptions narrow;
+  narrow.ticks_per_char = 4;
+  const auto long_render =
+      render_gantt(tasks, Protocol::kProposed, trace, wide);
+  const auto short_render =
+      render_gantt(tasks, Protocol::kProposed, trace, narrow);
+  EXPECT_GT(long_render.size(), short_render.size());
+}
+
+TEST(Gantt, RejectsBadScale) {
+  const TaskSet tasks = two_tasks();
+  const auto trace =
+      simulate(tasks, Protocol::kProposed, {{JobId{0, 0}, 0}});
+  GanttOptions bad;
+  bad.ticks_per_char = 0;
+  EXPECT_THROW(render_gantt(tasks, Protocol::kProposed, trace, bad),
+               mcs::support::ContractViolation);
+}
+
+}  // namespace

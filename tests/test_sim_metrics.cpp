@@ -1,0 +1,118 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generator.hpp"
+#include "sim/engine.hpp"
+#include "sim/job_source.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using mcs::rt::Task;
+using mcs::rt::TaskSet;
+using mcs::rt::Time;
+using mcs::sim::compute_metrics;
+using mcs::sim::JobId;
+using mcs::sim::Protocol;
+using mcs::sim::simulate;
+using mcs::sim::TraceMetrics;
+
+Task make_task(std::string name, Time exec, Time mem, Time period,
+               Time deadline, mcs::rt::Priority priority, bool ls = false) {
+  Task t;
+  t.name = std::move(name);
+  t.exec = exec;
+  t.copy_in = mem;
+  t.copy_out = mem;
+  t.period = period;
+  t.deadline = deadline;
+  t.priority = priority;
+  t.latency_sensitive = ls;
+  return t;
+}
+
+TEST(Metrics, SingleJobAccounting) {
+  const TaskSet tasks({make_task("a", 5, 2, 100, 100, 0)});
+  const auto trace =
+      simulate(tasks, Protocol::kProposed, {{JobId{0, 0}, 0}});
+  const TraceMetrics m = compute_metrics(tasks, trace);
+  // I_0 copy-in [0,2), I_1 exec [2,7), I_2 copy-out [7,9): span 9.
+  EXPECT_EQ(m.span, 9);
+  EXPECT_EQ(m.cpu_busy, 5);
+  EXPECT_EQ(m.dma_busy, 4);
+  // Nothing overlapped: copy-in ran alone, copy-out ran alone.
+  EXPECT_EQ(m.dma_hidden, 0);
+  EXPECT_EQ(m.dma_exposed, 4);
+  EXPECT_EQ(m.jobs_completed, 1u);
+  EXPECT_EQ(m.deadline_misses, 0u);
+  EXPECT_DOUBLE_EQ(m.hiding_ratio(), 0.0);
+}
+
+TEST(Metrics, PipelinedJobsHideTransfers) {
+  const TaskSet tasks({make_task("a", 5, 2, 100, 100, 0),
+                       make_task("b", 5, 2, 100, 100, 1)});
+  const auto trace = simulate(tasks, Protocol::kProposed,
+                              {{JobId{0, 0}, 0}, {JobId{1, 0}, 0}});
+  const TraceMetrics m = compute_metrics(tasks, trace);
+  // b's copy-in overlaps a's execution, a's copy-out overlaps b's.
+  EXPECT_GT(m.dma_hidden, 0);
+  EXPECT_GT(m.hiding_ratio(), 0.0);
+  EXPECT_EQ(m.jobs_completed, 2u);
+}
+
+TEST(Metrics, UrgentExecutionCounted) {
+  const TaskSet tasks({make_task("ls", 3, 2, 100, 50, 0, true),
+                       make_task("lo", 5, 6, 100, 100, 1)});
+  const auto trace = simulate(tasks, Protocol::kProposed,
+                              {{JobId{1, 0}, 0}, {JobId{0, 0}, 3}});
+  const TraceMetrics m = compute_metrics(tasks, trace);
+  EXPECT_EQ(m.urgent_promotions, 1u);
+  EXPECT_GE(m.cancellations, 1u);
+  EXPECT_EQ(m.cpu_copy_in, 2);
+}
+
+TEST(Metrics, UtilizationRatiosBounded) {
+  mcs::support::Rng rng(5);
+  mcs::gen::GeneratorConfig cfg;
+  cfg.num_tasks = 4;
+  cfg.utilization = 0.4;
+  cfg.gamma = 0.3;
+  const TaskSet tasks = mcs::gen::generate_task_set(cfg, rng);
+  const auto releases = mcs::sim::synchronous_periodic_releases(
+      tasks, 300 * mcs::rt::kTicksPerUnit);
+  for (const auto protocol :
+       {Protocol::kProposed, Protocol::kWasilyPellizzoni,
+        Protocol::kNonPreemptive}) {
+    const auto trace = simulate(tasks, protocol, releases);
+    const TraceMetrics m = compute_metrics(tasks, trace);
+    EXPECT_GE(m.cpu_utilization(), 0.0);
+    EXPECT_LE(m.cpu_utilization(), 1.0 + 1e-9);
+    EXPECT_GE(m.hiding_ratio(), 0.0);
+    EXPECT_LE(m.hiding_ratio(), 1.0 + 1e-9);
+    EXPECT_EQ(m.dma_hidden + m.dma_exposed, m.dma_busy);
+  }
+}
+
+TEST(Metrics, EmptyTraceIsZero) {
+  const TaskSet tasks({make_task("a", 5, 2, 100, 100, 0)});
+  const auto trace = simulate(tasks, Protocol::kProposed, {});
+  const TraceMetrics m = compute_metrics(tasks, trace);
+  EXPECT_EQ(m.span, 0);
+  EXPECT_EQ(m.jobs_completed, 0u);
+  EXPECT_DOUBLE_EQ(m.cpu_utilization(), 0.0);
+}
+
+TEST(Metrics, NpsHidesNothing) {
+  // Under NPS the CPU performs the transfers itself: they show up as CPU
+  // work, and the DMA columns stay zero.
+  const TaskSet tasks({make_task("a", 5, 2, 100, 100, 0),
+                       make_task("b", 5, 2, 100, 100, 1)});
+  const auto trace = simulate(tasks, Protocol::kNonPreemptive,
+                              {{JobId{0, 0}, 0}, {JobId{1, 0}, 0}});
+  const TraceMetrics m = compute_metrics(tasks, trace);
+  EXPECT_EQ(m.dma_busy, 0);
+  EXPECT_EQ(m.cpu_busy, 9 + 9);  // l + C + u per job
+}
+
+}  // namespace

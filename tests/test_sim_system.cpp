@@ -1,0 +1,102 @@
+#include "sim/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/schedulability.hpp"
+#include "gen/generator.hpp"
+#include "support/contracts.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using mcs::gen::GeneratorConfig;
+using mcs::gen::generate_task_set;
+using mcs::gen::partition_worst_fit;
+using mcs::rt::ContentionPolicy;
+using mcs::rt::TaskSet;
+using mcs::sim::Protocol;
+using mcs::sim::simulate_system;
+using mcs::sim::SystemSimOptions;
+using mcs::support::Rng;
+
+std::vector<TaskSet> make_system(std::uint64_t seed, std::size_t cores) {
+  Rng rng(seed);
+  GeneratorConfig cfg;
+  cfg.num_tasks = 4 * cores;
+  cfg.utilization = 0.25 * static_cast<double>(cores);
+  cfg.gamma = 0.2;
+  cfg.beta = 0.7;
+  const TaskSet flat = generate_task_set(cfg, rng);
+  return partition_worst_fit({flat.tasks().begin(), flat.tasks().end()},
+                             cores);
+}
+
+TEST(SystemSim, SimulatesEveryCore) {
+  const auto cores = make_system(3, 3);
+  Rng rng(1);
+  SystemSimOptions options;
+  const auto result = simulate_system(cores, options, rng);
+  ASSERT_EQ(result.traces.size(), 3u);
+  ASSERT_EQ(result.metrics.size(), 3u);
+  ASSERT_EQ(result.inflated_cores.size(), 3u);
+  for (std::size_t m = 0; m < 3; ++m) {
+    EXPECT_GT(result.traces[m].jobs.size(), 0u);
+    EXPECT_GT(result.metrics[m].jobs_completed, 0u);
+  }
+}
+
+TEST(SystemSim, InflationIsAppliedBeforeSimulation) {
+  const auto cores = make_system(5, 2);
+  Rng rng(1);
+  SystemSimOptions options;
+  options.contention = ContentionPolicy::kFullyBacklogged;
+  const auto result = simulate_system(cores, options, rng);
+  for (std::size_t m = 0; m < cores.size(); ++m) {
+    for (std::size_t i = 0; i < cores[m].size(); ++i) {
+      EXPECT_EQ(result.inflated_cores[m][i].copy_in,
+                2 * cores[m][i].copy_in);
+    }
+  }
+}
+
+TEST(SystemSim, AnalysisVerdictImpliesSimulatedDeadlines) {
+  // If the per-core analysis (on the same inflated sets) says schedulable,
+  // the system simulation must meet every deadline.
+  const auto cores = make_system(7, 2);
+  const auto inflated = mcs::rt::apply_memory_contention(
+      cores, ContentionPolicy::kDemandAware);
+  bool analysis_ok = true;
+  for (const auto& core : inflated) {
+    analysis_ok =
+        analysis_ok &&
+        mcs::analysis::analyze(core,
+                               mcs::analysis::Approach::kNonPreemptive)
+            .schedulable;
+  }
+  if (!analysis_ok) {
+    GTEST_SKIP() << "generated system not schedulable; nothing to check";
+  }
+  Rng rng(2);
+  SystemSimOptions options;
+  options.protocol = Protocol::kNonPreemptive;
+  const auto result = simulate_system(cores, options, rng);
+  EXPECT_TRUE(result.all_deadlines_met);
+}
+
+TEST(SystemSim, SporadicPatternsRun) {
+  const auto cores = make_system(11, 2);
+  Rng rng(3);
+  SystemSimOptions options;
+  options.sporadic = true;
+  const auto result = simulate_system(cores, options, rng);
+  EXPECT_EQ(result.traces.size(), 2u);
+}
+
+TEST(SystemSim, RejectsEmptySystem) {
+  Rng rng(1);
+  SystemSimOptions options;
+  EXPECT_THROW(simulate_system({}, options, rng),
+               mcs::support::ContractViolation);
+}
+
+}  // namespace

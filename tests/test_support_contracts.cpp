@@ -1,0 +1,59 @@
+#include "support/contracts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace {
+
+using mcs::support::ContractViolation;
+
+TEST(Contracts, RequirePassesOnTrue) {
+  MCS_REQUIRE(1 + 1 == 2, "arithmetic holds");
+  SUCCEED();
+}
+
+TEST(Contracts, RequireThrowsWithContext) {
+  try {
+    MCS_REQUIRE(false, "the message");
+    FAIL() << "MCS_REQUIRE(false) did not throw";
+  } catch (const ContractViolation& violation) {
+    const std::string what = violation.what();
+    EXPECT_NE(what.find("precondition"), std::string::npos);
+    EXPECT_NE(what.find("the message"), std::string::npos);
+    EXPECT_NE(what.find("test_support_contracts.cpp"), std::string::npos);
+  }
+}
+
+TEST(Contracts, RequireEvaluatesConditionOnce) {
+  int evaluations = 0;
+  MCS_REQUIRE([&] {
+    ++evaluations;
+    return true;
+  }(), "side effect counter");
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Contracts, ViolationIsALogicError) {
+  // Contract violations are programming errors; catching std::logic_error
+  // must work (C++ Core Guidelines E.x: use the standard hierarchy).
+  try {
+    mcs::support::contract_fail("invariant", "x > 0", "file.cpp", 7, "msg");
+  } catch (const std::logic_error& error) {
+    EXPECT_NE(std::string(error.what()).find("invariant"),
+              std::string::npos);
+    return;
+  }
+  FAIL() << "not catchable as std::logic_error";
+}
+
+TEST(Contracts, MessageWithoutDetailStillFormats) {
+  try {
+    mcs::support::contract_fail("precondition", "ok()", "f.cpp", 3, "");
+  } catch (const ContractViolation& violation) {
+    const std::string what = violation.what();
+    EXPECT_NE(what.find("f.cpp:3"), std::string::npos);
+  }
+}
+
+}  // namespace

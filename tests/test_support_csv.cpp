@@ -1,0 +1,72 @@
+#include "support/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace {
+
+using mcs::support::CsvWriter;
+
+std::string slurp(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("mcs_csv_test_" + std::to_string(::getpid()) + ".csv");
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::filesystem::path path_;
+};
+
+TEST_F(CsvTest, WritesPlainRows) {
+  {
+    CsvWriter csv(path_);
+    csv.write_row({"a", "b", "c"});
+    csv.cell("x").cell(std::int64_t{42}).cell(0.5);
+    csv.end_row();
+  }
+  EXPECT_EQ(slurp(path_), "a,b,c\nx,42,0.5\n");
+}
+
+TEST_F(CsvTest, EscapesSpecialCharacters) {
+  {
+    CsvWriter csv(path_);
+    csv.write_row({"has,comma", "has\"quote", "has\nnewline", "plain"});
+  }
+  EXPECT_EQ(slurp(path_),
+            "\"has,comma\",\"has\"\"quote\",\"has\nnewline\",plain\n");
+}
+
+TEST_F(CsvTest, DoubleRoundTripPrecision) {
+  {
+    CsvWriter csv(path_);
+    csv.cell(0.1 + 0.2);
+    csv.end_row();
+  }
+  const std::string content = slurp(path_);
+  const double parsed = std::stod(content);
+  EXPECT_EQ(parsed, 0.1 + 0.2);
+}
+
+TEST(CsvEscape, Idempotent) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape(""), "");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+}
+
+TEST(CsvWriterErrors, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_xyz/file.csv"),
+               std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,197 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "support/contracts.hpp"
+
+namespace {
+
+using mcs::support::ContractViolation;
+using mcs::support::Rng;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform01();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    sum += rng.uniform01();
+  }
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(x, -3.0);
+    ASSERT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformRejectsEmptyRange) {
+  Rng rng(1);
+  EXPECT_THROW(rng.uniform(1.0, 0.0), ContractViolation);
+}
+
+TEST(Rng, LogUniformRespectsBounds) {
+  Rng rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.log_uniform(10.0, 100.0);
+    ASSERT_GE(x, 10.0);
+    ASSERT_LE(x, 100.0);
+  }
+}
+
+TEST(Rng, LogUniformIsLogSymmetric) {
+  // Median of log-uniform([10,100]) should be near sqrt(10*100) ~ 31.6,
+  // not the arithmetic midpoint 55.
+  Rng rng(19);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i) {
+    samples.push_back(rng.log_uniform(10.0, 100.0));
+  }
+  const auto mid =
+      samples.begin() +
+      static_cast<std::ptrdiff_t>(samples.size() / 2);
+  std::nth_element(samples.begin(), mid, samples.end());
+  const double median = samples[samples.size() / 2];
+  EXPECT_NEAR(median, 31.62, 1.5);
+}
+
+TEST(Rng, LogUniformRejectsNonPositive) {
+  Rng rng(1);
+  EXPECT_THROW(rng.log_uniform(0.0, 10.0), ContractViolation);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusively) {
+  Rng rng(23);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = rng.uniform_int(3, 7);
+    ASSERT_GE(x, 3);
+    ASSERT_LE(x, 7);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(29);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.uniform_int(5, 5), 5);
+  }
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = rng.uniform_int(-10, -5);
+    ASSERT_GE(x, -10);
+    ASSERT_LE(x, -5);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(37);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(41);
+  int hits = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    hits += rng.bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(Rng, DiscreteRespectsWeights) {
+  Rng rng(43);
+  const std::vector<double> weights{0.0, 1.0, 3.0};
+  std::vector<int> counts(3, 0);
+  constexpr int kSamples = 40000;
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.discrete(weights)];
+  }
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.2);
+}
+
+TEST(Rng, DiscreteRejectsDegenerateInputs) {
+  Rng rng(1);
+  EXPECT_THROW(rng.discrete({}), ContractViolation);
+  EXPECT_THROW(rng.discrete({0.0, 0.0}), ContractViolation);
+  EXPECT_THROW(rng.discrete({-1.0, 2.0}), ContractViolation);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(47);
+  std::vector<int> data{1, 2, 3, 4, 5, 6, 7, 8};
+  auto shuffled = data;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, data);
+}
+
+TEST(Rng, SplitStreamsDecorrelated) {
+  Rng parent(51);
+  Rng child0 = parent.split(0);
+  Rng child1 = parent.split(1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child0() == child1()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Splitmix64, KnownSequenceIsStable) {
+  // Regression anchor: experiment reproducibility depends on this exact
+  // sequence never changing across platforms or refactors.
+  std::uint64_t state = 0;
+  const std::uint64_t first = mcs::support::splitmix64(state);
+  const std::uint64_t second = mcs::support::splitmix64(state);
+  EXPECT_EQ(first, 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(second, 0x6e789e6aa1b965f4ULL);
+}
+
+}  // namespace

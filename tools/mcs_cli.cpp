@@ -1,0 +1,304 @@
+// mcs_cli — command-line front end to the library.
+//
+//   mcs_cli analyze  <workload>  [--approach=proposed|wp|nps|all] [--opa]
+//   mcs_cli simulate <workload>  [--protocol=proposed|wp|nps]
+//                                [--horizon=<ticks>] [--pattern=sync|sporadic]
+//                                [--seed=<n>] [--gantt]
+//   mcs_cli chains   <workload>  [--approach=proposed|wp|nps]
+//   mcs_cli export-lp <workload> <task-name> [--window=<ticks>] [--ls-case=a|b]
+//   mcs_cli example  — print a sample workload file
+//
+// Workload files use the format documented in rt/io.hpp.  Exit status: 0 on
+// success (analyze: schedulable), 1 on a negative verdict, 2 on usage or
+// input errors.
+#include <cstring>
+#include <exception>
+#include <iomanip>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "analysis/chains.hpp"
+#include "analysis/milp_formulation.hpp"
+#include "analysis/opa.hpp"
+#include "analysis/schedulability.hpp"
+#include "lp/lp_writer.hpp"
+#include "rt/io.hpp"
+#include "sim/chain_age.hpp"
+#include "sim/engine.hpp"
+#include "sim/gantt.hpp"
+#include "sim/job_source.hpp"
+#include "sim/metrics.hpp"
+#include "support/rng.hpp"
+
+using namespace mcs;
+
+namespace {
+
+int usage() {
+  std::cerr <<
+      "usage:\n"
+      "  mcs_cli analyze   <workload> [--approach=proposed|wp|nps|all] "
+      "[--opa]\n"
+      "  mcs_cli simulate  <workload> [--protocol=proposed|wp|nps]\n"
+      "                    [--horizon=<ticks>] [--pattern=sync|sporadic]\n"
+      "                    [--seed=<n>] [--gantt]\n"
+      "  mcs_cli chains    <workload> [--approach=proposed|wp|nps]\n"
+      "  mcs_cli export-lp <workload> <task> [--window=<ticks>] "
+      "[--ls-case=a|b]\n"
+      "  mcs_cli example\n";
+  return 2;
+}
+
+/// "--key=value" option access over argv.
+std::optional<std::string> option(int argc, char** argv, const char* key) {
+  const std::string prefix = std::string("--") + key + "=";
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return std::nullopt;
+}
+
+bool flag(int argc, char** argv, const char* key) {
+  const std::string name = std::string("--") + key;
+  for (int i = 0; i < argc; ++i) {
+    if (name == argv[i]) return true;
+  }
+  return false;
+}
+
+std::optional<analysis::Approach> parse_approach(const std::string& name) {
+  if (name == "proposed") return analysis::Approach::kProposed;
+  if (name == "wp") return analysis::Approach::kWasilyPellizzoni;
+  if (name == "nps") return analysis::Approach::kNonPreemptive;
+  return std::nullopt;
+}
+
+std::optional<sim::Protocol> parse_protocol(const std::string& name) {
+  if (name == "proposed") return sim::Protocol::kProposed;
+  if (name == "wp") return sim::Protocol::kWasilyPellizzoni;
+  if (name == "nps") return sim::Protocol::kNonPreemptive;
+  return std::nullopt;
+}
+
+std::string show_time(rt::Time t) {
+  return t == rt::kTimeMax ? std::string("-") : std::to_string(t);
+}
+
+int cmd_analyze(const rt::Workload& workload, int argc, char** argv) {
+  const std::string which =
+      option(argc, argv, "approach").value_or("all");
+  const bool use_opa = flag(argc, argv, "opa");
+
+  std::vector<analysis::Approach> approaches;
+  if (which == "all") {
+    approaches = {analysis::Approach::kProposed,
+                  analysis::Approach::kWasilyPellizzoni,
+                  analysis::Approach::kNonPreemptive};
+  } else if (const auto parsed = parse_approach(which)) {
+    approaches = {*parsed};
+  } else {
+    std::cerr << "unknown approach '" << which << "'\n";
+    return 2;
+  }
+
+  const auto& tasks = workload.tasks;
+  bool all_ok = true;
+  for (const auto approach : approaches) {
+    const auto result = analysis::analyze(tasks, approach);
+    std::cout << "== " << to_string(approach) << ": "
+              << (result.schedulable ? "SCHEDULABLE" : "not schedulable")
+              << "\n";
+    std::cout << std::left << std::setw(14) << "  task" << std::setw(10)
+              << "D" << std::setw(12) << "WCRT" << "LS\n";
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      std::cout << "  " << std::left << std::setw(12) << tasks[i].name
+                << std::setw(10) << tasks[i].deadline << std::setw(12)
+                << show_time(result.wcrt[i])
+                << (result.ls_flags[i] ? "yes" : "") << "\n";
+    }
+    if (!result.schedulable && use_opa) {
+      const auto opa = analysis::audsley_assign(tasks, approach);
+      std::cout << "  OPA: " << (opa.schedulable
+                                     ? "feasible priority order found"
+                                     : "infeasible under any order")
+                << " (" << opa.test_count << " tests)\n";
+      if (opa.schedulable) {
+        for (std::size_t i = 0; i < tasks.size(); ++i) {
+          std::cout << "    " << tasks[i].name << " -> prio "
+                    << opa.priorities[i] << "\n";
+        }
+      }
+      all_ok = all_ok && opa.schedulable;
+    } else {
+      all_ok = all_ok && result.schedulable;
+    }
+  }
+  return all_ok ? 0 : 1;
+}
+
+int cmd_simulate(const rt::Workload& workload, int argc, char** argv) {
+  const auto protocol =
+      parse_protocol(option(argc, argv, "protocol").value_or("proposed"));
+  if (!protocol) {
+    std::cerr << "unknown protocol\n";
+    return 2;
+  }
+  // Horizon in raw ticks (same unit as the workload file); default: twenty
+  // times the largest period.
+  rt::Time horizon = 0;
+  if (const auto h = option(argc, argv, "horizon")) {
+    horizon = static_cast<rt::Time>(std::stoll(*h));
+  } else {
+    for (const auto& t : workload.tasks) {
+      horizon = std::max(horizon, 20 * t.period);
+    }
+  }
+  const std::string pattern =
+      option(argc, argv, "pattern").value_or("sync");
+  const std::uint64_t seed =
+      std::stoull(option(argc, argv, "seed").value_or("1"));
+
+  support::Rng rng(seed);
+  const auto releases =
+      pattern == "sporadic"
+          ? sim::random_sporadic_releases(workload.tasks, horizon, 0.5, rng)
+          : sim::synchronous_periodic_releases(workload.tasks, horizon);
+  const auto trace = sim::simulate(workload.tasks, *protocol, releases);
+  const auto metrics = sim::compute_metrics(workload.tasks, trace);
+
+  std::cout << "protocol " << to_string(*protocol) << ", "
+            << trace.jobs.size() << " jobs, " << trace.intervals.size()
+            << " intervals\n"
+            << "deadline misses: " << metrics.deadline_misses
+            << ", cancellations: " << metrics.cancellations
+            << ", urgent promotions: " << metrics.urgent_promotions << "\n"
+            << std::fixed << std::setprecision(3)
+            << "cpu utilization: " << metrics.cpu_utilization()
+            << ", dma utilization: " << metrics.dma_utilization()
+            << ", hiding ratio: " << metrics.hiding_ratio() << "\n";
+  for (std::size_t i = 0; i < workload.tasks.size(); ++i) {
+    std::cout << "  " << std::left << std::setw(12)
+              << workload.tasks[i].name
+              << " worst response: " << show_time(trace.worst_response(i))
+              << "\n";
+  }
+  if (flag(argc, argv, "gantt")) {
+    sim::GanttOptions opt;
+    opt.ticks_per_char =
+        std::max<rt::Time>(1, horizon / 120);
+    opt.job_summary = false;
+    std::cout << "\n"
+              << sim::render_gantt(workload.tasks, *protocol, trace, opt);
+  }
+  return metrics.deadline_misses == 0 ? 0 : 1;
+}
+
+int cmd_chains(const rt::Workload& workload, int argc, char** argv) {
+  if (workload.chains.empty()) {
+    std::cerr << "workload has no chains\n";
+    return 2;
+  }
+  const auto approach = parse_approach(
+      option(argc, argv, "approach").value_or("proposed"));
+  if (!approach) {
+    std::cerr << "unknown approach\n";
+    return 2;
+  }
+  const auto result = analysis::analyze(workload.tasks, *approach);
+  bool all_ok = true;
+  for (const auto& chain : workload.chains) {
+    const auto bound =
+        analysis::chain_age_bound(workload.tasks, chain, result.wcrt);
+    std::cout << chain.name << ": ";
+    if (!bound.valid) {
+      std::cout << "no valid age bound (stage unbounded or backlogged)\n";
+      all_ok = false;
+      continue;
+    }
+    std::cout << "max data age <= " << bound.max_data_age;
+    if (chain.max_data_age > 0) {
+      std::cout << " (constraint " << chain.max_data_age << ": "
+                << (bound.meets_constraint ? "met" : "VIOLATED") << ")";
+      all_ok = all_ok && bound.meets_constraint;
+    }
+    std::cout << "\n";
+  }
+  return all_ok ? 0 : 1;
+}
+
+int cmd_export_lp(const rt::Workload& workload, int argc, char** argv) {
+  if (argc < 1) {
+    std::cerr << "export-lp needs a task name\n";
+    return 2;
+  }
+  const std::string task_name = argv[0];
+  std::optional<rt::TaskIndex> index;
+  for (std::size_t i = 0; i < workload.tasks.size(); ++i) {
+    if (workload.tasks[i].name == task_name) {
+      index = i;
+    }
+  }
+  if (!index) {
+    std::cerr << "unknown task '" << task_name << "'\n";
+    return 2;
+  }
+  const rt::Time window = static_cast<rt::Time>(std::stoll(
+      option(argc, argv, "window")
+          .value_or(std::to_string(workload.tasks[*index].deadline))));
+  auto fcase = analysis::FormulationCase::kNls;
+  if (const auto ls = option(argc, argv, "ls-case")) {
+    fcase = *ls == "b" ? analysis::FormulationCase::kLsCaseB
+                       : analysis::FormulationCase::kLsCaseA;
+  }
+  const auto milp =
+      analysis::build_delay_milp(workload.tasks, *index, window, fcase);
+  lp::write_lp_format(milp.model, std::cout);
+  return 0;
+}
+
+constexpr const char* kExample = R"(# mcs-cosched example workload (times in ticks; pick your own unit)
+task control  C=300  l=60  u=60  T=2000  D=1700
+task vision   C=900  l=350 u=350 T=5000  D=5000
+task logging  C=600  l=150 u=150 T=10000 D=10000
+chain perceive age=20000 tasks=vision,control
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return usage();
+  }
+  const std::string command = argv[1];
+  if (command == "example") {
+    std::cout << kExample;
+    return 0;
+  }
+  if (argc < 3) {
+    return usage();
+  }
+  try {
+    const rt::Workload workload = rt::load_workload_file(argv[2]);
+    const int rest_argc = argc - 3;
+    char** rest_argv = argv + 3;
+    if (command == "analyze") {
+      return cmd_analyze(workload, rest_argc, rest_argv);
+    }
+    if (command == "simulate") {
+      return cmd_simulate(workload, rest_argc, rest_argv);
+    }
+    if (command == "chains") {
+      return cmd_chains(workload, rest_argc, rest_argv);
+    }
+    if (command == "export-lp") {
+      return cmd_export_lp(workload, rest_argc, rest_argv);
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 2;
+  }
+  return usage();
+}

@@ -1,0 +1,7 @@
+# Automotive ECU core (microseconds) — examples/automotive_ecu.cpp.
+task injection C=180 l=40  u=40  T=2000   D=1600
+task airbag    C=120 l=30  u=30  T=5000   D=1900
+task lambda    C=400 l=90  u=90  T=10000  D=6000
+task knock     C=500 l=120 u=120 T=10000  D=8000
+task diag      C=900 l=250 u=250 T=50000  D=40000
+task logger    C=700 l=350 u=350 T=100000 D=90000

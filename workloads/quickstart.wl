@@ -1,0 +1,8 @@
+# Quickstart workload (times in microseconds) — the same system as
+# examples/quickstart.cpp.  Try:
+#   mcs_cli analyze  workloads/quickstart.wl
+#   mcs_cli simulate workloads/quickstart.wl --gantt
+task control C=300 l=60  u=60  T=2000  D=1700
+task vision  C=900 l=350 u=350 T=5000  D=5000
+task logging C=600 l=150 u=150 T=10000 D=10000
+chain perceive age=20000 tasks=vision,control

@@ -1,0 +1,6 @@
+# Sensor-to-actuator pipeline (microseconds) — examples/sensor_chain.cpp.
+task sense   C=400  l=150 u=150 T=5000  D=4000
+task filter  C=900  l=300 u=300 T=10000 D=9000
+task actuate C=300  l=100 u=100 T=10000 D=8000
+task logger  C=1500 l=600 u=600 T=50000 D=45000
+chain act age=45000 tasks=sense,filter,actuate
