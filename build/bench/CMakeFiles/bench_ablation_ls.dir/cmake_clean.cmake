@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ls.dir/bench_ablation_ls.cpp.o"
+  "CMakeFiles/bench_ablation_ls.dir/bench_ablation_ls.cpp.o.d"
+  "bench_ablation_ls"
+  "bench_ablation_ls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_example.dir/bench_fig1_example.cpp.o"
+  "CMakeFiles/bench_fig1_example.dir/bench_fig1_example.cpp.o.d"
+  "bench_fig1_example"
+  "bench_fig1_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

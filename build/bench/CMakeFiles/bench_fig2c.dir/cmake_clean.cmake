@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2c.dir/bench_fig2c.cpp.o"
+  "CMakeFiles/bench_fig2c.dir/bench_fig2c.cpp.o.d"
+  "bench_fig2c"
+  "bench_fig2c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2f.dir/bench_fig2f.cpp.o"
+  "CMakeFiles/bench_fig2f.dir/bench_fig2f.cpp.o.d"
+  "bench_fig2f"
+  "bench_fig2f.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2f.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automotive_ecu.dir/automotive_ecu.cpp.o"
+  "CMakeFiles/automotive_ecu.dir/automotive_ecu.cpp.o.d"
+  "automotive_ecu"
+  "automotive_ecu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automotive_ecu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicore_system.dir/multicore_system.cpp.o"
+  "CMakeFiles/multicore_system.dir/multicore_system.cpp.o.d"
+  "multicore_system"
+  "multicore_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicore_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

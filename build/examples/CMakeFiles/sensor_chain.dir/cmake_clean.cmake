@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_chain.dir/sensor_chain.cpp.o"
+  "CMakeFiles/sensor_chain.dir/sensor_chain.cpp.o.d"
+  "sensor_chain"
+  "sensor_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/chains.cpp" "src/analysis/CMakeFiles/mcs_analysis.dir/chains.cpp.o" "gcc" "src/analysis/CMakeFiles/mcs_analysis.dir/chains.cpp.o.d"
+  "/root/repo/src/analysis/greedy.cpp" "src/analysis/CMakeFiles/mcs_analysis.dir/greedy.cpp.o" "gcc" "src/analysis/CMakeFiles/mcs_analysis.dir/greedy.cpp.o.d"
+  "/root/repo/src/analysis/milp_formulation.cpp" "src/analysis/CMakeFiles/mcs_analysis.dir/milp_formulation.cpp.o" "gcc" "src/analysis/CMakeFiles/mcs_analysis.dir/milp_formulation.cpp.o.d"
+  "/root/repo/src/analysis/nps.cpp" "src/analysis/CMakeFiles/mcs_analysis.dir/nps.cpp.o" "gcc" "src/analysis/CMakeFiles/mcs_analysis.dir/nps.cpp.o.d"
+  "/root/repo/src/analysis/opa.cpp" "src/analysis/CMakeFiles/mcs_analysis.dir/opa.cpp.o" "gcc" "src/analysis/CMakeFiles/mcs_analysis.dir/opa.cpp.o.d"
+  "/root/repo/src/analysis/response_time.cpp" "src/analysis/CMakeFiles/mcs_analysis.dir/response_time.cpp.o" "gcc" "src/analysis/CMakeFiles/mcs_analysis.dir/response_time.cpp.o.d"
+  "/root/repo/src/analysis/schedulability.cpp" "src/analysis/CMakeFiles/mcs_analysis.dir/schedulability.cpp.o" "gcc" "src/analysis/CMakeFiles/mcs_analysis.dir/schedulability.cpp.o.d"
+  "/root/repo/src/analysis/sensitivity.cpp" "src/analysis/CMakeFiles/mcs_analysis.dir/sensitivity.cpp.o" "gcc" "src/analysis/CMakeFiles/mcs_analysis.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/analysis/window.cpp" "src/analysis/CMakeFiles/mcs_analysis.dir/window.cpp.o" "gcc" "src/analysis/CMakeFiles/mcs_analysis.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/mcs_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/mcs_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mcs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_analysis.dir/chains.cpp.o"
+  "CMakeFiles/mcs_analysis.dir/chains.cpp.o.d"
+  "CMakeFiles/mcs_analysis.dir/greedy.cpp.o"
+  "CMakeFiles/mcs_analysis.dir/greedy.cpp.o.d"
+  "CMakeFiles/mcs_analysis.dir/milp_formulation.cpp.o"
+  "CMakeFiles/mcs_analysis.dir/milp_formulation.cpp.o.d"
+  "CMakeFiles/mcs_analysis.dir/nps.cpp.o"
+  "CMakeFiles/mcs_analysis.dir/nps.cpp.o.d"
+  "CMakeFiles/mcs_analysis.dir/opa.cpp.o"
+  "CMakeFiles/mcs_analysis.dir/opa.cpp.o.d"
+  "CMakeFiles/mcs_analysis.dir/response_time.cpp.o"
+  "CMakeFiles/mcs_analysis.dir/response_time.cpp.o.d"
+  "CMakeFiles/mcs_analysis.dir/schedulability.cpp.o"
+  "CMakeFiles/mcs_analysis.dir/schedulability.cpp.o.d"
+  "CMakeFiles/mcs_analysis.dir/sensitivity.cpp.o"
+  "CMakeFiles/mcs_analysis.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/mcs_analysis.dir/window.cpp.o"
+  "CMakeFiles/mcs_analysis.dir/window.cpp.o.d"
+  "libmcs_analysis.a"
+  "libmcs_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

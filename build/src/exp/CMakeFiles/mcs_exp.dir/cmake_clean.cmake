@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_exp.dir/experiment.cpp.o"
+  "CMakeFiles/mcs_exp.dir/experiment.cpp.o.d"
+  "CMakeFiles/mcs_exp.dir/figures.cpp.o"
+  "CMakeFiles/mcs_exp.dir/figures.cpp.o.d"
+  "libmcs_exp.a"
+  "libmcs_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

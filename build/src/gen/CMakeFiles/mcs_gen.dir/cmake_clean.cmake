@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_gen.dir/generator.cpp.o"
+  "CMakeFiles/mcs_gen.dir/generator.cpp.o.d"
+  "CMakeFiles/mcs_gen.dir/uunifast.cpp.o"
+  "CMakeFiles/mcs_gen.dir/uunifast.cpp.o.d"
+  "libmcs_gen.a"
+  "libmcs_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

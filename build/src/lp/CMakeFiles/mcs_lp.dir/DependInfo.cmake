@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lp/lp_writer.cpp" "src/lp/CMakeFiles/mcs_lp.dir/lp_writer.cpp.o" "gcc" "src/lp/CMakeFiles/mcs_lp.dir/lp_writer.cpp.o.d"
+  "/root/repo/src/lp/milp.cpp" "src/lp/CMakeFiles/mcs_lp.dir/milp.cpp.o" "gcc" "src/lp/CMakeFiles/mcs_lp.dir/milp.cpp.o.d"
+  "/root/repo/src/lp/model.cpp" "src/lp/CMakeFiles/mcs_lp.dir/model.cpp.o" "gcc" "src/lp/CMakeFiles/mcs_lp.dir/model.cpp.o.d"
+  "/root/repo/src/lp/simplex.cpp" "src/lp/CMakeFiles/mcs_lp.dir/simplex.cpp.o" "gcc" "src/lp/CMakeFiles/mcs_lp.dir/simplex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mcs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

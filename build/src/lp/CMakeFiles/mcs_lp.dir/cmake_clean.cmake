@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_lp.dir/lp_writer.cpp.o"
+  "CMakeFiles/mcs_lp.dir/lp_writer.cpp.o.d"
+  "CMakeFiles/mcs_lp.dir/milp.cpp.o"
+  "CMakeFiles/mcs_lp.dir/milp.cpp.o.d"
+  "CMakeFiles/mcs_lp.dir/model.cpp.o"
+  "CMakeFiles/mcs_lp.dir/model.cpp.o.d"
+  "CMakeFiles/mcs_lp.dir/simplex.cpp.o"
+  "CMakeFiles/mcs_lp.dir/simplex.cpp.o.d"
+  "libmcs_lp.a"
+  "libmcs_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/arrival.cpp" "src/rt/CMakeFiles/mcs_rt.dir/arrival.cpp.o" "gcc" "src/rt/CMakeFiles/mcs_rt.dir/arrival.cpp.o.d"
+  "/root/repo/src/rt/arrival_estimation.cpp" "src/rt/CMakeFiles/mcs_rt.dir/arrival_estimation.cpp.o" "gcc" "src/rt/CMakeFiles/mcs_rt.dir/arrival_estimation.cpp.o.d"
+  "/root/repo/src/rt/chain.cpp" "src/rt/CMakeFiles/mcs_rt.dir/chain.cpp.o" "gcc" "src/rt/CMakeFiles/mcs_rt.dir/chain.cpp.o.d"
+  "/root/repo/src/rt/contention.cpp" "src/rt/CMakeFiles/mcs_rt.dir/contention.cpp.o" "gcc" "src/rt/CMakeFiles/mcs_rt.dir/contention.cpp.o.d"
+  "/root/repo/src/rt/io.cpp" "src/rt/CMakeFiles/mcs_rt.dir/io.cpp.o" "gcc" "src/rt/CMakeFiles/mcs_rt.dir/io.cpp.o.d"
+  "/root/repo/src/rt/task.cpp" "src/rt/CMakeFiles/mcs_rt.dir/task.cpp.o" "gcc" "src/rt/CMakeFiles/mcs_rt.dir/task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mcs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_rt.dir/arrival.cpp.o"
+  "CMakeFiles/mcs_rt.dir/arrival.cpp.o.d"
+  "CMakeFiles/mcs_rt.dir/arrival_estimation.cpp.o"
+  "CMakeFiles/mcs_rt.dir/arrival_estimation.cpp.o.d"
+  "CMakeFiles/mcs_rt.dir/chain.cpp.o"
+  "CMakeFiles/mcs_rt.dir/chain.cpp.o.d"
+  "CMakeFiles/mcs_rt.dir/contention.cpp.o"
+  "CMakeFiles/mcs_rt.dir/contention.cpp.o.d"
+  "CMakeFiles/mcs_rt.dir/io.cpp.o"
+  "CMakeFiles/mcs_rt.dir/io.cpp.o.d"
+  "CMakeFiles/mcs_rt.dir/task.cpp.o"
+  "CMakeFiles/mcs_rt.dir/task.cpp.o.d"
+  "libmcs_rt.a"
+  "libmcs_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/chain_age.cpp" "src/sim/CMakeFiles/mcs_sim.dir/chain_age.cpp.o" "gcc" "src/sim/CMakeFiles/mcs_sim.dir/chain_age.cpp.o.d"
+  "/root/repo/src/sim/checker.cpp" "src/sim/CMakeFiles/mcs_sim.dir/checker.cpp.o" "gcc" "src/sim/CMakeFiles/mcs_sim.dir/checker.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/mcs_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/mcs_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/gantt.cpp" "src/sim/CMakeFiles/mcs_sim.dir/gantt.cpp.o" "gcc" "src/sim/CMakeFiles/mcs_sim.dir/gantt.cpp.o.d"
+  "/root/repo/src/sim/job_source.cpp" "src/sim/CMakeFiles/mcs_sim.dir/job_source.cpp.o" "gcc" "src/sim/CMakeFiles/mcs_sim.dir/job_source.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/mcs_sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/mcs_sim.dir/metrics.cpp.o.d"
+  "/root/repo/src/sim/system.cpp" "src/sim/CMakeFiles/mcs_sim.dir/system.cpp.o" "gcc" "src/sim/CMakeFiles/mcs_sim.dir/system.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/mcs_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/mcs_sim.dir/trace.cpp.o.d"
+  "/root/repo/src/sim/trace_export.cpp" "src/sim/CMakeFiles/mcs_sim.dir/trace_export.cpp.o" "gcc" "src/sim/CMakeFiles/mcs_sim.dir/trace_export.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rt/CMakeFiles/mcs_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mcs_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_sim.dir/chain_age.cpp.o"
+  "CMakeFiles/mcs_sim.dir/chain_age.cpp.o.d"
+  "CMakeFiles/mcs_sim.dir/checker.cpp.o"
+  "CMakeFiles/mcs_sim.dir/checker.cpp.o.d"
+  "CMakeFiles/mcs_sim.dir/engine.cpp.o"
+  "CMakeFiles/mcs_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/mcs_sim.dir/gantt.cpp.o"
+  "CMakeFiles/mcs_sim.dir/gantt.cpp.o.d"
+  "CMakeFiles/mcs_sim.dir/job_source.cpp.o"
+  "CMakeFiles/mcs_sim.dir/job_source.cpp.o.d"
+  "CMakeFiles/mcs_sim.dir/metrics.cpp.o"
+  "CMakeFiles/mcs_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/mcs_sim.dir/system.cpp.o"
+  "CMakeFiles/mcs_sim.dir/system.cpp.o.d"
+  "CMakeFiles/mcs_sim.dir/trace.cpp.o"
+  "CMakeFiles/mcs_sim.dir/trace.cpp.o.d"
+  "CMakeFiles/mcs_sim.dir/trace_export.cpp.o"
+  "CMakeFiles/mcs_sim.dir/trace_export.cpp.o.d"
+  "libmcs_sim.a"
+  "libmcs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_support.dir/contracts.cpp.o"
+  "CMakeFiles/mcs_support.dir/contracts.cpp.o.d"
+  "CMakeFiles/mcs_support.dir/csv.cpp.o"
+  "CMakeFiles/mcs_support.dir/csv.cpp.o.d"
+  "CMakeFiles/mcs_support.dir/rng.cpp.o"
+  "CMakeFiles/mcs_support.dir/rng.cpp.o.d"
+  "CMakeFiles/mcs_support.dir/stats.cpp.o"
+  "CMakeFiles/mcs_support.dir/stats.cpp.o.d"
+  "CMakeFiles/mcs_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/mcs_support.dir/thread_pool.cpp.o.d"
+  "libmcs_support.a"
+  "libmcs_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_arrival_models.dir/test_analysis_arrival_models.cpp.o"
+  "CMakeFiles/test_analysis_arrival_models.dir/test_analysis_arrival_models.cpp.o.d"
+  "test_analysis_arrival_models"
+  "test_analysis_arrival_models.pdb"
+  "test_analysis_arrival_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_arrival_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

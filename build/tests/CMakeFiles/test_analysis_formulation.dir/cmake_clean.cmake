@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_formulation.dir/test_analysis_formulation.cpp.o"
+  "CMakeFiles/test_analysis_formulation.dir/test_analysis_formulation.cpp.o.d"
+  "test_analysis_formulation"
+  "test_analysis_formulation.pdb"
+  "test_analysis_formulation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_formulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_monotonicity.dir/test_analysis_monotonicity.cpp.o"
+  "CMakeFiles/test_analysis_monotonicity.dir/test_analysis_monotonicity.cpp.o.d"
+  "test_analysis_monotonicity"
+  "test_analysis_monotonicity.pdb"
+  "test_analysis_monotonicity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_monotonicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_rta.dir/test_analysis_rta.cpp.o"
+  "CMakeFiles/test_analysis_rta.dir/test_analysis_rta.cpp.o.d"
+  "test_analysis_rta"
+  "test_analysis_rta.pdb"
+  "test_analysis_rta[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_rta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_soundness.dir/test_analysis_soundness.cpp.o"
+  "CMakeFiles/test_analysis_soundness.dir/test_analysis_soundness.cpp.o.d"
+  "test_analysis_soundness"
+  "test_analysis_soundness.pdb"
+  "test_analysis_soundness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_soundness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis_window.dir/test_analysis_window.cpp.o"
+  "CMakeFiles/test_analysis_window.dir/test_analysis_window.cpp.o.d"
+  "test_analysis_window"
+  "test_analysis_window.pdb"
+  "test_analysis_window[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_arrival_estimation.dir/test_arrival_estimation.cpp.o"
+  "CMakeFiles/test_arrival_estimation.dir/test_arrival_estimation.cpp.o.d"
+  "test_arrival_estimation"
+  "test_arrival_estimation.pdb"
+  "test_arrival_estimation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_arrival_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

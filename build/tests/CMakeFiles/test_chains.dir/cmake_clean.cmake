@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chains.dir/test_chains.cpp.o"
+  "CMakeFiles/test_chains.dir/test_chains.cpp.o.d"
+  "test_chains"
+  "test_chains.pdb"
+  "test_chains[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lp_milp.dir/test_lp_milp.cpp.o"
+  "CMakeFiles/test_lp_milp.dir/test_lp_milp.cpp.o.d"
+  "test_lp_milp"
+  "test_lp_milp.pdb"
+  "test_lp_milp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lp_milp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

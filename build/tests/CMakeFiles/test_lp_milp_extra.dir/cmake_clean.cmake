@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lp_milp_extra.dir/test_lp_milp_extra.cpp.o"
+  "CMakeFiles/test_lp_milp_extra.dir/test_lp_milp_extra.cpp.o.d"
+  "test_lp_milp_extra"
+  "test_lp_milp_extra.pdb"
+  "test_lp_milp_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lp_milp_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lp_model.dir/test_lp_model.cpp.o"
+  "CMakeFiles/test_lp_model.dir/test_lp_model.cpp.o.d"
+  "test_lp_model"
+  "test_lp_model.pdb"
+  "test_lp_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lp_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lp_simplex.dir/test_lp_simplex.cpp.o"
+  "CMakeFiles/test_lp_simplex.dir/test_lp_simplex.cpp.o.d"
+  "test_lp_simplex"
+  "test_lp_simplex.pdb"
+  "test_lp_simplex[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lp_simplex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

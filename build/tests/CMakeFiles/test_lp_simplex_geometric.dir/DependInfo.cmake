@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_lp_simplex_geometric.cpp" "tests/CMakeFiles/test_lp_simplex_geometric.dir/test_lp_simplex_geometric.cpp.o" "gcc" "tests/CMakeFiles/test_lp_simplex_geometric.dir/test_lp_simplex_geometric.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mcs_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/mcs_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/mcs_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/mcs_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/mcs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/exp/CMakeFiles/mcs_exp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

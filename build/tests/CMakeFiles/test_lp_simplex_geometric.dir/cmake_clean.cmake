@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lp_simplex_geometric.dir/test_lp_simplex_geometric.cpp.o"
+  "CMakeFiles/test_lp_simplex_geometric.dir/test_lp_simplex_geometric.cpp.o.d"
+  "test_lp_simplex_geometric"
+  "test_lp_simplex_geometric.pdb"
+  "test_lp_simplex_geometric[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lp_simplex_geometric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

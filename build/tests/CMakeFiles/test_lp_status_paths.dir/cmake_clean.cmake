@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lp_status_paths.dir/test_lp_status_paths.cpp.o"
+  "CMakeFiles/test_lp_status_paths.dir/test_lp_status_paths.cpp.o.d"
+  "test_lp_status_paths"
+  "test_lp_status_paths.pdb"
+  "test_lp_status_paths[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lp_status_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

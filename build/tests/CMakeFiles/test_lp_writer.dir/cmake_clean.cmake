@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lp_writer.dir/test_lp_writer.cpp.o"
+  "CMakeFiles/test_lp_writer.dir/test_lp_writer.cpp.o.d"
+  "test_lp_writer"
+  "test_lp_writer.pdb"
+  "test_lp_writer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lp_writer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

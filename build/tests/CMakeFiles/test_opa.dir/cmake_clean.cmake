@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_opa.dir/test_opa.cpp.o"
+  "CMakeFiles/test_opa.dir/test_opa.cpp.o.d"
+  "test_opa"
+  "test_opa.pdb"
+  "test_opa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_opa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rt_arrival.dir/test_rt_arrival.cpp.o"
+  "CMakeFiles/test_rt_arrival.dir/test_rt_arrival.cpp.o.d"
+  "test_rt_arrival"
+  "test_rt_arrival.pdb"
+  "test_rt_arrival[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rt_arrival.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

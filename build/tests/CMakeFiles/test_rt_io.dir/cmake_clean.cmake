@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rt_io.dir/test_rt_io.cpp.o"
+  "CMakeFiles/test_rt_io.dir/test_rt_io.cpp.o.d"
+  "test_rt_io"
+  "test_rt_io.pdb"
+  "test_rt_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rt_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

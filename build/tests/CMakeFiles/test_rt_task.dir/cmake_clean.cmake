@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rt_task.dir/test_rt_task.cpp.o"
+  "CMakeFiles/test_rt_task.dir/test_rt_task.cpp.o.d"
+  "test_rt_task"
+  "test_rt_task.pdb"
+  "test_rt_task[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rt_task.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_checker_negative.dir/test_sim_checker_negative.cpp.o"
+  "CMakeFiles/test_sim_checker_negative.dir/test_sim_checker_negative.cpp.o.d"
+  "test_sim_checker_negative"
+  "test_sim_checker_negative.pdb"
+  "test_sim_checker_negative[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_checker_negative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_gantt.dir/test_sim_gantt.cpp.o"
+  "CMakeFiles/test_sim_gantt.dir/test_sim_gantt.cpp.o.d"
+  "test_sim_gantt"
+  "test_sim_gantt.pdb"
+  "test_sim_gantt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_gantt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

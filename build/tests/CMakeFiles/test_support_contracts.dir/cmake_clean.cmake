@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support_contracts.dir/test_support_contracts.cpp.o"
+  "CMakeFiles/test_support_contracts.dir/test_support_contracts.cpp.o.d"
+  "test_support_contracts"
+  "test_support_contracts.pdb"
+  "test_support_contracts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support_contracts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support_csv.dir/test_support_csv.cpp.o"
+  "CMakeFiles/test_support_csv.dir/test_support_csv.cpp.o.d"
+  "test_support_csv"
+  "test_support_csv.pdb"
+  "test_support_csv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

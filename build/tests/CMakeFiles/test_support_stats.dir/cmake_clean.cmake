@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support_stats.dir/test_support_stats.cpp.o"
+  "CMakeFiles/test_support_stats.dir/test_support_stats.cpp.o.d"
+  "test_support_stats"
+  "test_support_stats.pdb"
+  "test_support_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

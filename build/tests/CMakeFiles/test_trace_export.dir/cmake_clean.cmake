@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_export.dir/test_trace_export.cpp.o"
+  "CMakeFiles/test_trace_export.dir/test_trace_export.cpp.o.d"
+  "test_trace_export"
+  "test_trace_export.pdb"
+  "test_trace_export[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_cli.dir/mcs_cli.cpp.o"
+  "CMakeFiles/mcs_cli.dir/mcs_cli.cpp.o.d"
+  "mcs_cli"
+  "mcs_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
