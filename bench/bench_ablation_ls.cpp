@@ -17,6 +17,8 @@
 #include "support/csv.hpp"
 #include "support/rng.hpp"
 
+#include "fig2_common.hpp"
+
 using namespace mcs;
 
 namespace {
@@ -93,5 +95,6 @@ int main() {
     csv.end_row();
   }
   std::cout << "\nwrote ablation_ls.csv\n";
+  mcs::bench::write_bench_telemetry("ablation_ls");
   return 0;
 }

@@ -13,6 +13,8 @@
 #include "support/csv.hpp"
 #include "support/rng.hpp"
 
+#include "fig2_common.hpp"
+
 using namespace mcs;
 
 int main() {
@@ -83,5 +85,6 @@ int main() {
     csv.end_row();
   }
   std::cout << "\nwrote ablation_priority.csv\n";
+  mcs::bench::write_bench_telemetry("ablation_priority");
   return 0;
 }

@@ -16,6 +16,8 @@
 #include "rt/task.hpp"
 #include "support/rng.hpp"
 
+#include "fig2_common.hpp"
+
 using namespace mcs;
 
 namespace {
@@ -102,5 +104,6 @@ int main() {
   }
   std::cout << "\n(equal mean bounds across strategies = same answer; the\n"
                "node/time columns show what each ingredient saves)\n";
+  mcs::bench::write_bench_telemetry("ablation_solver");
   return 0;
 }

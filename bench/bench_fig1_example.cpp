@@ -13,6 +13,8 @@
 #include "rt/task.hpp"
 #include "sim/checker.hpp"
 #include "sim/engine.hpp"
+
+#include "fig2_common.hpp"
 #include "sim/gantt.hpp"
 
 namespace {
@@ -99,5 +101,6 @@ int main() {
             << "Shape check: wp2016 > nps > proposed — the [3] protocol is\n"
             << "beaten even by plain NPS here, and the proposed protocol\n"
             << "recovers schedulability (paper §I / Figure 1).\n";
+  mcs::bench::write_bench_telemetry("fig1_example");
   return 0;
 }

@@ -17,6 +17,8 @@
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 
+#include "fig2_common.hpp"
+
 using namespace mcs;
 
 namespace {
@@ -116,5 +118,6 @@ int main() {
   }
   std::cout << "\n(ratios are upper bounds on true pessimism: the simulated\n"
                "patterns rarely hit the adversarial worst case)\n";
+  mcs::bench::write_bench_telemetry("tightness");
   return 0;
 }

@@ -1,14 +1,27 @@
 // Shared driver for the Figure 2 reproduction benches: runs one inset's
 // sweep, prints the table the figure plots, and writes <name>.csv next to
-// the binary.  Scale with MCS_TASKSETS / MCS_SEED / MCS_THREADS.
+// the binary.  Scale with MCS_TASKSETS / MCS_SEED / MCS_THREADS; unless
+// telemetry is disabled (MCS_TELEMETRY=0) a solver/analysis statistics
+// snapshot is written to <name>.telemetry.json alongside the CSV.
 #pragma once
 
 #include <filesystem>
 #include <iostream>
 
 #include "exp/figures.hpp"
+#include "support/telemetry.hpp"
 
 namespace mcs::bench {
+
+/// Writes <name>.telemetry.json into the current directory when telemetry
+/// is enabled.  Shared by every bench binary that produces a CSV.
+inline void write_bench_telemetry(const std::string& name) {
+  if (!support::telemetry::enabled()) return;
+  const auto path =
+      std::filesystem::current_path() / (name + ".telemetry.json");
+  support::telemetry::write_json_file(path);
+  std::cout << "wrote " << name << ".telemetry.json\n";
+}
 
 inline int run_figure2_inset(char inset) {
   const exp::ExperimentConfig cfg = exp::figure2_config(inset);
@@ -18,6 +31,7 @@ inline int run_figure2_inset(char inset) {
   exp::print_result(result, std::cout);
   exp::write_csv(result, std::filesystem::current_path());
   std::cout << "wrote " << cfg.name << ".csv\n";
+  write_bench_telemetry(cfg.name);
   return 0;
 }
 

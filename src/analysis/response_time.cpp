@@ -7,6 +7,7 @@
 #include "analysis/window.hpp"
 #include "lp/simplex.hpp"
 #include "support/contracts.hpp"
+#include "support/telemetry.hpp"
 
 namespace mcs::analysis {
 
@@ -23,11 +24,14 @@ struct DelayBound {
   std::size_t lp_iterations = 0;
 };
 
+namespace telemetry = support::telemetry;
+
 DelayBound solve_delay(const rt::TaskSet& tasks, rt::TaskIndex i, Time t,
                        FormulationCase fcase,
                        const AnalysisOptions& options) {
   DelayMilp milp =
       build_delay_milp(tasks, i, t, fcase, options.ignore_ls);
+  telemetry::count("analysis.milp_builds");
   DelayBound out;
   if (options.lp_relaxation_only) {
     const lp::LpSolution sol = solve_lp(milp.model, options.milp.lp);
@@ -36,6 +40,7 @@ DelayBound solve_delay(const rt::TaskSet& tasks, rt::TaskIndex i, Time t,
       out.valid = true;
       out.delay = sol.objective;
       out.relaxation = true;
+      telemetry::count("analysis.fallbacks.lp_relaxation_only");
     }
     return out;
   }
@@ -55,6 +60,9 @@ DelayBound solve_delay(const rt::TaskSet& tasks, rt::TaskIndex i, Time t,
       // the safe dual bound when the search stopped at the relative gap.
       out.delay = res.best_bound;
       out.relaxation = res.gap_terminated;
+      if (res.gap_terminated) {
+        telemetry::count("analysis.fallbacks.gap_terminated");
+      }
       break;
     case lp::SolveStatus::kNodeLimit:
       // Dual bound >= true maximum: safe.
@@ -62,6 +70,7 @@ DelayBound solve_delay(const rt::TaskSet& tasks, rt::TaskIndex i, Time t,
         out.valid = true;
         out.delay = res.best_bound;
         out.relaxation = true;
+        telemetry::count("analysis.fallbacks.node_limit");
       }
       break;
     case lp::SolveStatus::kInfeasible:
@@ -75,18 +84,28 @@ DelayBound solve_delay(const rt::TaskSet& tasks, rt::TaskIndex i, Time t,
   return out;
 }
 
-/// Ticks from a (double) delay bound, rounding up with a small epsilon so
-/// that float noise cannot shave off a tick.
-Time delay_to_ticks(double delay) {
-  return static_cast<Time>(std::ceil(delay - 1e-6));
-}
-
 }  // namespace
+
+Time delay_to_ticks(double delay) {
+  MCS_REQUIRE(std::isfinite(delay) && delay >= 0.0,
+              "delay_to_ticks: non-finite or negative delay bound");
+  // Plain ceil: the only rounding that can never place the tick bound
+  // *below* the double bound.  The previous `ceil(delay - 1e-6)` shaved a
+  // whole tick off genuine bounds such as 5.0000005 — unsafe (DESIGN.md
+  // §5.1 requires rounding up).  No downward "noise" adjustment is applied
+  // either: when the solver reports k + epsilon we cannot prove the true
+  // optimum is k, so the extra tick of pessimism is the price of safety.
+  // Values that are exactly integral (the common case: all MILP data are
+  // integer ticks) pass through ceil unchanged.
+  return static_cast<Time>(std::ceil(delay));
+}
 
 TaskBoundResult bound_response_time(const rt::TaskSet& tasks,
                                     rt::TaskIndex i,
                                     const AnalysisOptions& options) {
   MCS_REQUIRE(i < tasks.size(), "bound_response_time: bad task index");
+  const telemetry::ScopedTimer timer("analysis.bound_response_time");
+  telemetry::count("analysis.tasks_analyzed");
   const rt::Task& task = tasks[i];
   const bool analyzed_ls = task.latency_sensitive && !options.ignore_ls;
 
@@ -142,6 +161,7 @@ TaskBoundResult bound_response_time(const rt::TaskSet& tasks,
   std::size_t prev_window = 0;
   for (std::size_t iter = 0; iter < options.max_outer_iterations; ++iter) {
     ++result.outer_iterations;
+    telemetry::count("analysis.fixpoint_rounds");
     const Time t = response - task.exec - task.copy_out;
     MCS_ASSERT(t >= 0, "negative delay window");
     const FormulationCase fcase = analyzed_ls ? FormulationCase::kLsCaseA
@@ -149,6 +169,8 @@ TaskBoundResult bound_response_time(const rt::TaskSet& tasks,
     const std::size_t window = analyzed_ls
                                    ? window_intervals_ls(tasks, i, t)
                                    : window_intervals_nls(tasks, i, t);
+    telemetry::record("analysis.window_intervals",
+                      static_cast<double>(window));
     if (iter > 0 && window == prev_window) {
       // Same window => same MILP => same value: fixpoint reached.
       result.wcrt = response;

@@ -71,4 +71,10 @@ TaskBoundResult bound_response_time(const rt::TaskSet& tasks,
                                     rt::TaskIndex i,
                                     const AnalysisOptions& options = {});
 
+/// Maps a (double) delay bound from the MILP onto integer ticks.  Rounds
+/// *up* (DESIGN.md §5.1: bounds must never shrink when discretized): the
+/// result is always >= `delay`.  Exposed for the regression tests guarding
+/// that invariant.
+rt::Time delay_to_ticks(double delay);
+
 }  // namespace mcs::analysis

@@ -1,15 +1,19 @@
 #include "exp/experiment.hpp"
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <iomanip>
 #include <mutex>
 #include <ostream>
+#include <string>
 
 #include "support/contracts.hpp"
 #include "support/csv.hpp"
 #include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/telemetry.hpp"
 #include "support/thread_pool.hpp"
 
 namespace mcs::exp {
@@ -77,6 +81,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
 
   ExperimentResult result;
   result.config = config;
+  const support::telemetry::ScopedTimer timer("exp.run_experiment");
   support::ThreadPool pool(config.threads);
   const auto t_start = std::chrono::steady_clock::now();
 
@@ -86,7 +91,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     const auto p_start = std::chrono::steady_clock::now();
 
     std::atomic<std::size_t> ok_proposed{0}, ok_wp{0}, ok_nps{0},
-        fallbacks{0};
+        fallbacks{0}, fallbacks_wp{0}, fallbacks_proposed{0};
     support::Rng point_rng(config.seed + 0x9e37 * (p + 1));
 
     // Pre-split one RNG per task set so results do not depend on thread
@@ -97,8 +102,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       rngs.push_back(point_rng.split(s));
     }
 
+    // Per-task-set analysis wall time; slot-per-index, no lock needed.
+    std::vector<double> taskset_seconds(config.tasksets_per_point, 0.0);
+
     support::parallel_for(
         pool, config.tasksets_per_point, [&](std::size_t s) {
+          const auto s_start = std::chrono::steady_clock::now();
           support::Rng rng = rngs[s];
           const rt::TaskSet tasks = gen::generate_task_set(gen_cfg, rng);
 
@@ -110,18 +119,31 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
           const auto wp = analysis::analyze(
               tasks, Approach::kWasilyPellizzoni, config.analysis);
           if (wp.schedulable) ok_wp.fetch_add(1);
-          if (wp.any_relaxation_fallback) fallbacks.fetch_add(1);
+          if (wp.any_relaxation_fallback) fallbacks_wp.fetch_add(1);
 
           // Greedy round 0 equals the WP analysis: reuse its verdict and
           // only run the greedy promotion loop when WP failed.
           bool proposed_ok = wp.schedulable;
+          bool proposed_fb = false;
           if (!proposed_ok) {
             const auto prop = analysis::analyze(tasks, Approach::kProposed,
                                                 config.analysis);
             proposed_ok = prop.schedulable;
-            if (prop.any_relaxation_fallback) fallbacks.fetch_add(1);
+            proposed_fb = prop.any_relaxation_fallback;
+            if (proposed_fb) fallbacks_proposed.fetch_add(1);
           }
           if (proposed_ok) ok_proposed.fetch_add(1);
+          // At most one fallback tick per task set, whichever analyses
+          // tripped it — keeps the column <= tasksets.
+          if (wp.any_relaxation_fallback || proposed_fb) {
+            fallbacks.fetch_add(1);
+          }
+
+          const double secs = std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - s_start)
+                                  .count();
+          taskset_seconds[s] = secs;
+          support::telemetry::record("exp.taskset_seconds", secs);
         });
 
     SweepPoint point;
@@ -131,10 +153,16 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     point.schedulable_wp = ok_wp.load();
     point.schedulable_nps = ok_nps.load();
     point.relaxation_fallbacks = fallbacks.load();
+    point.fallbacks_wp = fallbacks_wp.load();
+    point.fallbacks_proposed = fallbacks_proposed.load();
+    point.p50_seconds = support::percentile(taskset_seconds, 0.50);
+    point.p90_seconds = support::percentile(taskset_seconds, 0.90);
+    point.p99_seconds = support::percentile(taskset_seconds, 0.99);
     point.seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       p_start)
             .count();
+    support::telemetry::record("exp.point_seconds", point.seconds);
     result.points.push_back(point);
   }
 
@@ -171,8 +199,12 @@ void print_result(const ExperimentResult& result, std::ostream& out) {
 void write_csv(const ExperimentResult& result,
                const std::filesystem::path& directory) {
   support::CsvWriter csv(directory / (result.config.name + ".csv"));
+  // relaxation_fallbacks counts *task sets* with any dual-bound fallback
+  // (<= tasksets); fallbacks_wp / fallbacks_proposed split it per analysis.
   csv.write_row({to_string(result.config.sweep), "proposed", "wp2016", "nps",
-                 "tasksets", "relaxation_fallbacks", "seconds"});
+                 "tasksets", "relaxation_fallbacks", "fallbacks_wp",
+                 "fallbacks_proposed", "seconds", "p50_seconds",
+                 "p90_seconds", "p99_seconds"});
   for (const SweepPoint& p : result.points) {
     csv.cell(p.x)
         .cell(p.ratio(analysis::Approach::kProposed))
@@ -180,26 +212,54 @@ void write_csv(const ExperimentResult& result,
         .cell(p.ratio(analysis::Approach::kNonPreemptive))
         .cell(p.tasksets)
         .cell(p.relaxation_fallbacks)
-        .cell(p.seconds);
+        .cell(p.fallbacks_wp)
+        .cell(p.fallbacks_proposed)
+        .cell(p.seconds)
+        .cell(p.p50_seconds)
+        .cell(p.p90_seconds)
+        .cell(p.p99_seconds);
     csv.end_row();
   }
 }
 
+namespace {
+
+/// Full-string unsigned parse: the *entire* value must be a decimal number
+/// within range.  Anything else (empty, trailing junk like "10x", signs,
+/// overflow) fails loudly — a typo silently becoming seed 0 or 10 task
+/// sets has burned whole sweeps before.
+std::uint64_t parse_env_u64(const char* name, const char* value) {
+  MCS_REQUIRE(value[0] != '\0',
+              std::string(name) + " is set but empty");
+  MCS_REQUIRE(value[0] >= '0' && value[0] <= '9',
+              std::string(name) + "='" + value +
+                  "' is not a non-negative decimal number");
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  MCS_REQUIRE(errno != ERANGE,
+              std::string(name) + "='" + value + "' is out of range");
+  MCS_REQUIRE(end != nullptr && *end == '\0',
+              std::string(name) + "='" + value +
+                  "' has trailing non-numeric characters");
+  return static_cast<std::uint64_t>(parsed);
+}
+
+}  // namespace
+
 void apply_env_overrides(ExperimentConfig& config) {
   if (const char* v = std::getenv("MCS_TASKSETS")) {
-    const long parsed = std::strtol(v, nullptr, 10);
-    if (parsed > 0) {
-      config.tasksets_per_point = static_cast<std::size_t>(parsed);
-    }
+    const std::uint64_t parsed = parse_env_u64("MCS_TASKSETS", v);
+    MCS_REQUIRE(parsed > 0, "MCS_TASKSETS must be >= 1");
+    config.tasksets_per_point = static_cast<std::size_t>(parsed);
   }
   if (const char* v = std::getenv("MCS_SEED")) {
-    config.seed = std::strtoull(v, nullptr, 10);
+    config.seed = parse_env_u64("MCS_SEED", v);
   }
   if (const char* v = std::getenv("MCS_THREADS")) {
-    const long parsed = std::strtol(v, nullptr, 10);
-    if (parsed > 0) {
-      config.threads = static_cast<std::size_t>(parsed);
-    }
+    // 0 is meaningful here: "use hardware concurrency".
+    config.threads =
+        static_cast<std::size_t>(parse_env_u64("MCS_THREADS", v));
   }
 }
 

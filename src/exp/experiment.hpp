@@ -42,9 +42,18 @@ struct SweepPoint {
   std::size_t schedulable_proposed = 0;
   std::size_t schedulable_wp = 0;
   std::size_t schedulable_nps = 0;
-  /// Task sets where any MILP fell back to its dual bound.
+  /// Task sets where *any* MILP (WP or Proposed analysis) fell back to its
+  /// dual bound.  Counted at most once per task set, so always <= tasksets.
   std::size_t relaxation_fallbacks = 0;
+  /// Per-analysis fallback splits (a task set can appear in both).
+  std::size_t fallbacks_wp = 0;
+  std::size_t fallbacks_proposed = 0;
   double seconds = 0.0;  ///< wall time spent on this point
+  /// Per-task-set analysis latency percentiles within this point (seconds;
+  /// all three approaches per task set).
+  double p50_seconds = 0.0;
+  double p90_seconds = 0.0;
+  double p99_seconds = 0.0;
 
   double ratio(analysis::Approach approach) const;
 };

@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "support/contracts.hpp"
+#include "support/telemetry.hpp"
 
 namespace mcs::lp {
 
@@ -262,6 +263,7 @@ MilpResult BranchAndBound::run() {
         !better(node.bound, result.objective + (maximize_
                                                     ? opt_.absolute_gap
                                                     : -opt_.absolute_gap))) {
+      ++result.nodes_pruned;
       continue;
     }
 
@@ -288,6 +290,7 @@ MilpResult BranchAndBound::run() {
     if (result.has_incumbent &&
         !better(bound, result.objective + (maximize_ ? opt_.absolute_gap
                                                      : -opt_.absolute_gap))) {
+      ++result.nodes_pruned;
       continue;  // cannot beat incumbent
     }
 
@@ -372,8 +375,23 @@ MilpResult BranchAndBound::run() {
 }  // namespace
 
 MilpResult solve_milp(const Model& model, const MilpOptions& options) {
+  namespace telemetry = support::telemetry;
+  const telemetry::ScopedTimer timer("milp.solve");
   BranchAndBound solver(model, options);
-  return solver.run();
+  MilpResult result = solver.run();
+  if (telemetry::enabled()) {
+    telemetry::count("milp.solves");
+    telemetry::count("milp.nodes_explored", result.nodes);
+    telemetry::count("milp.nodes_pruned", result.nodes_pruned);
+    telemetry::count("milp.lp_iterations", result.lp_iterations);
+    if (result.gap_terminated) {
+      telemetry::count("milp.gap_terminations");
+    }
+    if (result.status == SolveStatus::kNodeLimit) {
+      telemetry::count("milp.node_limit_hits");
+    }
+  }
+  return result;
 }
 
 }  // namespace mcs::lp

@@ -48,6 +48,9 @@ struct MilpResult {
   /// Incumbent assignment, one value per model variable.
   std::vector<double> values;
   std::size_t nodes = 0;
+  /// Open nodes discarded without an LP solve because their inherited bound
+  /// could not beat the incumbent.
+  std::size_t nodes_pruned = 0;
   std::size_t lp_iterations = 0;
   /// True when the search stopped at options.relative_gap rather than
   /// proving optimality; objective and best_bound then differ by at most

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "support/contracts.hpp"
+#include "support/telemetry.hpp"
 
 namespace mcs::lp {
 
@@ -515,8 +516,18 @@ LpSolution SimplexSolver::run() {
 }  // namespace
 
 LpSolution solve_lp(const Model& model, const SimplexOptions& options) {
+  namespace telemetry = support::telemetry;
+  const telemetry::ScopedTimer timer("lp.solve_lp");
   SimplexSolver solver(model, options);
-  return solver.run();
+  LpSolution sol = solver.run();
+  if (telemetry::enabled()) {
+    telemetry::count("lp.solves");
+    telemetry::count("lp.simplex_iterations", sol.iterations);
+    if (sol.status == SolveStatus::kIterationLimit) {
+      telemetry::count("lp.iteration_limit_hits");
+    }
+  }
+  return sol;
 }
 
 }  // namespace mcs::lp

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "support/contracts.hpp"
+#include "support/telemetry.hpp"
 
 namespace mcs::sim {
 
@@ -361,10 +362,29 @@ Trace simulate(const rt::TaskSet& tasks, Protocol protocol,
     MCS_REQUIRE(r.job.task < tasks.size(), "simulate: release of unknown task");
     MCS_REQUIRE(r.time >= 0, "simulate: negative release time");
   }
-  if (protocol == Protocol::kNonPreemptive) {
-    return run_non_preemptive(tasks, std::move(releases), options);
+  namespace telemetry = support::telemetry;
+  const telemetry::ScopedTimer timer("sim.simulate");
+  Trace trace =
+      protocol == Protocol::kNonPreemptive
+          ? run_non_preemptive(tasks, std::move(releases), options)
+          : run_interval_protocol(tasks, protocol, std::move(releases),
+                                  options);
+  if (telemetry::enabled()) {
+    telemetry::count("sim.runs");
+    telemetry::count("sim.intervals", trace.intervals.size());
+    telemetry::count("sim.jobs", trace.jobs.size());
+    std::size_t cancellations = 0, urgent = 0;
+    for (const JobRecord& job : trace.jobs) {
+      cancellations += job.copy_in_cancellations;
+      if (job.became_urgent) ++urgent;
+    }
+    telemetry::count("sim.copy_in_cancellations", cancellations);
+    telemetry::count("sim.urgent_promotions", urgent);
+    if (trace.aborted) {
+      telemetry::count("sim.aborted_runs");
+    }
   }
-  return run_interval_protocol(tasks, protocol, std::move(releases), options);
+  return trace;
 }
 
 }  // namespace mcs::sim

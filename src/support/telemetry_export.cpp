@@ -1,0 +1,105 @@
+// JSON export of telemetry snapshots (schema "mcs-telemetry-v1", see
+// telemetry.hpp for the layout).  Hand-rolled writer: the schema is flat
+// and fixed, and the repo deliberately has no JSON dependency.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/telemetry.hpp"
+
+namespace mcs::support::telemetry {
+
+namespace {
+
+/// Escapes a JSON string body (quotes, backslashes, control characters).
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Round-trippable double formatting; JSON has no Infinity/NaN literals, so
+/// non-finite values (which the registry never produces from sane inputs)
+/// degrade to 0.
+std::string number(double value) {
+  if (!std::isfinite(value)) return "0";
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << value;
+  return os.str();
+}
+
+}  // namespace
+
+void write_json(const Snapshot& snap, std::ostream& out) {
+  out << "{\n  \"schema\": \"mcs-telemetry-v1\",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    out << (first ? "\n" : ",\n") << "    \"" << escape(name)
+        << "\": " << value;
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"timers\": {";
+  first = true;
+  for (const auto& [name, t] : snap.timers) {
+    out << (first ? "\n" : ",\n") << "    \"" << escape(name)
+        << "\": {\"count\": " << t.count
+        << ", \"total_seconds\": " << number(t.total_seconds)
+        << ", \"min_seconds\": " << number(t.min_seconds)
+        << ", \"max_seconds\": " << number(t.max_seconds) << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    out << (first ? "\n" : ",\n") << "    \"" << escape(name)
+        << "\": {\"count\": " << h.count << ", \"sum\": " << number(h.sum)
+        << ", \"min\": " << number(h.min) << ", \"max\": " << number(h.max)
+        << ", \"p50\": " << number(h.p50) << ", \"p90\": " << number(h.p90)
+        << ", \"p99\": " << number(h.p99) << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+void write_json_file(const std::filesystem::path& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("telemetry: cannot open " + path.string());
+  }
+  write_json(snapshot(), out);
+}
+
+}  // namespace mcs::support::telemetry

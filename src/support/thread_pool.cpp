@@ -1,6 +1,7 @@
 #include "support/thread_pool.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "support/contracts.hpp"
 
@@ -40,6 +41,13 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  if (first_error_) {
+    // Hand the first captured task exception to exactly one waiter; the
+    // pool stays usable for further submissions.
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -55,9 +63,17 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++in_flight_;
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
     {
       std::unique_lock lock(mutex_);
+      if (error && !first_error_) {
+        first_error_ = std::move(error);
+      }
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) {
         idle_.notify_all();

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -14,10 +15,12 @@ namespace mcs::support {
 
 /// A minimal work-queue thread pool.
 ///
-/// Tasks are std::function<void()>; exceptions escaping a task terminate
-/// the process by design (tasks are expected to capture-and-store their own
-/// errors — the experiment runner does).  Destruction waits for all queued
-/// work (RAII: the pool owns its threads).
+/// Tasks are std::function<void()>.  An exception escaping a task is
+/// captured (the *first* one wins; later ones are dropped) and rethrown
+/// from the next wait_idle() call once the queue has drained, so one bad
+/// task set aborts a sweep cleanly instead of std::terminate-ing the whole
+/// process.  Destruction waits for all queued work (RAII: the pool owns its
+/// threads); an error never surfaced through wait_idle() is discarded.
 class ThreadPool {
  public:
   /// Spawns `worker_count` threads (0 means hardware_concurrency, min 1).
@@ -31,7 +34,9 @@ class ThreadPool {
   /// concurrently with destruction.
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first exception any task raised since the last wait_idle() (clearing
+  /// it).  The pool remains usable after the rethrow.
   void wait_idle();
 
   std::size_t worker_count() const noexcept { return workers_.size(); }
@@ -43,6 +48,7 @@ class ThreadPool {
   std::condition_variable wake_worker_;
   std::condition_variable idle_;
   std::deque<std::function<void()>> queue_;
+  std::exception_ptr first_error_;  ///< first task exception, guarded by mutex_
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
   std::vector<std::thread> workers_;

@@ -2,11 +2,14 @@
 // task sets (paper §V / §VI).
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "analysis/greedy.hpp"
 #include "analysis/nps.hpp"
 #include "analysis/response_time.hpp"
 #include "analysis/schedulability.hpp"
 #include "rt/task.hpp"
+#include "support/contracts.hpp"
 
 namespace {
 
@@ -281,6 +284,54 @@ TEST(FastAccept, VerdictsMatchIterativeScheme) {
       EXPECT_LE(accepted.wcrt, tasks[i].deadline);
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Regression: delay_to_ticks must round *up* (DESIGN.md §5.1).  The old
+// implementation computed ceil(delay - 1e-6), which mapped a genuine bound
+// like 5.0000005 to 5 ticks — below the bound, i.e. unsafe.
+
+TEST(DelayToTicks, NeverRoundsBelowTheDoubleBound) {
+  using mcs::analysis::delay_to_ticks;
+  // Bounds straddling integer boundaries from both sides, including the
+  // exact epsilon range the old code shaved off.
+  const double bounds[] = {0.0,       1e-9,      1e-7,      0.3,
+                           0.9999999, 1.0,       1.0000001, 4.9999999,
+                           5.0,       5.0000005, 5.0000001, 5.9,
+                           1e6,       1e6 + 1e-7};
+  for (const double delay : bounds) {
+    const Time ticks = delay_to_ticks(delay);
+    EXPECT_GE(static_cast<double>(ticks), delay) << "delay=" << delay;
+    // ...while staying within one tick of the bound (no gratuitous
+    // pessimism beyond the ceil).
+    EXPECT_LT(static_cast<double>(ticks), delay + 1.0) << "delay=" << delay;
+  }
+}
+
+TEST(DelayToTicks, ExactIntegersPassThroughUnchanged) {
+  using mcs::analysis::delay_to_ticks;
+  for (const Time v : {Time{0}, Time{1}, Time{5}, Time{123456789}}) {
+    EXPECT_EQ(delay_to_ticks(static_cast<double>(v)), v);
+  }
+}
+
+TEST(DelayToTicks, EpsilonAboveIntegerRoundsUpNotDown) {
+  using mcs::analysis::delay_to_ticks;
+  // The headline case from the bug report: 5.0000005 is a genuine bound
+  // above 5, so 5 ticks would under-approximate it.
+  EXPECT_EQ(delay_to_ticks(5.0000005), 6);
+  EXPECT_EQ(delay_to_ticks(5.000001), 6);
+  // Strictly below the integer still rounds to it.
+  EXPECT_EQ(delay_to_ticks(4.9999999), 5);
+}
+
+TEST(DelayToTicks, RejectsNonFiniteAndNegativeBounds) {
+  using mcs::analysis::delay_to_ticks;
+  EXPECT_THROW(delay_to_ticks(-1.0), mcs::support::ContractViolation);
+  EXPECT_THROW(delay_to_ticks(std::numeric_limits<double>::infinity()),
+               mcs::support::ContractViolation);
+  EXPECT_THROW(delay_to_ticks(std::numeric_limits<double>::quiet_NaN()),
+               mcs::support::ContractViolation);
 }
 
 }  // namespace

@@ -45,6 +45,16 @@ TEST(Experiment, RunsAndCountsConsistently) {
     EXPECT_LE(p.schedulable_proposed, p.tasksets);
     EXPECT_LE(p.schedulable_wp, p.tasksets);
     EXPECT_LE(p.schedulable_nps, p.tasksets);
+    // Fallbacks are counted at most once per task set (regression: the WP
+    // and Proposed analyses of one set used to tick the counter twice).
+    EXPECT_LE(p.relaxation_fallbacks, p.tasksets);
+    EXPECT_LE(p.fallbacks_wp, p.tasksets);
+    EXPECT_LE(p.fallbacks_proposed, p.tasksets);
+    EXPECT_LE(p.relaxation_fallbacks, p.fallbacks_wp + p.fallbacks_proposed);
+    // Percentiles are ordered and positive for a point that did work.
+    EXPECT_GT(p.p50_seconds, 0.0);
+    EXPECT_LE(p.p50_seconds, p.p90_seconds);
+    EXPECT_LE(p.p90_seconds, p.p99_seconds);
     // Greedy containment: proposed dominates WP by construction.
     EXPECT_GE(p.schedulable_proposed, p.schedulable_wp);
     EXPECT_GE(p.ratio(Approach::kProposed), p.ratio(Approach::kWasilyPellizzoni));
@@ -89,7 +99,10 @@ TEST(Experiment, WritesCsv) {
   ASSERT_TRUE(in.good());
   std::string header;
   std::getline(in, header);
-  EXPECT_EQ(header, "U,proposed,wp2016,nps,tasksets,relaxation_fallbacks,seconds");
+  EXPECT_EQ(header,
+            "U,proposed,wp2016,nps,tasksets,relaxation_fallbacks,"
+            "fallbacks_wp,fallbacks_proposed,seconds,p50_seconds,"
+            "p90_seconds,p99_seconds");
   std::string row;
   int rows = 0;
   while (std::getline(in, row)) {
@@ -119,6 +132,38 @@ TEST(Experiment, EnvOverridesApply) {
   EXPECT_EQ(cfg.threads, 2u);
   unsetenv("MCS_TASKSETS");
   unsetenv("MCS_SEED");
+  unsetenv("MCS_THREADS");
+}
+
+TEST(Experiment, EnvOverridesRejectMalformedValues) {
+  // Regression: "10x" used to parse as 10 and "abc" as seed 0 — silently.
+  const auto expect_rejected = [](const char* name, const char* value) {
+    setenv(name, value, 1);
+    ExperimentConfig cfg;
+    cfg.name = "env";
+    cfg.values = {0.5};
+    EXPECT_THROW(apply_env_overrides(cfg), mcs::support::ContractViolation)
+        << name << "=" << value;
+    unsetenv(name);
+  };
+  expect_rejected("MCS_TASKSETS", "10x");
+  expect_rejected("MCS_TASKSETS", "abc");
+  expect_rejected("MCS_TASKSETS", "");
+  expect_rejected("MCS_TASKSETS", "0");
+  expect_rejected("MCS_TASKSETS", "-3");
+  expect_rejected("MCS_SEED", "abc");
+  expect_rejected("MCS_SEED", "99 ");
+  expect_rejected("MCS_SEED", "0x10");
+  expect_rejected("MCS_SEED", "99999999999999999999999999");
+  expect_rejected("MCS_THREADS", "two");
+  expect_rejected("MCS_THREADS", "2.5");
+}
+
+TEST(Experiment, EnvOverridesAcceptZeroThreads) {
+  setenv("MCS_THREADS", "0", 1);  // 0 = hardware concurrency
+  ExperimentConfig cfg = tiny_config();
+  apply_env_overrides(cfg);
+  EXPECT_EQ(cfg.threads, 0u);
   unsetenv("MCS_THREADS");
 }
 

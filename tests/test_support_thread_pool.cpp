@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace {
@@ -65,6 +67,59 @@ TEST(ThreadPool, SingleWorkerIsSequentialSafe) {
 TEST(ThreadPool, WorkerCountDefaultsPositive) {
   ThreadPool pool;
   EXPECT_GE(pool.worker_count(), 1u);
+}
+
+TEST(ThreadPool, TaskExceptionPropagatesThroughWaitIdle) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("bad task set"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+}
+
+TEST(ThreadPool, RemainingTasksStillRunWhenOneThrows) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&counter, i] {
+      if (i == 10) throw std::runtime_error("boom");
+      counter.fetch_add(1);
+    });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The throwing task did not take the queue (or the process) down.
+  EXPECT_EQ(counter.load(), 49);
+}
+
+TEST(ThreadPool, FirstExceptionWinsAndErrorIsClearedAfterRethrow) {
+  ThreadPool pool(1);  // single worker: deterministic order
+  pool.submit([] { throw std::runtime_error("first"); });
+  pool.submit([] { throw std::logic_error("second"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle did not rethrow";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "first");
+  }
+  // The pool stays usable: accounting survived the throw paths and the
+  // stored error was consumed by the rethrow.
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  EXPECT_NO_THROW(pool.wait_idle());
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesTaskExceptions) {
+  ThreadPool pool(3);
+  EXPECT_THROW(parallel_for(pool, 20,
+                            [](std::size_t i) {
+                              if (i == 7) {
+                                throw std::runtime_error("element 7");
+                              }
+                            }),
+               std::runtime_error);
+  // Subsequent parallel_for calls start from a clean slate.
+  std::atomic<int> counter{0};
+  parallel_for(pool, 10, [&counter](std::size_t) { counter.fetch_add(1); });
+  EXPECT_EQ(counter.load(), 10);
 }
 
 }  // namespace

@@ -8,6 +8,11 @@
 //   mcs_cli export-lp <workload> <task-name> [--window=<ticks>] [--ls-case=a|b]
 //   mcs_cli example  — print a sample workload file
 //
+// Every command additionally accepts --telemetry=<file>: after the command
+// runs, a JSON snapshot of the solver/analysis telemetry (simplex
+// iterations, B&B nodes, fixpoint rounds, timers — see
+// support/telemetry.hpp for the schema) is written to <file>.
+//
 // Workload files use the format documented in rt/io.hpp.  Exit status: 0 on
 // success (analyze: schedulable), 1 on a negative verdict, 2 on usage or
 // input errors.
@@ -30,6 +35,7 @@
 #include "sim/job_source.hpp"
 #include "sim/metrics.hpp"
 #include "support/rng.hpp"
+#include "support/telemetry.hpp"
 
 using namespace mcs;
 
@@ -46,7 +52,10 @@ int usage() {
       "  mcs_cli chains    <workload> [--approach=proposed|wp|nps]\n"
       "  mcs_cli export-lp <workload> <task> [--window=<ticks>] "
       "[--ls-case=a|b]\n"
-      "  mcs_cli example\n";
+      "  mcs_cli example\n"
+      "options common to all commands:\n"
+      "  --telemetry=<file>  write a JSON solver/analysis telemetry "
+      "snapshot\n";
   return 2;
 }
 
@@ -284,17 +293,28 @@ int main(int argc, char** argv) {
     const rt::Workload workload = rt::load_workload_file(argv[2]);
     const int rest_argc = argc - 3;
     char** rest_argv = argv + 3;
+    // --telemetry=<file> forces collection on and dumps a snapshot once the
+    // command has run (whatever its verdict).
+    const auto telemetry_file = option(rest_argc, rest_argv, "telemetry");
+    if (telemetry_file) {
+      support::telemetry::set_enabled(true);
+    }
+    std::optional<int> status;
     if (command == "analyze") {
-      return cmd_analyze(workload, rest_argc, rest_argv);
+      status = cmd_analyze(workload, rest_argc, rest_argv);
+    } else if (command == "simulate") {
+      status = cmd_simulate(workload, rest_argc, rest_argv);
+    } else if (command == "chains") {
+      status = cmd_chains(workload, rest_argc, rest_argv);
+    } else if (command == "export-lp") {
+      status = cmd_export_lp(workload, rest_argc, rest_argv);
     }
-    if (command == "simulate") {
-      return cmd_simulate(workload, rest_argc, rest_argv);
-    }
-    if (command == "chains") {
-      return cmd_chains(workload, rest_argc, rest_argv);
-    }
-    if (command == "export-lp") {
-      return cmd_export_lp(workload, rest_argc, rest_argv);
+    if (status) {
+      if (telemetry_file) {
+        support::telemetry::write_json_file(*telemetry_file);
+        std::cerr << "telemetry written to " << *telemetry_file << "\n";
+      }
+      return *status;
     }
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << "\n";
