@@ -4,8 +4,13 @@
 // compares:
 //   * alpha-first branch priority        vs. plain most-fractional,
 //   * the relative-gap termination (2%)  vs. proving optimality,
-// reporting nodes, LP iterations, wall time, and bound quality.
+//   * warm-started node relaxations      vs. cold per-node solves,
+// reporting nodes, LP iterations, simplex pivots, wall time, and bound
+// quality.  Besides the human-readable table the bench writes
+// BENCH_solver.json, which tools/perf_check.py compares against the
+// committed baseline in CI.
 #include <chrono>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <vector>
@@ -15,6 +20,7 @@
 #include "lp/milp.hpp"
 #include "rt/task.hpp"
 #include "support/rng.hpp"
+#include "support/telemetry.hpp"
 
 #include "fig2_common.hpp"
 
@@ -26,6 +32,7 @@ struct Strategy {
   const char* name;
   bool alpha_priority;
   double relative_gap;
+  bool warm_start;
 };
 
 struct Tally {
@@ -34,17 +41,33 @@ struct Tally {
   double seconds = 0.0;
   double bound_sum = 0.0;
   std::size_t solved = 0;
+  std::uint64_t warm_pivots = 0;
+  std::uint64_t cold_pivots = 0;
+  std::uint64_t warm_hits = 0;
+  std::uint64_t warm_fallbacks = 0;
 };
+
+std::uint64_t counter(const support::telemetry::Snapshot& snap,
+                      const char* name) {
+  const auto it = snap.counters.find(name);
+  return it == snap.counters.end() ? 0 : it->second;
+}
 
 }  // namespace
 
 int main() {
   constexpr Strategy kStrategies[] = {
-      {"alpha-first + 2% gap", true, 0.02},
-      {"alpha-first, prove", true, 0.0},
-      {"plain, 2% gap", false, 0.02},
-      {"plain, prove", false, 0.0},
+      {"alpha+2%gap, warm", true, 0.02, true},
+      {"alpha+2%gap, cold", true, 0.02, false},
+      {"alpha, prove, warm", true, 0.0, true},
+      {"alpha, prove, cold", true, 0.0, false},
+      {"plain, 2%gap, warm", false, 0.02, true},
+      {"plain, 2%gap, cold", false, 0.02, false},
   };
+
+  // Pivot counters come from telemetry; the bench insists on it so the
+  // JSON is complete regardless of the environment.
+  support::telemetry::set_enabled(true);
 
   // Batch of representative delay MILPs: lowest-priority task of generated
   // sets, deadline-sized window (the hardest instance of each set).
@@ -66,16 +89,20 @@ int main() {
 
   std::cout << "Solver strategy ablation over " << instances.size()
             << " deadline-window delay MILPs (n=5, U=0.45, gamma=0.3):\n\n"
-            << std::left << std::setw(24) << "strategy" << std::setw(10)
-            << "solved" << std::setw(12) << "nodes" << std::setw(14)
-            << "lp iters" << std::setw(10) << "sec" << "mean bound\n";
+            << std::left << std::setw(22) << "strategy" << std::setw(8)
+            << "solved" << std::setw(10) << "nodes" << std::setw(12)
+            << "lp iters" << std::setw(12) << "pivots" << std::setw(8)
+            << "sec" << "mean bound\n";
 
+  std::vector<Tally> tallies;
   for (const Strategy& strategy : kStrategies) {
+    support::telemetry::reset();
     Tally tally;
     for (const auto& inst : instances) {
       lp::MilpOptions options;
       options.max_nodes = 30000;
       options.relative_gap = strategy.relative_gap;
+      options.use_warm_start = strategy.warm_start;
       if (strategy.alpha_priority) {
         options.branch_priority.assign(inst.model.num_variables(), 0);
         for (const auto a : inst.alpha_vars) {
@@ -95,15 +122,77 @@ int main() {
         ++tally.solved;
       }
     }
-    std::cout << std::left << std::setw(24) << strategy.name << std::setw(10)
-              << tally.solved << std::setw(12) << tally.nodes << std::setw(14)
-              << tally.lp_iters << std::setw(10) << std::fixed
-              << std::setprecision(2) << tally.seconds
+    const auto snap = support::telemetry::snapshot();
+    tally.warm_pivots = counter(snap, "simplex.warm_pivots");
+    tally.cold_pivots = counter(snap, "simplex.cold_pivots");
+    tally.warm_hits = counter(snap, "milp.warm_start_hits");
+    tally.warm_fallbacks = counter(snap, "milp.warm_start_fallbacks");
+    tallies.push_back(tally);
+
+    std::cout << std::left << std::setw(22) << strategy.name << std::setw(8)
+              << tally.solved << std::setw(10) << tally.nodes << std::setw(12)
+              << tally.lp_iters << std::setw(12)
+              << tally.warm_pivots + tally.cold_pivots << std::setw(8)
+              << std::fixed << std::setprecision(2) << tally.seconds
               << std::setprecision(0)
               << tally.bound_sum / static_cast<double>(tally.solved) << "\n";
   }
-  std::cout << "\n(equal mean bounds across strategies = same answer; the\n"
-               "node/time columns show what each ingredient saves)\n";
+
+  // Warm-vs-cold summary over the strategy pairs (each warm strategy is
+  // immediately followed by its cold twin above).
+  std::uint64_t warm_total = 0;
+  std::uint64_t cold_total = 0;
+  double warm_sec = 0.0;
+  double cold_sec = 0.0;
+  for (std::size_t k = 0; k < tallies.size(); ++k) {
+    const auto pivots = tallies[k].warm_pivots + tallies[k].cold_pivots;
+    if (kStrategies[k].warm_start) {
+      warm_total += pivots;
+      warm_sec += tallies[k].seconds;
+    } else {
+      cold_total += pivots;
+      cold_sec += tallies[k].seconds;
+    }
+  }
+  const double pivot_ratio =
+      warm_total > 0 ? static_cast<double>(cold_total) /
+                           static_cast<double>(warm_total)
+                     : 0.0;
+  std::cout << "\nwarm vs cold: " << warm_total << " vs " << cold_total
+            << " pivots (" << std::setprecision(2) << pivot_ratio
+            << "x reduction), " << warm_sec << "s vs " << cold_sec
+            << "s wall\n"
+            << "(equal mean bounds across strategies = same answer)\n";
+
+  std::ofstream json("BENCH_solver.json");
+  json << "{\n  \"schema\": \"mcs-bench-solver-v1\",\n"
+       << "  \"instances\": " << instances.size() << ",\n"
+       << "  \"strategies\": [\n";
+  for (std::size_t k = 0; k < tallies.size(); ++k) {
+    const Tally& t = tallies[k];
+    json << "    {\"name\": \"" << kStrategies[k].name << "\", "
+         << "\"warm_start\": " << (kStrategies[k].warm_start ? "true" : "false")
+         << ", \"solved\": " << t.solved << ", \"nodes\": " << t.nodes
+         << ", \"lp_iterations\": " << t.lp_iters
+         << ", \"pivots\": " << t.warm_pivots + t.cold_pivots
+         << ", \"warm_pivots\": " << t.warm_pivots
+         << ", \"cold_pivots\": " << t.cold_pivots
+         << ", \"warm_start_hits\": " << t.warm_hits
+         << ", \"warm_start_fallbacks\": " << t.warm_fallbacks
+         << ", \"wall_ms\": " << std::fixed << std::setprecision(1)
+         << t.seconds * 1000.0 << ", \"mean_bound\": "
+         << std::setprecision(6)
+         << t.bound_sum / static_cast<double>(t.solved) << "}"
+         << (k + 1 < tallies.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"summary\": {\"warm_pivots_total\": " << warm_total
+       << ", \"cold_pivots_total\": " << cold_total
+       << ", \"pivot_reduction\": " << std::setprecision(3) << pivot_ratio
+       << ", \"warm_wall_ms\": " << std::setprecision(1) << warm_sec * 1000.0
+       << ", \"cold_wall_ms\": " << cold_sec * 1000.0 << "}\n}\n";
+  json.close();
+  std::cout << "wrote BENCH_solver.json\n";
+
   mcs::bench::write_bench_telemetry("ablation_solver");
   return 0;
 }

@@ -176,6 +176,7 @@ DelayMilp build_delay_milp(const rt::TaskSet& tasks, TaskIndex i, Time t,
   DelayMilp out;
   Model& m = out.model;
   out.num_intervals = N;
+  out.budget_constraints.assign(n, DelayMilp::kNoConstraint);
   out.delta_vars.resize(N);
   out.exec_vars.assign(n, std::vector<VarId>(N, kNoVar));
   out.urgent_vars.assign(n, std::vector<VarId>(N, kNoVar));
@@ -349,6 +350,7 @@ DelayMilp build_delay_milp(const rt::TaskSet& tasks, TaskIndex i, Time t,
         is_lp(j) ? 1.0 : static_cast<double>(budgets[j]);
     m.add_constraint(total, Relation::kLe, budget,
                      "budget_" + tasks[j].name);
+    out.budget_constraints[j] = m.num_constraints() - 1;
   }
 
   // Constraint 8: an urgent execution in I_{k+1} requires a cancelled
@@ -388,14 +390,10 @@ DelayMilp build_delay_milp(const rt::TaskSet& tasks, TaskIndex i, Time t,
       }
     }
     if (any_cl) {
-      double ls_releases = 0.0;
-      for (TaskIndex s = 0; s < n; ++s) {
-        if (!is_ls(s)) continue;
-        ls_releases +=
-            static_cast<double>(tasks[s].arrival->releases_in(t) + 1);
-      }
-      m.add_constraint(cancels, Relation::kLe, ls_releases,
+      m.add_constraint(cancels, Relation::kLe,
+                       ls_release_budget(tasks, t, ignore_ls),
                        "cancellation_budget");
+      out.cancellation_budget_constraint = m.num_constraints() - 1;
     }
   }
 
@@ -454,6 +452,27 @@ DelayMilp build_delay_milp(const rt::TaskSet& tasks, TaskIndex i, Time t,
   }
   m.set_objective(Sense::kMaximize, objective);
   return out;
+}
+
+void update_delay_milp(DelayMilp& milp, const rt::TaskSet& tasks,
+                       TaskIndex i, Time t, bool ignore_ls) {
+  MCS_REQUIRE(i < tasks.size(), "update_delay_milp: bad task index");
+  MCS_REQUIRE(t >= 0, "update_delay_milp: negative window");
+  MCS_REQUIRE(milp.budget_constraints.size() == tasks.size(),
+              "update_delay_milp: formulation built for a different set");
+  const auto budgets = interference_budgets(tasks, i, t);
+  const auto my_prio = tasks[i].priority;
+  for (TaskIndex j = 0; j < tasks.size(); ++j) {
+    const std::size_t row = milp.budget_constraints[j];
+    if (row == DelayMilp::kNoConstraint) continue;
+    const bool lp_task = tasks[j].priority > my_prio;
+    milp.model.set_rhs(row,
+                       lp_task ? 1.0 : static_cast<double>(budgets[j]));
+  }
+  if (milp.cancellation_budget_constraint != DelayMilp::kNoConstraint) {
+    milp.model.set_rhs(milp.cancellation_budget_constraint,
+                       ls_release_budget(tasks, t, ignore_ls));
+  }
 }
 
 }  // namespace mcs::analysis

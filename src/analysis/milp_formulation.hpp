@@ -58,6 +58,16 @@ struct DelayMilp {
   /// Branch these first: once every alpha is fixed the residual problem is
   /// a near-integral assignment and the tree collapses.
   std::vector<lp::VarId> alpha_vars;
+
+  /// Index of task j's Constraint-7 budget row in `model` (npos when the
+  /// task has no admissible execution variables).  Together with
+  /// `cancellation_budget_constraint` these are the only pieces of the
+  /// formulation that depend on the window length `t` once the interval
+  /// count is fixed — `update_delay_milp` patches exactly these.
+  std::vector<std::size_t> budget_constraints;
+  std::size_t cancellation_budget_constraint = kNoConstraint;
+
+  static constexpr std::size_t kNoConstraint = static_cast<std::size_t>(-1);
 };
 
 /// Builds the delay-maximization MILP for task `i` over a window of length
@@ -67,5 +77,15 @@ struct DelayMilp {
 DelayMilp build_delay_milp(const rt::TaskSet& tasks, rt::TaskIndex i,
                            rt::Time t, FormulationCase fcase,
                            bool ignore_ls = false);
+
+/// Retargets an already-built formulation to a new window length `t`
+/// *without* rebuilding it.  Valid only when the interval count for the new
+/// window equals `milp.num_intervals` (same formulation case, same task,
+/// same `ignore_ls`): the window length then enters the model solely
+/// through the Constraint-7 interference budgets and the cancellation
+/// budget, whose right-hand sides this patches in place.  The fixpoint
+/// loop uses this to reuse one `DelayMilp` across rounds.
+void update_delay_milp(DelayMilp& milp, const rt::TaskSet& tasks,
+                       rt::TaskIndex i, rt::Time t, bool ignore_ls = false);
 
 }  // namespace mcs::analysis

@@ -26,15 +26,62 @@ struct DelayBound {
 
 namespace telemetry = support::telemetry;
 
+/// Reuses one built `DelayMilp` across fixpoint rounds of the same
+/// (task, formulation case).  While the interval count is unchanged the
+/// window length only enters the model through a handful of right-hand
+/// sides (see `update_delay_milp`), so a cached formulation is patched in
+/// place instead of rebuilt; the previous round's incumbent is carried in
+/// as a starting incumbent so branch & bound can prune from node one.
+struct DelayMilpCache {
+  bool valid = false;
+  FormulationCase fcase = FormulationCase::kNls;
+  std::size_t num_intervals = 0;
+  DelayMilp milp;
+  lp::MilpOptions milp_options;   ///< options.milp + branch priorities
+  std::vector<double> incumbent;  ///< last solve's values (may be empty)
+};
+
 DelayBound solve_delay(const rt::TaskSet& tasks, rt::TaskIndex i, Time t,
                        FormulationCase fcase,
-                       const AnalysisOptions& options) {
-  DelayMilp milp =
-      build_delay_milp(tasks, i, t, fcase, options.ignore_ls);
-  telemetry::count("analysis.milp_builds");
+                       const AnalysisOptions& options,
+                       DelayMilpCache* cache = nullptr) {
+  std::size_t intervals = 2;
+  switch (fcase) {
+    case FormulationCase::kNls:
+      intervals = window_intervals_nls(tasks, i, t);
+      break;
+    case FormulationCase::kLsCaseA:
+      intervals = window_intervals_ls(tasks, i, t);
+      break;
+    case FormulationCase::kLsCaseB:
+      break;
+  }
+
+  DelayMilp local;
+  DelayMilp* milp = &local;
+  bool cache_hit = false;
+  if (cache != nullptr && cache->valid && cache->fcase == fcase &&
+      cache->num_intervals == intervals) {
+    update_delay_milp(cache->milp, tasks, i, t, options.ignore_ls);
+    telemetry::count("analysis.milp_cache_hits");
+    cache_hit = true;
+    milp = &cache->milp;
+  } else if (cache != nullptr) {
+    cache->milp = build_delay_milp(tasks, i, t, fcase, options.ignore_ls);
+    cache->valid = true;
+    cache->fcase = fcase;
+    cache->num_intervals = intervals;
+    cache->incumbent.clear();
+    telemetry::count("analysis.milp_builds");
+    milp = &cache->milp;
+  } else {
+    local = build_delay_milp(tasks, i, t, fcase, options.ignore_ls);
+    telemetry::count("analysis.milp_builds");
+  }
+
   DelayBound out;
   if (options.lp_relaxation_only) {
-    const lp::LpSolution sol = solve_lp(milp.model, options.milp.lp);
+    const lp::LpSolution sol = solve_lp(milp->model, options.milp.lp);
     out.lp_iterations = sol.iterations;
     if (sol.status == lp::SolveStatus::kOptimal) {
       out.valid = true;
@@ -44,13 +91,26 @@ DelayBound solve_delay(const rt::TaskSet& tasks, rt::TaskIndex i, Time t,
     }
     return out;
   }
-  lp::MilpOptions milp_options = options.milp;
-  // Branch the Constraint 13 max-selectors first (see DelayMilp::alpha_vars).
-  milp_options.branch_priority.assign(milp.model.num_variables(), 0);
-  for (const lp::VarId alpha : milp.alpha_vars) {
-    milp_options.branch_priority[alpha.index] = 1;
+  lp::MilpOptions local_options;
+  lp::MilpOptions& milp_options =
+      cache != nullptr ? cache->milp_options : local_options;
+  if (!cache_hit) {
+    // Branch the Constraint 13 max-selectors first (see
+    // DelayMilp::alpha_vars).  On a cache hit the priorities (and every
+    // other option) are structural and carry over unchanged.
+    milp_options = options.milp;
+    milp_options.branch_priority.assign(milp->model.num_variables(), 0);
+    for (const lp::VarId alpha : milp->alpha_vars) {
+      milp_options.branch_priority[alpha.index] = 1;
+    }
   }
-  const lp::MilpResult res = solve_milp(milp.model, milp_options);
+  milp_options.start_values =
+      cache_hit && cache != nullptr ? cache->incumbent
+                                    : std::vector<double>{};
+  const lp::MilpResult res = solve_milp(milp->model, milp_options);
+  if (cache != nullptr && res.has_incumbent) {
+    cache->incumbent = res.values;
+  }
   out.nodes = res.nodes;
   out.lp_iterations = res.lp_iterations;
   switch (res.status) {
@@ -132,6 +192,12 @@ TaskBoundResult bound_response_time(const rt::TaskSet& tasks,
     case_b_delay = b.delay;
   }
 
+  // One formulation cache for the fast-accept probe and every fixpoint
+  // round: they all use the same (task, case) pair, so whenever the
+  // interval count repeats the built MILP is patched instead of rebuilt
+  // and the previous incumbent seeds the next search.
+  DelayMilpCache cache;
+
   // Fast accept: the MILP value is monotone in the window length, so if
   // the bound computed for the largest relevant window t_D = D - C - u
   // already fits the deadline, the least fixpoint fits too (and that value
@@ -141,7 +207,8 @@ TaskBoundResult bound_response_time(const rt::TaskSet& tasks,
     const Time t_deadline = task.deadline - task.exec - task.copy_out;
     const FormulationCase fcase = analyzed_ls ? FormulationCase::kLsCaseA
                                               : FormulationCase::kNls;
-    const DelayBound d = solve_delay(tasks, i, t_deadline, fcase, options);
+    const DelayBound d =
+        solve_delay(tasks, i, t_deadline, fcase, options, &cache);
     result.milp_nodes += d.nodes;
     result.lp_iterations += d.lp_iterations;
     if (d.valid) {
@@ -158,7 +225,8 @@ TaskBoundResult bound_response_time(const rt::TaskSet& tasks,
     }
   }
 
-  std::size_t prev_window = 0;
+  std::vector<std::uint64_t> prev_budgets;
+  double prev_ls_releases = -1.0;
   for (std::size_t iter = 0; iter < options.max_outer_iterations; ++iter) {
     ++result.outer_iterations;
     telemetry::count("analysis.fixpoint_rounds");
@@ -171,15 +239,26 @@ TaskBoundResult bound_response_time(const rt::TaskSet& tasks,
                                    : window_intervals_nls(tasks, i, t);
     telemetry::record("analysis.window_intervals",
                       static_cast<double>(window));
-    if (iter > 0 && window == prev_window) {
-      // Same window => same MILP => same value: fixpoint reached.
+    // The window length enters the MILP only through the interference
+    // budgets (which also fix the interval count) and the cancellation
+    // budget.  If none of them moved since the previous round the MILP is
+    // *identical*, so its value is too: fixpoint reached.  (Comparing the
+    // budgets rather than the interval count alone is exact: the count is
+    // derived from the budget sum and can mask a changed cancellation
+    // budget or clamp-equal windows with different budgets.)
+    std::vector<std::uint64_t> budgets = interference_budgets(tasks, i, t);
+    const double ls_releases =
+        ls_release_budget(tasks, t, options.ignore_ls);
+    if (iter > 0 && budgets == prev_budgets &&
+        ls_releases == prev_ls_releases) {
       result.wcrt = response;
       result.schedulable = response <= task.deadline;
       return result;
     }
-    prev_window = window;
+    prev_budgets = std::move(budgets);
+    prev_ls_releases = ls_releases;
 
-    const DelayBound a = solve_delay(tasks, i, t, fcase, options);
+    const DelayBound a = solve_delay(tasks, i, t, fcase, options, &cache);
     result.milp_nodes += a.nodes;
     result.lp_iterations += a.lp_iterations;
     if (!a.valid) {

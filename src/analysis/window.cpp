@@ -17,6 +17,18 @@ std::vector<std::uint64_t> interference_budgets(const rt::TaskSet& tasks,
   return budgets;
 }
 
+double ls_release_budget(const rt::TaskSet& tasks, rt::Time t,
+                         bool ignore_ls) {
+  MCS_REQUIRE(t >= 0, "ls_release_budget: negative window");
+  if (ignore_ls) return 0.0;
+  double releases = 0.0;
+  for (rt::TaskIndex s = 0; s < tasks.size(); ++s) {
+    if (!tasks[s].latency_sensitive) continue;
+    releases += static_cast<double>(tasks[s].arrival->releases_in(t) + 1);
+  }
+  return releases;
+}
+
 namespace {
 std::size_t interference_total(const rt::TaskSet& tasks, rt::TaskIndex i,
                                rt::Time t) {

@@ -22,6 +22,13 @@ namespace mcs::analysis {
 std::vector<std::uint64_t> interference_budgets(const rt::TaskSet& tasks,
                                                 rt::TaskIndex i, rt::Time t);
 
+/// Upper bound on the number of latency-sensitive job releases inside a
+/// window of length `t`: sum over LS tasks of (eta_s(t) + 1).  Every
+/// copy-in cancellation is triggered by one such release (rule R3), so this
+/// caps the MILP's cancellation budget.  With `ignore_ls` the result is 0.
+double ls_release_budget(const rt::TaskSet& tasks, rt::Time t,
+                         bool ignore_ls = false);
+
 /// Theorem 1 bound (task analyzed as NLS).
 std::size_t window_intervals_nls(const rt::TaskSet& tasks, rt::TaskIndex i,
                                  rt::Time t);

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <limits>
+#include <memory>
+#include <optional>
 #include <queue>
 
 #include "support/contracts.hpp"
@@ -12,19 +15,45 @@ namespace mcs::lp {
 
 namespace {
 
-struct Node {
-  double bound = 0.0;  // parent relaxation objective (model sense)
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+/// A node whose bounds differ from the solver's current tableau by at most
+/// this many deltas reoptimizes in situ with the dual simplex (each delta
+/// violates at most one basic row, so the repair stays a handful of pivots);
+/// anything farther solves cold — cheaper than a long dual repair.
+constexpr std::size_t kWarmDeltaMax = 4;
+
+/// Capacity of the sibling trail: the most recent unexplored siblings along
+/// the current plunge are kept in a LIFO and explored before any best-first
+/// pop.  Backtracking to a recent sibling changes only a few bounds, so its
+/// relaxation stays a warm dual restart; siblings falling off the trail go
+/// to the best-first queue (and typically solve cold when reached).
+constexpr std::size_t kTrailMax = 8;
+
+/// Per-node storage: one bound delta `(var_k, lo, hi)` against the parent
+/// node instead of a full copy of every integral bound.  The full bound
+/// vector of a node is reconstructed by walking the parent chain from the
+/// root and applying deltas in order.
+struct NodeDelta {
+  std::size_t parent = npos;
+  std::size_t var_k = npos;  ///< index into int_vars_; npos for the root
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Queue entry: plain POD so heap operations move a few words, not vectors.
+struct OpenNode {
+  double bound = 0.0;  ///< parent relaxation objective (model sense)
   std::size_t id = 0;
   std::size_t depth = 0;
-  /// Bounds for the integral variables only, parallel to `int_vars`.
-  std::vector<std::pair<double, double>> int_bounds;
+  std::size_t delta = npos;  ///< index into the delta arena
 };
 
 /// Ordering for the best-first queue: better bound first; on ties prefer
 /// deeper nodes (finds integral incumbents sooner), then FIFO.
 struct NodeOrder {
   bool maximize;
-  bool operator()(const Node& a, const Node& b) const {
+  bool operator()(const OpenNode& a, const OpenNode& b) const {
     if (a.bound != b.bound) {
       // priority_queue pops the *largest*; define "largest" = best bound.
       return maximize ? a.bound < b.bound : a.bound > b.bound;
@@ -33,6 +62,8 @@ struct NodeOrder {
     return a.id > b.id;  // older nodes first
   }
 };
+
+using IntBounds = std::vector<std::pair<double, double>>;
 
 class BranchAndBound {
  public:
@@ -49,6 +80,14 @@ class BranchAndBound {
 
   MilpResult run();
 
+  std::size_t bound_deltas_applied() const noexcept { return deltas_; }
+  std::size_t warm_solves() const noexcept {
+    return solver_stat(&SimplexStats::warm_solves);
+  }
+  std::size_t warm_fallbacks() const noexcept {
+    return solver_stat(&SimplexStats::warm_fallbacks);
+  }
+
  private:
   bool better(double a, double b) const {
     return maximize_ ? a > b : a < b;
@@ -57,10 +96,59 @@ class BranchAndBound {
     return maximize_ ? -kInfinity : kInfinity;
   }
 
-  void apply_bounds(Model& model,
-                    const std::vector<std::pair<double, double>>& b) const {
+  std::size_t solver_stat(std::size_t SimplexStats::* field) const {
+    std::size_t total = 0;
+    if (main_) total += main_->stats().*field;
+    if (heur_) total += heur_->stats().*field;
+    return total;
+  }
+
+  LpSolution lp_solve(SimplexSolver& solver, bool warm, MilpResult& result) {
+    LpSolution sol = warm ? solver.solve_warm() : solver.solve();
+    result.lp_iterations += sol.iterations;
+    return sol;
+  }
+
+  /// Moves `solver` (whose currently applied bounds are tracked in `cur`)
+  /// to `want`, touching only the bounds that actually differ.  Returns the
+  /// number of bounds changed — a proxy for how far the solver's tableau is
+  /// from the target node (each change can violate at most one basic row).
+  std::size_t apply_bounds(SimplexSolver& solver, IntBounds& cur,
+                           const IntBounds& want) {
+    std::size_t changed = 0;
     for (std::size_t k = 0; k < int_vars_.size(); ++k) {
-      model.set_bounds(VarId{int_vars_[k]}, b[k].first, b[k].second);
+      if (cur[k] != want[k]) {
+        solver.set_bounds(VarId{int_vars_[k]}, want[k].first,
+                          want[k].second);
+        cur[k] = want[k];
+        ++deltas_;
+        ++changed;
+      }
+    }
+    return changed;
+  }
+
+  void set_one_bound(SimplexSolver& solver, IntBounds& cur, std::size_t k,
+                     double lo, double hi) {
+    if (cur[k] == std::make_pair(lo, hi)) return;
+    solver.set_bounds(VarId{int_vars_[k]}, lo, hi);
+    cur[k] = {lo, hi};
+    ++deltas_;
+  }
+
+  /// Reconstructs a node's full integral-bound vector into `out` by
+  /// replaying the delta chain root -> leaf (deeper deltas win).
+  void bounds_for(std::size_t delta_idx, IntBounds& out) {
+    out = root_bounds_;
+    chain_.clear();
+    for (std::size_t d = delta_idx; d != npos; d = arena_[d].parent) {
+      chain_.push_back(d);
+    }
+    for (auto it = chain_.rbegin(); it != chain_.rend(); ++it) {
+      const NodeDelta& nd = arena_[*it];
+      if (nd.var_k != npos) {
+        out[nd.var_k] = {nd.lo, nd.hi};
+      }
     }
   }
 
@@ -96,22 +184,36 @@ class BranchAndBound {
     }
   }
 
+  void try_seed_incumbent(MilpResult& result) const {
+    if (opt_.start_values.size() != base_.num_variables()) return;
+    std::vector<double> snapped = opt_.start_values;
+    for (const std::size_t v : int_vars_) {
+      const double r = std::round(snapped[v]);
+      if (std::abs(snapped[v] - r) > opt_.integrality_tol) return;
+      snapped[v] = r;
+    }
+    if (!base_.is_feasible(snapped, opt_.lp.feasibility_tol * 10.0)) return;
+    result.has_incumbent = true;
+    result.objective = base_.evaluate(base_.objective(), snapped);
+    result.values = std::move(snapped);
+  }
+
   /// Fix-and-complete rounding heuristic: round every integral variable to
   /// the nearest integer within its node bounds, re-solve the continuous
   /// completion, and offer the result as an incumbent.
-  void rounding_heuristic(Model& scratch, const Node& node,
+  void rounding_heuristic(const IntBounds& node_bounds,
                           const std::vector<double>& relax_values,
-                          MilpResult& result) const {
-    auto fixed = node.int_bounds;
+                          MilpResult& result) {
+    IntBounds fixed = node_bounds;
     for (std::size_t k = 0; k < int_vars_.size(); ++k) {
-      const auto [lo, hi] = node.int_bounds[k];
+      const auto [lo, hi] = node_bounds[k];
       const double x =
           std::clamp(std::round(relax_values[int_vars_[k]]), lo, hi);
       fixed[k] = {x, x};
     }
-    apply_bounds(scratch, fixed);
-    const LpSolution sol = solve_lp(scratch, opt_.lp);
-    result.lp_iterations += sol.iterations;
+    const std::size_t changed = apply_bounds(*heur_, heur_bounds_, fixed);
+    const LpSolution sol = lp_solve(
+        *heur_, opt_.use_warm_start && changed <= kWarmDeltaMax, result);
     if (sol.status == SolveStatus::kOptimal) {
       try_update_incumbent(sol.values, sol.objective, result);
     }
@@ -121,13 +223,12 @@ class BranchAndBound {
   /// to its rounded value (falling back to the opposite rounding when that
   /// makes the LP infeasible) until the relaxation comes out integral.
   /// Produces high-quality incumbents that all-at-once rounding cannot —
-  /// crucial for pruning on the scheduling-analysis MILPs.
-  void dive_heuristic(Model& scratch, const Node& node,
-                      MilpResult& result) const {
-    auto bounds = node.int_bounds;
-    apply_bounds(scratch, bounds);
-    LpSolution sol = solve_lp(scratch, opt_.lp);
-    result.lp_iterations += sol.iterations;
+  /// crucial for pruning on the scheduling-analysis MILPs.  Each attempt
+  /// touches only the single bound being fixed and restores it on failure.
+  void dive_heuristic(const IntBounds& node_bounds, MilpResult& result) {
+    const std::size_t changed = apply_bounds(*heur_, heur_bounds_, node_bounds);
+    LpSolution sol = lp_solve(
+        *heur_, opt_.use_warm_start && changed <= kWarmDeltaMax, result);
     // Each pass fixes at least one variable; bound the work defensively.
     for (std::size_t pass = 0; pass <= int_vars_.size(); ++pass) {
       if (sol.status != SolveStatus::kOptimal) {
@@ -142,17 +243,15 @@ class BranchAndBound {
         try_update_incumbent(snapped, sol.objective, result);
         return;
       }
-      const auto [lo, hi] = bounds[k];
+      const auto [lo, hi] = heur_bounds_[k];
       const double x = sol.values[int_vars_[k]];
       const double first = std::clamp(std::round(x), lo, hi);
       const double second =
           std::clamp(first > x ? std::floor(x) : std::ceil(x), lo, hi);
       bool fixed = false;
       for (const double choice : {first, second}) {
-        bounds[k] = {choice, choice};
-        apply_bounds(scratch, bounds);
-        const LpSolution attempt = solve_lp(scratch, opt_.lp);
-        result.lp_iterations += attempt.iterations;
+        set_one_bound(*heur_, heur_bounds_, k, choice, choice);
+        const LpSolution attempt = lp_solve(*heur_, opt_.use_warm_start, result);
         if (attempt.status == SolveStatus::kOptimal) {
           sol = attempt;
           fixed = true;
@@ -161,26 +260,35 @@ class BranchAndBound {
         if (first == second) break;
       }
       if (!fixed) {
+        set_one_bound(*heur_, heur_bounds_, k, lo, hi);
         return;  // both roundings infeasible: abandon the dive
       }
     }
   }
 
-  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
-
   const Model& base_;
   MilpOptions opt_;
   bool maximize_;
   std::vector<std::size_t> int_vars_;
+
+  IntBounds root_bounds_;
+  Model root_model_;  ///< base_ with integral domains clamped finite
+  std::unique_ptr<SimplexSolver> main_;  ///< node relaxations
+  std::unique_ptr<SimplexSolver> heur_;  ///< rounding / diving scratch
+  IntBounds main_bounds_;  ///< bounds currently applied to main_
+  IntBounds heur_bounds_;  ///< bounds currently applied to heur_
+
+  std::deque<NodeDelta> arena_;
+  std::vector<std::size_t> chain_;  ///< scratch for bounds_for
+  std::size_t deltas_ = 0;
 };
 
 MilpResult BranchAndBound::run() {
   MilpResult result;
-  Model scratch = base_;
 
   // Pure LP: no branching needed.
   if (int_vars_.empty()) {
-    const LpSolution sol = solve_lp(scratch, opt_.lp);
+    const LpSolution sol = solve_lp(base_, opt_.lp);
     result.lp_iterations = sol.iterations;
     result.status = sol.status;
     if (sol.status == SolveStatus::kOptimal) {
@@ -196,7 +304,7 @@ MilpResult BranchAndBound::run() {
   // branching ranges below clamp infinite integer domains, which would
   // silently turn an unbounded problem into a huge "optimal" one.
   {
-    const LpSolution root = solve_lp(scratch, opt_.lp);
+    const LpSolution root = solve_lp(base_, opt_.lp);
     result.lp_iterations += root.iterations;
     if (root.status == SolveStatus::kUnbounded) {
       result.status = SolveStatus::kUnbounded;
@@ -208,8 +316,8 @@ MilpResult BranchAndBound::run() {
     }
   }
 
-  std::vector<std::pair<double, double>> root_bounds;
-  root_bounds.reserve(int_vars_.size());
+  root_bounds_.reserve(int_vars_.size());
+  root_model_ = base_;
   for (const std::size_t v : int_vars_) {
     const Variable& mv = base_.variables()[v];
     // Integral variables need finite branching ranges; clamp huge domains
@@ -221,40 +329,101 @@ MilpResult BranchAndBound::run() {
       result.status = SolveStatus::kInfeasible;
       return result;
     }
-    root_bounds.emplace_back(lo, hi);
+    root_bounds_.emplace_back(lo, hi);
+    // Clamping in the model (not just the solver) gives every integral
+    // variable a finite lower bound, which is what makes its simplex column
+    // warm-boundable (single shifted column).
+    root_model_.set_bounds(VarId{v}, lo, hi);
   }
+  main_ = std::make_unique<SimplexSolver>(root_model_, opt_.lp);
+  heur_ = std::make_unique<SimplexSolver>(root_model_, opt_.lp);
+  main_bounds_ = root_bounds_;
+  heur_bounds_ = root_bounds_;
 
-  std::priority_queue<Node, std::vector<Node>, NodeOrder> open(
+  try_seed_incumbent(result);
+
+  std::priority_queue<OpenNode, std::vector<OpenNode>, NodeOrder> open(
       NodeOrder{maximize_});
   std::size_t next_id = 0;
-  open.push(Node{maximize_ ? kInfinity : -kInfinity, next_id++, 0,
-                 std::move(root_bounds)});
+  arena_.push_back(NodeDelta{});  // root: no delta
+  open.push(OpenNode{maximize_ ? kInfinity : -kInfinity, next_id++, 0, 0});
 
   result.best_bound = worst_value();
   bool budget_exhausted = false;
+  IntBounds node_bounds;
+  // Plunge child of the node just expanded: processed before anything from
+  // the queue, while the solver tableau still holds its parent's optimal
+  // basis (its relaxation is then a textbook dual restart — one bound
+  // tightened, a handful of pivots).
+  std::optional<OpenNode> carry;
+  // Trail of the most recent unexplored siblings along the plunge (LIFO,
+  // capped at kTrailMax).  Backtracking to one of them keeps the tableau
+  // close; the oldest entries overflow into the best-first queue.
+  std::deque<OpenNode> trail;
+  // Best bound among nodes discarded because they were already within the
+  // configured relative gap of the incumbent (their subtree can improve the
+  // answer by at most the tolerance).  Folded into the final dual bound so
+  // best_bound stays valid.
+  double dropped_bound = worst_value();
+  bool dropped_any = false;
 
-  while (!open.empty()) {
+  while (carry.has_value() || !trail.empty() || !open.empty()) {
     if (result.nodes >= opt_.max_nodes) {
       budget_exhausted = true;
       break;
     }
-    Node node = open.top();
-    open.pop();
+    const bool plunged = carry.has_value();
+    OpenNode node;
+    if (plunged) {
+      node = *carry;
+      carry.reset();
+    } else if (!trail.empty()) {
+      node = trail.back();
+      trail.pop_back();
+    } else {
+      node = open.top();
+      open.pop();
+    }
 
-    // Best-first: this node's inherited bound dominates every open node.
-    // Terminate when it is within the configured relative gap of the
-    // incumbent — best_bound stays a valid dual bound.
+    // Global dual bound: with plunging the processed node no longer
+    // dominates the open set, so take the best over it, the queue head, and
+    // the trail (a short scan).
+    double global_bound = node.bound;
+    if (!open.empty() && better(open.top().bound, global_bound)) {
+      global_bound = open.top().bound;
+    }
+    for (const OpenNode& t : trail) {
+      if (better(t.bound, global_bound)) global_bound = t.bound;
+    }
+
+    // Terminate when the global dual bound is within the configured
+    // relative gap of the incumbent — best_bound stays a valid dual bound.
     if (result.has_incumbent && opt_.relative_gap > 0.0) {
       const double tolerance =
           opt_.relative_gap * std::max(1.0, std::abs(result.objective));
       const bool within = maximize_
-                              ? node.bound <= result.objective + tolerance
-                              : node.bound >= result.objective - tolerance;
+                              ? global_bound <= result.objective + tolerance
+                              : global_bound >= result.objective - tolerance;
       if (within) {
         result.status = SolveStatus::kOptimal;
         result.gap_terminated = true;
-        result.best_bound = node.bound;
+        result.best_bound = dropped_any && better(dropped_bound, global_bound)
+                                ? dropped_bound
+                                : global_bound;
         return result;
+      }
+      // A plunged node already within the gap cannot change the final
+      // answer beyond the tolerance: drop it instead of exploring its
+      // subtree (best-first would never have reached it).  Its bound is
+      // remembered so the dual bound stays honest.
+      const bool node_within = maximize_
+                                   ? node.bound <= result.objective + tolerance
+                                   : node.bound >= result.objective - tolerance;
+      if (node_within) {
+        if (better(node.bound, dropped_bound)) dropped_bound = node.bound;
+        dropped_any = true;
+        ++result.nodes_pruned;
+        continue;
       }
     }
 
@@ -268,9 +437,14 @@ MilpResult BranchAndBound::run() {
     }
 
     ++result.nodes;
-    apply_bounds(scratch, node.int_bounds);
-    const LpSolution relax = solve_lp(scratch, opt_.lp);
-    result.lp_iterations += relax.iterations;
+    bounds_for(node.delta, node_bounds);
+    const std::size_t changed = apply_bounds(*main_, main_bounds_, node_bounds);
+    // Plunged children (one delta from the tableau) and near jumps — e.g.
+    // the sibling popped right after its brother's subtree collapsed —
+    // reoptimize in situ; far jumps solve cold.
+    const bool near = plunged || changed <= kWarmDeltaMax;
+    const LpSolution relax =
+        lp_solve(*main_, opt_.use_warm_start && near, result);
 
     if (relax.status == SolveStatus::kInfeasible) {
       continue;
@@ -307,49 +481,90 @@ MilpResult BranchAndBound::run() {
 
     if (opt_.enable_rounding_heuristic) {
       if (result.nodes == 1) {
-        dive_heuristic(scratch, node, result);
+        dive_heuristic(node_bounds, result);
       } else if (result.nodes % opt_.heuristic_period == 0) {
-        rounding_heuristic(scratch, node, relax.values, result);
+        rounding_heuristic(node_bounds, relax.values, result);
         if (!result.has_incumbent &&
             result.nodes % (opt_.heuristic_period * 8) == 0) {
-          dive_heuristic(scratch, node, result);
+          dive_heuristic(node_bounds, result);
         }
       }
     }
 
     const std::size_t var = int_vars_[branch_k];
     const double x = relax.values[var];
-    const auto [lo, hi] = node.int_bounds[branch_k];
+    const auto [lo, hi] = node_bounds[branch_k];
     const double floor_x = std::floor(x);
     const double ceil_x = std::ceil(x);
 
+    std::size_t down = npos;
+    std::size_t up = npos;
     if (floor_x >= lo) {
-      Node down = node;
-      down.bound = bound;
-      down.id = next_id++;
-      down.depth = node.depth + 1;
-      down.int_bounds[branch_k].second = floor_x;
-      open.push(std::move(down));
+      arena_.push_back(NodeDelta{node.delta, branch_k, lo, floor_x});
+      down = arena_.size() - 1;
     }
     if (ceil_x <= hi) {
-      Node up = node;
-      up.bound = bound;
-      up.id = next_id++;
-      up.depth = node.depth + 1;
-      up.int_bounds[branch_k].first = ceil_x;
-      open.push(std::move(up));
+      arena_.push_back(NodeDelta{node.delta, branch_k, ceil_x, hi});
+      up = arena_.size() - 1;
+    }
+    // Guided plunge: dive into the child on the side the relaxation value
+    // rounds to (the one more likely to stay feasible and near-optimal).
+    // The sibling joins the trail for a nearby backtrack, displacing the
+    // oldest trail entry into the best-first queue when full.
+    const bool go_down = up == npos || (down != npos && x - floor_x <= 0.5);
+    const std::size_t dive = go_down ? down : up;
+    const std::size_t sibling = go_down ? up : down;
+    if (sibling != npos) {
+      trail.push_back(OpenNode{bound, next_id++, node.depth + 1, sibling});
+      if (trail.size() > kTrailMax) {
+        open.push(trail.front());
+        trail.pop_front();
+      }
+    }
+    if (dive != npos) {
+      carry = OpenNode{bound, next_id++, node.depth + 1, dive};
+    }
+  }
+
+  // Polish: re-derive the incumbent's objective and continuous completion
+  // with one clean cold solve at the fixed integral assignment.  Warm-path
+  // extractions carry tableau round-off that depends on the exploration
+  // path; the reported value must not (callers ceil() these bounds, which
+  // amplifies even ulp-level noise into a full tick).  A cold solve on the
+  // all-integer analysis models is numerically exact in practice.
+  if (result.has_incumbent && heur_ != nullptr) {
+    IntBounds fixed(int_vars_.size());
+    for (std::size_t k = 0; k < int_vars_.size(); ++k) {
+      const double v = result.values[int_vars_[k]];
+      fixed[k] = {v, v};
+    }
+    apply_bounds(*heur_, heur_bounds_, fixed);
+    LpSolution polish = heur_->solve();
+    result.lp_iterations += polish.iterations;
+    if (polish.status == SolveStatus::kOptimal) {
+      result.objective = polish.objective;
+      result.values = std::move(polish.values);
+      for (const std::size_t v : int_vars_) {
+        result.values[v] = std::round(result.values[v]);
+      }
     }
   }
 
   // Final status & dual bound.
   if (budget_exhausted) {
     result.status = SolveStatus::kNodeLimit;
-    double open_bound = worst_value();
-    // Drain the queue to find the strongest open bound.
-    while (!open.empty()) {
-      open_bound = better(open.top().bound, open_bound) ? open.top().bound
-                                                        : open_bound;
-      open.pop();
+    // Best-first queue: the strongest open bound is the queue head (no
+    // drain needed), except that an unconsumed plunge child and the trail
+    // also count as open nodes.
+    double open_bound = open.empty() ? worst_value() : open.top().bound;
+    if (carry.has_value() && better(carry->bound, open_bound)) {
+      open_bound = carry->bound;
+    }
+    for (const OpenNode& t : trail) {
+      if (better(t.bound, open_bound)) open_bound = t.bound;
+    }
+    if (dropped_any && better(dropped_bound, open_bound)) {
+      open_bound = dropped_bound;
     }
     result.best_bound = result.has_incumbent
                             ? (better(open_bound, result.objective)
@@ -366,6 +581,14 @@ MilpResult BranchAndBound::run() {
   if (result.has_incumbent) {
     result.status = SolveStatus::kOptimal;
     result.best_bound = result.objective;
+    if (dropped_any) {
+      // Some within-gap subtrees were discarded unexplored: the answer is
+      // gap-optimal, not proven exact, and the dual bound reflects them.
+      result.gap_terminated = true;
+      if (better(dropped_bound, result.best_bound)) {
+        result.best_bound = dropped_bound;
+      }
+    }
   } else {
     result.status = SolveStatus::kInfeasible;
   }
@@ -384,6 +607,12 @@ MilpResult solve_milp(const Model& model, const MilpOptions& options) {
     telemetry::count("milp.nodes_explored", result.nodes);
     telemetry::count("milp.nodes_pruned", result.nodes_pruned);
     telemetry::count("milp.lp_iterations", result.lp_iterations);
+    telemetry::count("milp.bound_deltas_applied",
+                     solver.bound_deltas_applied());
+    const std::size_t warm = solver.warm_solves();
+    const std::size_t fallbacks = solver.warm_fallbacks();
+    telemetry::count("milp.warm_start_hits", warm - fallbacks);
+    telemetry::count("milp.warm_start_fallbacks", fallbacks);
     if (result.gap_terminated) {
       telemetry::count("milp.gap_terminations");
     }

@@ -35,6 +35,17 @@ struct MilpOptions {
   /// fractional integral variables, the highest priority class is branched
   /// first (most-fractional within the class).  Empty = uniform priority.
   std::vector<int> branch_priority;
+  /// Reoptimize each node's relaxation with the dual simplex from its
+  /// parent's optimal basis instead of solving cold.  Identical results up
+  /// to tolerances (the warm path falls back to a cold solve on trouble);
+  /// off mainly for differential testing.
+  bool use_warm_start = true;
+  /// Optional starting incumbent, one value per model variable.  Checked
+  /// for bound/constraint feasibility and integrality before adoption;
+  /// anything infeasible is silently ignored.  Lets the analysis fixpoint
+  /// loop carry the previous round's solution in so pruning starts
+  /// immediately.
+  std::vector<double> start_values;
 };
 
 struct MilpResult {

@@ -122,6 +122,13 @@ void Model::set_bounds(VarId v, double lower, double upper) {
   variables_[v.index].upper = upper;
 }
 
+void Model::set_rhs(std::size_t constraint_index, double rhs) {
+  MCS_REQUIRE(constraint_index < constraints_.size(),
+              "set_rhs: unknown constraint");
+  MCS_REQUIRE(std::isfinite(rhs), "set_rhs: rhs must be finite");
+  constraints_[constraint_index].rhs = rhs;
+}
+
 const Variable& Model::variable(VarId v) const {
   MCS_REQUIRE(v.index < variables_.size(), "variable: unknown variable");
   return variables_[v.index];

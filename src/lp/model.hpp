@@ -112,6 +112,11 @@ class Model {
   /// also handy to fix variables (lower == upper).
   void set_bounds(VarId v, double lower, double upper);
 
+  /// Replaces the (normalized) right-hand side of an existing constraint.
+  /// Used to patch window-dependent budgets when a cached formulation is
+  /// reused across fixpoint rounds instead of being rebuilt.
+  void set_rhs(std::size_t constraint_index, double rhs);
+
   std::size_t num_variables() const noexcept { return variables_.size(); }
   std::size_t num_constraints() const noexcept { return constraints_.size(); }
   const Variable& variable(VarId v) const;

@@ -27,7 +27,7 @@ const char* to_string(SolveStatus status) noexcept {
 
 namespace {
 
-enum class VarStatus : unsigned char { kBasic, kAtLower, kAtUpper };
+enum class VarStatus : std::uint8_t { kBasic, kAtLower, kAtUpper };
 
 /// Internal column: value x = offset + sign * y where y is the simplex
 /// variable with bounds [0, upper] (upper possibly +inf).  Free model
@@ -38,166 +38,153 @@ struct ColumnMap {
   double sign = 1.0;
 };
 
-class SimplexSolver {
- public:
-  SimplexSolver(const Model& model, const SimplexOptions& options)
-      : model_(model), opt_(options) {
-    build();
-  }
+constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
-  LpSolution run();
+}  // namespace
 
- private:
-  void build();
-  void compute_basic_values();
-  void recompute_reduced_costs();
-  double current_internal_objective() const;
-  /// Returns entering column or npos if optimal.
-  std::size_t choose_entering(bool bland) const;
-  SolveStatus iterate(std::size_t phase_one_rows, bool phase_one,
-                      std::size_t& iterations);
-  void pivot(std::size_t row, std::size_t col, double entering_value,
-             VarStatus leaving_status);
-  bool drive_out_artificials();
-  LpSolution extract_solution(SolveStatus status,
-                              std::size_t iterations) const;
-
-  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
-
+/// All solver state.  The layout splits into
+///  * static data built once from the model (base rows in a fixed
+///    orientation, costs, column mapping),
+///  * bound state shadowing the model's variable bounds (offsets / uppers,
+///    mutated by set_bounds), and
+///  * the live pivoted tableau (tab_/prhs_/basis_/status_/xb_/dj_), which
+///    survives between solves so warm restarts can continue from it.
+/// `prhs_` is the right-hand side pivoted along with the tableau (B^-1 b');
+/// keeping it current is what makes bound changes patchable in O(rows).
+struct SimplexSolver::Impl {
   const Model& model_;
   SimplexOptions opt_;
 
   std::size_t rows_ = 0;
-  std::size_t cols_ = 0;           // structural (+ split) + slack columns
-  std::size_t total_cols_ = 0;     // cols_ + artificials
+  std::size_t structural_ = 0;     // model-variable (+ split) columns
+  std::size_t cols_ = 0;           // structural + one slack per row
+  std::size_t total_cols_ = 0;     // cols_ + one artificial per row
   std::size_t first_artificial_ = 0;
 
-  std::vector<ColumnMap> col_map_;          // size cols_
-  std::vector<double> upper_;               // per internal column (y ub)
-  std::vector<double> cost_;                // phase-2 internal costs
-  std::vector<double> phase1_cost_;         // 1 on artificials
-  std::vector<std::vector<double>> tab_;    // rows_ x total_cols_
-  std::vector<double> rhs_;                 // original b' (>= 0)
-  std::vector<double> xb_;                  // basic variable values
-  std::vector<std::size_t> basis_;          // column basic in each row
-  std::vector<VarStatus> status_;           // per internal column
-  std::vector<double> dj_;                  // reduced costs (current phase)
+  std::vector<ColumnMap> col_map_;               // size structural_
+  std::vector<std::vector<std::size_t>> var_cols_;  // model var -> columns
+  std::vector<std::vector<double>> base_rows_;   // rows_ x cols_, unoriented
+  std::vector<double> base_rhs_;                 // raw constraint rhs
+  std::vector<bool> eq_row_;                     // frozen-slack rows
+  std::vector<double> cost_;                     // phase-2 internal costs
+  std::vector<double> phase1_cost_;              // 1 on artificials
+  double cost_scale_ = 1.0;
+
+  std::vector<double> upper_;                    // per internal column
+
+  bool tableau_valid_ = false;
+  std::vector<std::vector<double>> tab_;         // rows_ x total_cols_
+  std::vector<double> row_sign_;                 // reset-time row orientation
+  std::vector<double> prhs_;                     // pivoted rhs (B^-1 b')
+  std::vector<double> xb_;                       // basic variable values
+  std::vector<std::size_t> basis_;               // column basic in each row
+  std::vector<VarStatus> status_;                // per internal column
+  std::vector<double> dj_;                       // reduced costs
   const std::vector<double>* active_cost_ = nullptr;
-  double cost_scale_ = 1.0;  // +1 minimize, -1 maximize (applied to costs)
+
+  std::size_t warm_since_cold_ = 0;
+  SimplexStats stats_;
+
+  Impl(const Model& model, const SimplexOptions& options)
+      : model_(model), opt_(options) {
+    build_static();
+  }
+
+  void build_static();
+  void reset_tableau();
+  void compute_basic_values();
+  void recompute_reduced_costs();
+  double current_internal_objective() const;
+  std::size_t choose_entering(bool bland) const;
+  SolveStatus iterate(bool phase_one, std::size_t& iterations);
+  void pivot(std::size_t row, std::size_t col, double entering_value,
+             VarStatus leaving_status);
+  void pivot_for_load(std::size_t row, std::size_t col);
+  bool drive_out_artificials();
+  void freeze_artificials();
+  LpSolution extract_solution(SolveStatus status,
+                              std::size_t iterations) const;
+
+  LpSolution run_cold();
+  SolveStatus dual_reoptimize(std::size_t& iterations);
+  bool same_basis(const Basis& b) const;
+  void load_basis(const Basis& b);
+  void adopt_statuses(const Basis& b);
+  bool certify(const std::vector<double>& values) const;
+  bool certify_dual() const;
+
+  void set_bounds(std::size_t var, double lower, double upper);
 };
 
-void SimplexSolver::build() {
+void SimplexSolver::Impl::build_static() {
   const auto& vars = model_.variables();
-  // --- Columns for model variables -------------------------------------
-  std::vector<std::vector<std::size_t>> var_cols(vars.size());
+  var_cols_.assign(vars.size(), {});
   for (std::size_t v = 0; v < vars.size(); ++v) {
     const Variable& mv = vars[v];
     if (std::isfinite(mv.lower)) {
-      ColumnMap cm{v, mv.lower, 1.0};
-      col_map_.push_back(cm);
+      col_map_.push_back({v, mv.lower, 1.0});
       upper_.push_back(std::isfinite(mv.upper) ? mv.upper - mv.lower
                                                : kInfinity);
-      var_cols[v].push_back(col_map_.size() - 1);
+      var_cols_[v].push_back(col_map_.size() - 1);
     } else if (std::isfinite(mv.upper)) {
       // x = ub - y,  y in [0, inf)
-      ColumnMap cm{v, mv.upper, -1.0};
-      col_map_.push_back(cm);
+      col_map_.push_back({v, mv.upper, -1.0});
       upper_.push_back(kInfinity);
-      var_cols[v].push_back(col_map_.size() - 1);
+      var_cols_[v].push_back(col_map_.size() - 1);
     } else {
       // free: x = y1 - y2
       col_map_.push_back({v, 0.0, 1.0});
       upper_.push_back(kInfinity);
-      var_cols[v].push_back(col_map_.size() - 1);
+      var_cols_[v].push_back(col_map_.size() - 1);
       col_map_.push_back({v, 0.0, -1.0});
       upper_.push_back(kInfinity);
-      var_cols[v].push_back(col_map_.size() - 1);
+      var_cols_[v].push_back(col_map_.size() - 1);
     }
   }
-  const std::size_t structural = col_map_.size();
-
+  structural_ = col_map_.size();
   rows_ = model_.num_constraints();
-  cols_ = structural + rows_;  // reserve one (possible) slack per row
-  // Slack columns may be unused for equality rows; they get upper bound 0.
-  upper_.resize(cols_, kInfinity);
+  cols_ = structural_ + rows_;
+  first_artificial_ = cols_;
+  // One artificial per row: which rows need one depends on the sign of the
+  // (bound-dependent) right-hand side, so a reusable solver must keep every
+  // slot allocated; unused artificials stay frozen at zero.
+  total_cols_ = cols_ + rows_;
 
-  // --- Dense row data ----------------------------------------------------
-  tab_.assign(rows_, std::vector<double>(cols_, 0.0));
-  rhs_.assign(rows_, 0.0);
-  std::vector<bool> row_needs_artificial(rows_, false);
-
+  base_rows_.assign(rows_, std::vector<double>(cols_, 0.0));
+  base_rhs_.assign(rows_, 0.0);
+  eq_row_.assign(rows_, false);
   for (std::size_t r = 0; r < rows_; ++r) {
     const Constraint& c = model_.constraints()[r];
-    double b = c.rhs;
-    auto& row = tab_[r];
+    auto& row = base_rows_[r];
     for (const auto& [var, coef] : c.lhs.terms()) {
-      for (const std::size_t col : var_cols[var]) {
+      for (const std::size_t col : var_cols_[var]) {
         row[col] += coef * col_map_[col].sign;
       }
-      b -= coef * col_map_[var_cols[var].front()].offset;
-      // For split free vars offset is 0; for single-column vars the front
-      // column carries the offset.
     }
-    const std::size_t slack = structural + r;
-    double slack_coef = 0.0;
+    base_rhs_[r] = c.rhs;
+    const std::size_t slack = structural_ + r;
     switch (c.relation) {
       case Relation::kLe:
-        slack_coef = 1.0;
+        row[slack] = 1.0;
         break;
       case Relation::kGe:
-        slack_coef = -1.0;
+        row[slack] = -1.0;
         break;
       case Relation::kEq:
-        slack_coef = 0.0;
-        upper_[slack] = 0.0;  // unused slack, frozen at zero
+        row[slack] = 0.0;
+        eq_row_[r] = true;
         break;
     }
-    row[slack] = slack_coef;
-    if (b < 0.0) {
-      for (double& entry : row) {
-        entry = -entry;
-      }
-      b = -b;
-    }
-    rhs_[r] = b;
-    // A row can start with a basic slack only if its slack coefficient is
-    // +1 after normalization.
-    row_needs_artificial[r] = !(row[slack] > 0.5);
-  }
-
-  // --- Artificials -------------------------------------------------------
-  first_artificial_ = cols_;
-  std::size_t artificial_count = 0;
-  for (std::size_t r = 0; r < rows_; ++r) {
-    if (row_needs_artificial[r]) {
-      ++artificial_count;
-    }
-  }
-  total_cols_ = cols_ + artificial_count;
-  for (auto& row : tab_) {
-    row.resize(total_cols_, 0.0);
   }
   upper_.resize(total_cols_, kInfinity);
-
-  basis_.assign(rows_, npos);
-  status_.assign(total_cols_, VarStatus::kAtLower);
-  std::size_t next_artificial = first_artificial_;
   for (std::size_t r = 0; r < rows_; ++r) {
-    if (row_needs_artificial[r]) {
-      tab_[r][next_artificial] = 1.0;
-      basis_[r] = next_artificial;
-      ++next_artificial;
-    } else {
-      basis_[r] = structural + r;  // slack
-    }
-    status_[basis_[r]] = VarStatus::kBasic;
+    upper_[structural_ + r] = eq_row_[r] ? 0.0 : kInfinity;
   }
 
-  // --- Costs --------------------------------------------------------------
   cost_scale_ = model_.objective_sense() == Sense::kMinimize ? 1.0 : -1.0;
   cost_.assign(total_cols_, 0.0);
   for (const auto& [var, coef] : model_.objective().terms()) {
-    for (const std::size_t col : var_cols[var]) {
+    for (const std::size_t col : var_cols_[var]) {
       cost_[col] += cost_scale_ * coef * col_map_[col].sign;
     }
   }
@@ -205,18 +192,59 @@ void SimplexSolver::build() {
   for (std::size_t c = first_artificial_; c < total_cols_; ++c) {
     phase1_cost_[c] = 1.0;
   }
-  // Placeholder until a phase recomputes it; pivot() may run before any
-  // phase does (drive_out_artificials when phase 1 is skipped).
-  dj_.assign(total_cols_, 0.0);
-
-  compute_basic_values();
 }
 
-void SimplexSolver::compute_basic_values() {
-  xb_ = rhs_;
+void SimplexSolver::Impl::reset_tableau() {
+  tab_.resize(rows_);
+  row_sign_.assign(rows_, 1.0);
+  prhs_.assign(rows_, 0.0);
+  basis_.assign(rows_, npos);
+  status_.assign(total_cols_, VarStatus::kAtLower);
+  dj_.assign(total_cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    auto& row = tab_[r];
+    row.assign(total_cols_, 0.0);
+    double b = base_rhs_[r];
+    const auto& base = base_rows_[r];
+    for (std::size_t c = 0; c < structural_; ++c) {
+      row[c] = base[c];
+      if (col_map_[c].offset != 0.0 && base[c] != 0.0) {
+        b -= base[c] * col_map_[c].sign * col_map_[c].offset;
+      }
+    }
+    const std::size_t slack = structural_ + r;
+    row[slack] = base[slack];
+    if (b < 0.0) {
+      for (std::size_t c = 0; c < cols_; ++c) {
+        row[c] = -row[c];
+      }
+      b = -b;
+      row_sign_[r] = -1.0;
+    }
+    prhs_[r] = b;
+    const std::size_t art = first_artificial_ + r;
+    row[art] = 1.0;
+    // A row can start with a basic slack only if its slack coefficient is
+    // +1 after normalization; otherwise the artificial carries the row.
+    if (row[slack] > 0.5) {
+      basis_[r] = slack;
+      upper_[art] = 0.0;
+    } else {
+      basis_[r] = art;
+      upper_[art] = kInfinity;
+    }
+    status_[basis_[r]] = VarStatus::kBasic;
+  }
+  xb_ = prhs_;  // every nonbasic column starts at its lower bound
+  tableau_valid_ = true;
+}
+
+void SimplexSolver::Impl::compute_basic_values() {
+  xb_ = prhs_;
   for (std::size_t c = 0; c < total_cols_; ++c) {
     if (status_[c] == VarStatus::kAtUpper) {
       MCS_ASSERT(std::isfinite(upper_[c]), "at-upper with infinite bound");
+      if (upper_[c] == 0.0) continue;
       for (std::size_t r = 0; r < rows_; ++r) {
         xb_[r] -= tab_[r][c] * upper_[c];
       }
@@ -224,7 +252,7 @@ void SimplexSolver::compute_basic_values() {
   }
 }
 
-void SimplexSolver::recompute_reduced_costs() {
+void SimplexSolver::Impl::recompute_reduced_costs() {
   const std::vector<double>& c = *active_cost_;
   dj_ = c;
   for (std::size_t r = 0; r < rows_; ++r) {
@@ -237,7 +265,7 @@ void SimplexSolver::recompute_reduced_costs() {
   }
 }
 
-double SimplexSolver::current_internal_objective() const {
+double SimplexSolver::Impl::current_internal_objective() const {
   const std::vector<double>& c = *active_cost_;
   double obj = 0.0;
   for (std::size_t r = 0; r < rows_; ++r) {
@@ -251,7 +279,7 @@ double SimplexSolver::current_internal_objective() const {
   return obj;
 }
 
-std::size_t SimplexSolver::choose_entering(bool bland) const {
+std::size_t SimplexSolver::Impl::choose_entering(bool bland) const {
   std::size_t best = npos;
   double best_score = opt_.reduced_cost_tol;
   for (std::size_t j = 0; j < total_cols_; ++j) {
@@ -274,8 +302,8 @@ std::size_t SimplexSolver::choose_entering(bool bland) const {
   return best;
 }
 
-SolveStatus SimplexSolver::iterate(std::size_t /*phase_one_rows*/,
-                                   bool phase_one, std::size_t& iterations) {
+SolveStatus SimplexSolver::Impl::iterate(bool phase_one,
+                                         std::size_t& iterations) {
   recompute_reduced_costs();
   std::size_t since_refactor = 0;
   for (;;) {
@@ -357,11 +385,11 @@ SolveStatus SimplexSolver::iterate(std::size_t /*phase_one_rows*/,
   }
 }
 
-void SimplexSolver::pivot(std::size_t row, std::size_t col,
-                          double entering_value, VarStatus leaving_status) {
+void SimplexSolver::Impl::pivot(std::size_t row, std::size_t col,
+                                double entering_value,
+                                VarStatus leaving_status) {
   const std::size_t leaving = basis_[row];
-  const double dir =
-      status_[col] == VarStatus::kAtLower ? 1.0 : -1.0;
+  const double dir = status_[col] == VarStatus::kAtLower ? 1.0 : -1.0;
   const double step = std::abs((entering_value -
                                 (status_[col] == VarStatus::kAtLower
                                      ? 0.0
@@ -373,7 +401,7 @@ void SimplexSolver::pivot(std::size_t row, std::size_t col,
   }
   xb_[row] = entering_value;
 
-  // Row elimination.
+  // Row elimination (the pivoted rhs column rides along).
   auto& prow = tab_[row];
   const double pivot_elem = prow[col];
   MCS_ASSERT(std::abs(pivot_elem) > 0.0, "zero pivot");
@@ -382,6 +410,7 @@ void SimplexSolver::pivot(std::size_t row, std::size_t col,
     entry *= inv;
   }
   prow[col] = 1.0;
+  prhs_[row] *= inv;
   for (std::size_t r = 0; r < rows_; ++r) {
     if (r == row) continue;
     auto& orow = tab_[r];
@@ -391,6 +420,7 @@ void SimplexSolver::pivot(std::size_t row, std::size_t col,
       orow[j] -= factor * prow[j];
     }
     orow[col] = 0.0;
+    prhs_[r] -= factor * prhs_[row];
   }
   // Incremental reduced-cost update.
   const double dq = dj_[col];
@@ -412,7 +442,33 @@ void SimplexSolver::pivot(std::size_t row, std::size_t col,
   }
 }
 
-bool SimplexSolver::drive_out_artificials() {
+// Bare tableau pivot used while loading a basis snapshot: no xb / dj upkeep
+// (both are recomputed wholesale afterwards).
+void SimplexSolver::Impl::pivot_for_load(std::size_t row, std::size_t col) {
+  auto& prow = tab_[row];
+  const double inv = 1.0 / prow[col];
+  for (double& entry : prow) {
+    entry *= inv;
+  }
+  prow[col] = 1.0;
+  prhs_[row] *= inv;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (r == row) continue;
+    auto& orow = tab_[r];
+    const double factor = orow[col];
+    if (factor == 0.0) continue;
+    for (std::size_t j = 0; j < total_cols_; ++j) {
+      orow[j] -= factor * prow[j];
+    }
+    orow[col] = 0.0;
+    prhs_[r] -= factor * prhs_[row];
+  }
+  status_[basis_[row]] = VarStatus::kAtLower;
+  basis_[row] = col;
+  status_[col] = VarStatus::kBasic;
+}
+
+bool SimplexSolver::Impl::drive_out_artificials() {
   for (std::size_t r = 0; r < rows_; ++r) {
     if (basis_[r] < first_artificial_) continue;
     // Basic artificial (value must be ~0 after a feasible phase 1).
@@ -436,22 +492,27 @@ bool SimplexSolver::drive_out_artificials() {
         status_[replacement] == VarStatus::kAtLower ? 0.0
                                                     : upper_[replacement];
     // Degenerate pivot: entering keeps its current value (step 0).
-    const VarStatus leave_status = VarStatus::kAtLower;
-    // Temporarily mark direction based on current status for pivot().
-    pivot(r, replacement, entering_value, leave_status);
+    pivot(r, replacement, entering_value, VarStatus::kAtLower);
   }
-  // Freeze every artificial at zero so phase 2 cannot reuse them.
-  for (std::size_t c = first_artificial_; c < total_cols_; ++c) {
-    if (status_[c] != VarStatus::kBasic) {
-      status_[c] = VarStatus::kAtLower;
-      upper_[c] = 0.0;
-    }
-  }
+  freeze_artificials();
   return true;
 }
 
-LpSolution SimplexSolver::extract_solution(SolveStatus status,
-                                           std::size_t iterations) const {
+void SimplexSolver::Impl::freeze_artificials() {
+  // Freeze every artificial at zero so later phases (and warm restarts)
+  // cannot move one; a basic artificial stays basic with bounds [0, 0], so
+  // the dual phase treats any nonzero value as a violation to repair.
+  for (std::size_t c = first_artificial_; c < total_cols_; ++c) {
+    if (status_[c] != VarStatus::kBasic) {
+      status_[c] = VarStatus::kAtLower;
+    }
+    upper_[c] = 0.0;
+  }
+}
+
+LpSolution SimplexSolver::Impl::extract_solution(SolveStatus status,
+                                                 std::size_t iterations)
+    const {
   LpSolution sol;
   sol.status = status;
   sol.iterations = iterations;
@@ -481,7 +542,8 @@ LpSolution SimplexSolver::extract_solution(SolveStatus status,
   return sol;
 }
 
-LpSolution SimplexSolver::run() {
+LpSolution SimplexSolver::Impl::run_cold() {
+  reset_tableau();
   std::size_t iterations = 0;
 
   // Phase 1 (only when artificials exist and can be nonzero).
@@ -492,34 +554,439 @@ LpSolution SimplexSolver::run() {
       break;
     }
   }
-  if (first_artificial_ < total_cols_ && need_phase1) {
+  if (need_phase1) {
     active_cost_ = &phase1_cost_;
-    const SolveStatus p1 = iterate(rows_, /*phase_one=*/true, iterations);
+    const SolveStatus p1 = iterate(/*phase_one=*/true, iterations);
     if (p1 == SolveStatus::kIterationLimit) {
       return extract_solution(SolveStatus::kIterationLimit, iterations);
     }
     if (current_internal_objective() > opt_.feasibility_tol * 10.0) {
+      freeze_artificials();
       return extract_solution(SolveStatus::kInfeasible, iterations);
     }
   }
-  if (first_artificial_ < total_cols_) {
-    if (!drive_out_artificials()) {
-      return extract_solution(SolveStatus::kInfeasible, iterations);
-    }
+  if (!drive_out_artificials()) {
+    return extract_solution(SolveStatus::kInfeasible, iterations);
   }
 
   active_cost_ = &cost_;
-  const SolveStatus p2 = iterate(rows_, /*phase_one=*/false, iterations);
+  const SolveStatus p2 = iterate(/*phase_one=*/false, iterations);
   return extract_solution(p2, iterations);
 }
 
-}  // namespace
+/// Dual simplex until primal feasibility.  Requires a pivoted tableau with
+/// fresh xb_/dj_.  Returns kOptimal when primal feasible (a closing primal
+/// phase then certifies optimality), kInfeasible on a valid infeasibility
+/// certificate, kIterationLimit when the caller should fall back cold.
+SolveStatus SimplexSolver::Impl::dual_reoptimize(std::size_t& iterations) {
+  std::size_t since_refactor = 0;
+  for (;;) {
+    if (iterations >= opt_.max_iterations) {
+      return SolveStatus::kIterationLimit;
+    }
+    const bool bland = iterations >= opt_.bland_threshold;
+    if (since_refactor >= opt_.refactor_period) {
+      recompute_reduced_costs();
+      compute_basic_values();
+      since_refactor = 0;
+    }
+
+    // Most-violated basic variable leaves.  The violation threshold is
+    // scaled by the variable's magnitude: on tick-valued models (entries
+    // ~1e7) an absolute 1e-7 cutoff is below floating-point noise, and an
+    // absolute-threshold dual grinds degenerate pivots forever chasing
+    // noise it can never eliminate.
+    std::size_t row = npos;
+    double worst = 0.0;
+    bool below = true;
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const double x = xb_[r];
+      const double ub = upper_[basis_[r]];
+      const double scale =
+          1.0 + std::abs(x) + (std::isfinite(ub) ? ub : 0.0);
+      const double tol = opt_.feasibility_tol * scale;
+      if (-x > tol && -x - tol > worst) {
+        worst = -x - tol;
+        row = r;
+        below = true;
+      }
+      if (std::isfinite(ub) && x - ub > tol && x - ub - tol > worst) {
+        worst = x - ub - tol;
+        row = r;
+        below = false;
+      }
+    }
+    if (row == npos) {
+      return SolveStatus::kOptimal;  // primal feasible
+    }
+
+    // Entering column: preserves dual feasibility (min |dj| / |alpha|
+    // ratio) among columns that can move the leaving variable back to its
+    // violated bound.  The pivot floor is relative to the row's magnitude:
+    // an absolute floor lets ~1e-8 pivots through on rows with ~1e7
+    // entries, and one such pivot wrecks the dense tableau for good.
+    const auto& trow = tab_[row];
+    double row_mag = 0.0;
+    for (std::size_t j = 0; j < total_cols_; ++j) {
+      row_mag = std::max(row_mag, std::abs(trow[j]));
+    }
+    const double alpha_floor =
+        std::max(opt_.pivot_tol, 1e-9 * row_mag);
+    std::size_t best = npos;
+    double best_ratio = kInfinity;
+    double best_mag = 0.0;
+    for (std::size_t j = 0; j < total_cols_; ++j) {
+      if (status_[j] == VarStatus::kBasic) continue;
+      if (upper_[j] <= 0.0) continue;  // fixed column cannot move
+      const double alpha = trow[j];
+      if (std::abs(alpha) <= alpha_floor) continue;
+      const bool at_lower = status_[j] == VarStatus::kAtLower;
+      const bool candidate =
+          below ? (at_lower ? alpha < 0.0 : alpha > 0.0)
+                : (at_lower ? alpha > 0.0 : alpha < 0.0);
+      if (!candidate) continue;
+      const double ratio = std::abs(dj_[j]) / std::abs(alpha);
+      if (bland) {
+        if (best == npos) best = j;  // smallest candidate index
+        continue;
+      }
+      if (ratio < best_ratio - 1e-12 ||
+          (ratio < best_ratio + 1e-12 && std::abs(alpha) > best_mag)) {
+        best = j;
+        best_ratio = ratio;
+        best_mag = std::abs(alpha);
+      }
+    }
+    if (best == npos) {
+      // On exact arithmetic this row would prove primal infeasibility, but
+      // the relative pivot floor (and accumulated tableau error) can also
+      // produce it spuriously — solve_warm never trusts it and re-solves
+      // cold for the authoritative status.
+      return SolveStatus::kInfeasible;
+    }
+
+    ++iterations;
+    ++since_refactor;
+    const double target = below ? 0.0 : upper_[basis_[row]];
+    const double alpha = trow[best];
+    const double dir = status_[best] == VarStatus::kAtLower ? 1.0 : -1.0;
+    const double t = (xb_[row] - target) / (alpha * dir);
+    MCS_ASSERT(t >= 0.0, "dual simplex: negative step");
+    const double start =
+        status_[best] == VarStatus::kAtLower ? 0.0 : upper_[best];
+    pivot(row, best, start + dir * t,
+          below ? VarStatus::kAtLower : VarStatus::kAtUpper);
+  }
+}
+
+bool SimplexSolver::Impl::same_basis(const Basis& b) const {
+  if (b.basic.size() != rows_ || b.status.size() != total_cols_) {
+    return false;
+  }
+  for (std::size_t r = 0; r < rows_; ++r) {
+    if (basis_[r] != b.basic[r]) return false;
+  }
+  return true;
+}
+
+/// Adopts the snapshot's nonbasic statuses (basic columns keep kBasic).
+/// Statuses are free to reassign without pivoting — they only select which
+/// bound a nonbasic column sits at.
+void SimplexSolver::Impl::adopt_statuses(const Basis& b) {
+  for (std::size_t c = 0; c < total_cols_; ++c) {
+    if (status_[c] == VarStatus::kBasic) continue;
+    VarStatus s = static_cast<VarStatus>(b.status[c]);
+    if (s == VarStatus::kBasic) s = VarStatus::kAtLower;
+    if (s == VarStatus::kAtUpper && !std::isfinite(upper_[c])) {
+      s = VarStatus::kAtLower;
+    }
+    status_[c] = s;
+  }
+}
+
+/// Independent feasibility audit of an extracted solution against the
+/// *original* model rows and the solver's current bound view.  The dense
+/// tableau accumulates floating-point error across forced (dual / basis
+/// load) pivots; when that error grows past noise the claimed vertex stops
+/// satisfying the real constraints, and this check is what catches it —
+/// solve_warm falls back to an authoritative cold solve on failure.  Cost
+/// is one pass over the constraint matrix (about one pivot's worth).
+bool SimplexSolver::Impl::certify(const std::vector<double>& values) const {
+  // Tolerances are relative to the magnitude of what is being checked:
+  // tick-valued models carry ~1e7 entries, where even a clean primal path
+  // leaves noise far above any absolute epsilon.
+  const double ftol = 100.0 * opt_.feasibility_tol;
+  for (std::size_t c = 0; c < structural_; ++c) {
+    const ColumnMap& cm = col_map_[c];
+    if (cm.sign < 0.0 || var_cols_[cm.model_var].size() != 1) {
+      continue;  // split / upper-shifted columns have static bounds
+    }
+    const double v = values[cm.model_var];
+    const double tol = ftol * (1.0 + std::abs(v));
+    if (v < cm.offset - tol) return false;
+    if (std::isfinite(upper_[c]) && v > cm.offset + upper_[c] + tol) {
+      return false;
+    }
+  }
+  for (const Constraint& con : model_.constraints()) {
+    const double lhs = model_.evaluate(con.lhs, values);
+    const double tol = ftol * (1.0 + std::abs(con.rhs) + std::abs(lhs));
+    switch (con.relation) {
+      case Relation::kLe:
+        if (lhs > con.rhs + tol) return false;
+        break;
+      case Relation::kGe:
+        if (lhs < con.rhs - tol) return false;
+        break;
+      case Relation::kEq:
+        if (std::abs(lhs - con.rhs) > tol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+/// Independent *optimality* audit of the current claimed-optimal basis.
+/// certify() only proves the extracted point is feasible; a corrupted
+/// tableau can still present a feasible-but-suboptimal vertex as "optimal",
+/// and inside branch & bound such an under-bound wrongly prunes subtrees.
+/// This check recovers the dual vector y = c_B B^-1 from the tableau's
+/// artificial block and verifies dual feasibility of every column against
+/// the pristine constraint matrix: basic columns must price to ~0, columns
+/// at lower bound to >= 0, columns at upper bound to <= 0.  Together with
+/// certify() this is a complete primal-dual certificate, so the warm path
+/// never returns a bound the original data cannot back up.  Cost is two
+/// passes over the matrix (about two pivots' worth).
+bool SimplexSolver::Impl::certify_dual() const {
+  const double dtol = 100.0 * opt_.feasibility_tol;
+  // y (unoriented rows): the artificial block of tab_ is B^-1 because the
+  // artificials entered reset_tableau as an identity block.
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t q = 0; q < rows_; ++q) {
+    const double cb = cost_[basis_[q]];
+    if (cb == 0.0) continue;
+    const auto& trow = tab_[q];
+    for (std::size_t r = 0; r < rows_; ++r) {
+      y[r] += cb * trow[first_artificial_ + r];
+    }
+  }
+  for (std::size_t r = 0; r < rows_; ++r) {
+    y[r] *= row_sign_[r];
+    // A basic artificial carrying weight means the tableau point does not
+    // lie in the original constraint space at all.
+    if (basis_[r] >= first_artificial_ &&
+        std::abs(xb_[r]) > dtol * (1.0 + std::abs(prhs_[r]))) {
+      return false;
+    }
+  }
+  // Price every live column against the original rows.
+  std::vector<double> dj(cols_);
+  std::vector<double> mag(cols_);
+  for (std::size_t j = 0; j < cols_; ++j) {
+    dj[j] = cost_[j];
+    mag[j] = std::abs(cost_[j]);
+  }
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double yr = y[r];
+    if (yr == 0.0) continue;
+    const auto& row = base_rows_[r];
+    for (std::size_t j = 0; j < cols_; ++j) {
+      const double t = yr * row[j];
+      dj[j] -= t;
+      mag[j] += std::abs(t);
+    }
+  }
+  for (std::size_t j = 0; j < cols_; ++j) {
+    if (status_[j] != VarStatus::kBasic && upper_[j] <= 0.0) {
+      continue;  // fixed column: any sign is dual feasible
+    }
+    const double tol = dtol * (1.0 + mag[j]);
+    switch (status_[j]) {
+      case VarStatus::kBasic:
+        if (std::abs(dj[j]) > tol) return false;
+        break;
+      case VarStatus::kAtLower:
+        if (dj[j] < -tol) return false;
+        break;
+      case VarStatus::kAtUpper:
+        if (dj[j] > tol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+/// Best-effort crash of the snapshot basis: rebuild the base tableau under
+/// the current bounds, then pivot the requested columns in row by row.
+/// Rows whose requested pivot element is numerically unusable keep whatever
+/// basis they have — the subsequent dual + primal phases are correct from
+/// any basis, a partial load merely costs extra pivots.
+void SimplexSolver::Impl::load_basis(const Basis& b) {
+  reset_tableau();
+  // Structural columns first, then slacks: a slack requested in a foreign
+  // row has no coefficient there until other pivots fill the row in.
+  // Artificials only ever stay basic in their own row, where reset already
+  // placed a unit column.
+  const auto pass = [&](bool structural_pass) {
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const std::size_t want = b.basic[r];
+      if (basis_[r] == want) continue;
+      const bool is_structural = want < structural_;
+      if (is_structural != structural_pass) continue;
+      if (status_[want] == VarStatus::kBasic) continue;  // taken elsewhere
+      // Relative pivot floor: skipping a row is cheap (a few extra dual
+      // pivots), eliminating with a tiny pivot on a large row is not.
+      double row_mag = 0.0;
+      const auto& trow = tab_[r];
+      for (std::size_t j = 0; j < cols_; ++j) {
+        row_mag = std::max(row_mag, std::abs(trow[j]));
+      }
+      if (std::abs(trow[want]) <=
+          std::max(opt_.pivot_tol, 1e-7 * row_mag)) {
+        continue;
+      }
+      pivot_for_load(r, want);
+    }
+  };
+  pass(true);
+  pass(false);
+  adopt_statuses(b);
+  freeze_artificials();
+}
+
+void SimplexSolver::Impl::set_bounds(std::size_t var, double lower,
+                                     double upper) {
+  MCS_REQUIRE(var < var_cols_.size(), "set_bounds: unknown variable");
+  MCS_REQUIRE(std::isfinite(lower) && lower <= upper,
+              "set_bounds: lower must be finite and <= upper");
+  MCS_REQUIRE(var_cols_[var].size() == 1 &&
+                  col_map_[var_cols_[var].front()].sign > 0.0,
+              "set_bounds: variable must have a finite lower bound in the "
+              "model (single shifted column)");
+  const std::size_t c = var_cols_[var].front();
+  ColumnMap& cm = col_map_[c];
+  const double d_off = lower - cm.offset;
+  cm.offset = lower;
+  upper_[c] = std::isfinite(upper) ? upper - lower : kInfinity;
+  if (status_.size() == total_cols_ &&
+      status_[c] == VarStatus::kAtUpper && !std::isfinite(upper_[c])) {
+    status_[c] = VarStatus::kAtLower;
+  }
+  if (tableau_valid_ && d_off != 0.0) {
+    // Shifting the column's offset shifts the effective rhs: patch the
+    // pivoted rhs with the pivoted column (O(rows)).
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const double a = tab_[r][c];
+      if (a != 0.0) prhs_[r] -= a * d_off;
+    }
+  }
+}
+
+SimplexSolver::SimplexSolver(const Model& model,
+                             const SimplexOptions& options)
+    : impl_(std::make_unique<Impl>(model, options)) {}
+
+SimplexSolver::~SimplexSolver() = default;
+
+void SimplexSolver::set_bounds(VarId v, double lower, double upper) {
+  impl_->set_bounds(v.index, lower, upper);
+}
+
+LpSolution SimplexSolver::solve() {
+  namespace telemetry = support::telemetry;
+  impl_->warm_since_cold_ = 0;
+  LpSolution sol = impl_->run_cold();
+  ++impl_->stats_.cold_solves;
+  impl_->stats_.cold_pivots += sol.iterations;
+  if (telemetry::enabled()) {
+    telemetry::count("simplex.cold_pivots", sol.iterations);
+  }
+  return sol;
+}
+
+LpSolution SimplexSolver::solve_warm(const Basis* parent) {
+  namespace telemetry = support::telemetry;
+  Impl& im = *impl_;
+  if (!im.tableau_valid_) {
+    return solve();
+  }
+  if (++im.warm_since_cold_ > im.opt_.warm_refresh_period) {
+    // Scheduled hygiene restart: bounds drift accumulated in prhs_ resets.
+    return solve();
+  }
+  ++im.stats_.warm_solves;
+  if (parent != nullptr && !parent->empty()) {
+    if (im.same_basis(*parent)) {
+      im.adopt_statuses(*parent);
+    } else {
+      im.load_basis(*parent);
+    }
+  }
+  im.compute_basic_values();
+  im.active_cost_ = &im.cost_;
+  im.recompute_reduced_costs();
+
+  // Cap this attempt's pivots: a warm restart that needs more than a few
+  // times the row count is pathological (degenerate grinding), and the
+  // cold fallback is cheaper than letting it run to max_iterations.
+  const std::size_t budget = im.opt_.warm_iteration_budget != 0
+                                 ? im.opt_.warm_iteration_budget
+                                 : 4 * im.rows_ + 100;
+  const std::size_t saved_max = im.opt_.max_iterations;
+  im.opt_.max_iterations = std::min(saved_max, budget);
+  std::size_t iterations = 0;
+  const SolveStatus dual = im.dual_reoptimize(iterations);
+  SolveStatus final_status = dual;
+  if (dual == SolveStatus::kOptimal) {
+    final_status = im.iterate(/*phase_one=*/false, iterations);
+  }
+  im.opt_.max_iterations = saved_max;
+  im.stats_.warm_pivots += iterations;
+  if (telemetry::enabled()) {
+    telemetry::count("simplex.warm_pivots", iterations);
+  }
+  // Only a *certified* optimum is returned from the warm path.  Everything
+  // else — iteration limit, an infeasibility certificate (which tableau
+  // error can fabricate), an unboundedness claim, or an extracted solution
+  // that fails the independent feasibility audit — is re-solved cold; the
+  // cold result is authoritative.
+  if (final_status == SolveStatus::kOptimal) {
+    LpSolution sol = im.extract_solution(final_status, iterations);
+    if (im.certify(sol.values) && im.certify_dual()) {
+      return sol;
+    }
+  }
+  ++im.stats_.warm_fallbacks;
+  if (telemetry::enabled()) {
+    telemetry::count("simplex.warm_fallbacks");
+  }
+  return solve();
+}
+
+Basis SimplexSolver::basis() const {
+  const Impl& im = *impl_;
+  Basis b;
+  if (!im.tableau_valid_) return b;
+  b.status.resize(im.total_cols_);
+  for (std::size_t c = 0; c < im.total_cols_; ++c) {
+    b.status[c] = static_cast<std::uint8_t>(im.status_[c]);
+  }
+  b.basic.resize(im.rows_);
+  for (std::size_t r = 0; r < im.rows_; ++r) {
+    b.basic[r] = static_cast<std::uint32_t>(im.basis_[r]);
+  }
+  return b;
+}
+
+const SimplexStats& SimplexSolver::stats() const noexcept {
+  return impl_->stats_;
+}
 
 LpSolution solve_lp(const Model& model, const SimplexOptions& options) {
   namespace telemetry = support::telemetry;
   const telemetry::ScopedTimer timer("lp.solve_lp");
   SimplexSolver solver(model, options);
-  LpSolution sol = solver.run();
+  LpSolution sol = solver.solve();
   if (telemetry::enabled()) {
     telemetry::count("lp.solves");
     telemetry::count("lp.simplex_iterations", sol.iterations);

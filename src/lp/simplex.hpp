@@ -1,4 +1,5 @@
-// Two-phase primal simplex with bounded variables (dense tableau).
+// Two-phase primal simplex with bounded variables (dense tableau), plus a
+// reusable solver object supporting dual-simplex warm restarts.
 //
 // Scope: the LP relaxations produced by the schedulability analysis are
 // small (hundreds of rows/columns), so a dense full-tableau implementation
@@ -6,9 +7,21 @@
 // features supported: free variables, one- or two-sided bounds, <=, >=, =
 // rows, minimization and maximization, bound-flip (nonbasic upper bound)
 // pivots, Dantzig pricing with a Bland's-rule fallback for anti-cycling.
+//
+// Warm restarts (the branch & bound hot path): a `SimplexSolver` keeps its
+// pivoted tableau alive between solves.  After `set_bounds` changes the
+// variable bounds, `solve_warm` reoptimizes with the dual simplex from the
+// current (or a supplied parent) basis — bound changes never disturb dual
+// feasibility, so reoptimization typically takes a handful of pivots where
+// a cold solve pays a full phase 1 + phase 2.  Correctness never depends on
+// the warm path: the dual phase only restores primal feasibility and the
+// closing primal phase proves optimality; any numerical trouble falls back
+// to a cold solve from scratch.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -37,6 +50,15 @@ struct SimplexOptions {
   /// Recompute the reduced-cost row from scratch every this many pivots to
   /// curb error accumulation in the incremental update.
   std::size_t refactor_period = 256;
+  /// Force a cold re-solve after this many consecutive warm solves so that
+  /// round-off accumulated in the pivoted right-hand side cannot drift
+  /// unbounded across a long branch & bound run.
+  std::size_t warm_refresh_period = 512;
+  /// Pivot budget for a single warm attempt (dual + closing primal).  A
+  /// healthy warm restart takes a handful of pivots; one that does not is
+  /// cheaper to abandon for a cold solve than to grind out.  0 = auto
+  /// (scaled to the model's row count).
+  std::size_t warm_iteration_budget = 0;
 };
 
 struct LpSolution {
@@ -46,6 +68,64 @@ struct LpSolution {
   /// One value per model variable; meaningful only when kOptimal.
   std::vector<double> values;
   std::size_t iterations = 0;
+};
+
+/// Opaque snapshot of a simplex basis: the nonbasic status of every internal
+/// column plus the basic column of each row.  Obtained from
+/// `SimplexSolver::basis()` after a solve and fed to `solve_warm` to start a
+/// child problem from its parent-optimal basis (branch & bound delta nodes).
+struct Basis {
+  std::vector<std::uint8_t> status;  ///< per internal column
+  std::vector<std::uint32_t> basic;  ///< basic column per row
+  bool empty() const noexcept { return basic.empty(); }
+};
+
+/// Cumulative per-solver counters (monotone over the solver's lifetime).
+struct SimplexStats {
+  std::size_t cold_solves = 0;
+  std::size_t warm_solves = 0;
+  /// Warm attempts that had to degrade to a cold solve (dual stall /
+  /// iteration trouble).  Scheduled refreshes are counted as cold solves,
+  /// not fallbacks.
+  std::size_t warm_fallbacks = 0;
+  std::size_t cold_pivots = 0;
+  std::size_t warm_pivots = 0;
+};
+
+/// Reusable simplex instance bound to one model.  The model reference must
+/// outlive the solver; the solver shadows the model's variable bounds (via
+/// `set_bounds`) without mutating the model itself.
+class SimplexSolver {
+ public:
+  explicit SimplexSolver(const Model& model,
+                         const SimplexOptions& options = {});
+  ~SimplexSolver();
+  SimplexSolver(const SimplexSolver&) = delete;
+  SimplexSolver& operator=(const SimplexSolver&) = delete;
+
+  /// Overrides the bounds of `v` for subsequent solves.  Precondition: the
+  /// variable has a finite lower bound in the model and `lower` is finite
+  /// with `lower <= upper` (always true for the branch & bound use case —
+  /// integral variables are clamped to finite ranges at the root).
+  void set_bounds(VarId v, double lower, double upper);
+
+  /// Cold solve: rebuilds the tableau from scratch (phase 1 + phase 2).
+  LpSolution solve();
+
+  /// Warm solve: dual reoptimization from `parent` (when given and
+  /// loadable) or from the solver's current basis, then a primal cleanup
+  /// phase.  Equivalent to solve() up to tolerances; falls back to a cold
+  /// solve automatically when the warm path stalls.
+  LpSolution solve_warm(const Basis* parent = nullptr);
+
+  /// Snapshot of the current basis (valid after any completed solve).
+  Basis basis() const;
+
+  const SimplexStats& stats() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 /// Solves the continuous relaxation of `model` (integrality ignored).

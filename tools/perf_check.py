@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Solver performance gate for CI.
+
+Compares a freshly produced BENCH_solver.json (written by
+bench/bench_ablation_solver) against the committed baseline at the repo
+root and fails when the warm-started solver has regressed:
+
+  * total simplex pivots of the warm strategies grew by more than the
+    allowed factor over the baseline run, or
+  * the warm-vs-cold pivot reduction measured in the fresh run fell
+    below the required floor (the headline claim of the warm-start
+    work: warm restarts must at least halve the pivot count).
+
+Wall-clock numbers are recorded in the JSON for human inspection but are
+deliberately NOT gated on: CI machines are too noisy for stable timing
+thresholds, whereas pivot counts are deterministic.
+
+Usage:
+  tools/perf_check.py <fresh BENCH_solver.json> [<baseline BENCH_solver.json>]
+"""
+
+import json
+import pathlib
+import sys
+
+# A fresh run may spend at most this factor times the baseline's warm
+# pivots before CI fails (catches e.g. a warm path that silently starts
+# falling back to cold solves everywhere).
+MAX_PIVOT_GROWTH = 2.0
+
+# The fresh run's warm-vs-cold pivot reduction must stay above this.
+MIN_PIVOT_REDUCTION = 2.0
+
+
+def load(path):
+    with open(path) as fh:
+        data = json.load(fh)
+    if data.get("schema") != "mcs-bench-solver-v1":
+        sys.exit(f"{path}: unexpected schema {data.get('schema')!r}")
+    return data
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        sys.exit(__doc__)
+    fresh_path = argv[1]
+    baseline_path = (
+        argv[2]
+        if len(argv) == 3
+        else pathlib.Path(__file__).resolve().parent.parent / "BENCH_solver.json"
+    )
+    fresh = load(fresh_path)
+    baseline = load(baseline_path)
+
+    fresh_warm = fresh["summary"]["warm_pivots_total"]
+    base_warm = baseline["summary"]["warm_pivots_total"]
+    reduction = fresh["summary"]["pivot_reduction"]
+
+    print(f"warm pivots: fresh {fresh_warm} vs baseline {base_warm} "
+          f"(x{fresh_warm / base_warm:.2f})")
+    print(f"warm-vs-cold pivot reduction: {reduction:.2f}x "
+          f"(floor {MIN_PIVOT_REDUCTION:.1f}x)")
+
+    failures = []
+    if fresh_warm > MAX_PIVOT_GROWTH * base_warm:
+        failures.append(
+            f"warm pivot count regressed more than {MAX_PIVOT_GROWTH:.1f}x "
+            f"over the committed baseline ({fresh_warm} > "
+            f"{MAX_PIVOT_GROWTH:.1f} * {base_warm})")
+    if reduction < MIN_PIVOT_REDUCTION:
+        failures.append(
+            f"warm-vs-cold pivot reduction {reduction:.2f}x fell below the "
+            f"required {MIN_PIVOT_REDUCTION:.1f}x")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print("perf check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
