@@ -1,0 +1,108 @@
+// AnalysisEngine: a reentrant session layer over the schedulability stack.
+//
+// The paper's pipeline is intrinsically repetitive — the RTA fixpoint (§V /
+// §VI) re-solves near-identical delay MILPs round after round, the greedy
+// LS-marking loop re-analyzes the whole task set after every promotion, and
+// the evaluation sweeps (§VII) analyze each task set three ways.  The free
+// functions in response_time.hpp / greedy.hpp / schedulability.hpp throw
+// all solver state away between calls; an AnalysisEngine instead carries it
+// across calls for as long as the task-set *parameters* (everything except
+// the LS flags) stay the same:
+//
+//  * a per-(task, formulation case) DelayMilp cache whose models are built
+//    marking-agnostically (build_delay_milp patchable_ls) so they survive
+//    greedy LS-promotion rounds as bound/rhs patches instead of rebuilds;
+//  * one reusable lp::MilpSolver session per cached formulation, keeping
+//    the clamped root model and simplex tableaus alive across solves;
+//  * carried incumbents, so each branch & bound starts pruning from the
+//    previous round's solution;
+//  * memoized NPS bounds;
+//  * optional fan-out of per-task bounds onto a support::ThreadPool with
+//    one private engine per worker and a stable task-to-worker mapping, so
+//    results are index-merged and thread-count independent.
+//
+// Determinism: for a fixed task set and options, every engine method
+// returns the same result regardless of how much state the engine carried
+// in or how many threads it uses.  Each cached formulation's solve chain
+// (build -> patch -> solve sequences) depends only on the calls made for
+// that task, and the MilpSolver session guarantees each solve is
+// bit-identical to a fresh solve of the same patched model.
+//
+// The legacy free functions remain as thin wrappers that construct a
+// throwaway engine, so existing call sites and tests are unaffected.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "analysis/greedy.hpp"
+#include "analysis/nps.hpp"
+#include "analysis/opa.hpp"
+#include "analysis/response_time.hpp"
+#include "analysis/schedulability.hpp"
+#include "analysis/sensitivity.hpp"
+#include "rt/task.hpp"
+
+namespace mcs::analysis {
+
+struct EngineConfig {
+  /// Worker threads for per-task fan-out in analyze_wp and each greedy
+  /// round: 1 = serial (no pool), 0 = hardware concurrency, N = N workers.
+  /// Results are identical for every value; only wall time changes.
+  std::size_t threads = 1;
+};
+
+class AnalysisEngine {
+ public:
+  explicit AnalysisEngine(const EngineConfig& config = {});
+  ~AnalysisEngine();
+  AnalysisEngine(const AnalysisEngine&) = delete;
+  AnalysisEngine& operator=(const AnalysisEngine&) = delete;
+
+  /// Engine-backed equivalents of the free functions of the same names.
+  /// Each call first fingerprints `tasks` (all parameters except the LS
+  /// flags): an unchanged fingerprint reuses the cached formulations and
+  /// solver sessions, a changed one drops them.
+  TaskBoundResult bound_response_time(const rt::TaskSet& tasks,
+                                      rt::TaskIndex i,
+                                      const AnalysisOptions& options = {});
+  NpsTaskBound nps_bound(const rt::TaskSet& tasks, rt::TaskIndex i);
+  WpResult analyze_wp(const rt::TaskSet& tasks,
+                      const AnalysisOptions& options = {});
+
+  /// Greedy LS marking (paper §VI).  When `wp_round0` is given it must be
+  /// the WP analysis of this same `tasks` under compatible options; the
+  /// greedy loop then adopts it as its round 0 instead of recomputing —
+  /// sound because round 0 analyzes the all-NLS marking, whose formulation
+  /// coincides with the WP one — and the sweep harness stops duplicating
+  /// that policy inline.
+  ProposedResult analyze_proposed(const rt::TaskSet& tasks,
+                                  const AnalysisOptions& options = {},
+                                  const WpResult* wp_round0 = nullptr);
+
+  ApproachResult analyze(const rt::TaskSet& tasks, Approach approach,
+                         const AnalysisOptions& options = {});
+  OpaResult audsley_assign(const rt::TaskSet& tasks, Approach approach,
+                           const AnalysisOptions& options = {});
+
+  /// Sensitivity search (Figure 2(e) axis).  Beyond plain reuse, each
+  /// probe's RTA fixpoints are warm-started from the WCRTs of the largest
+  /// already-proven-schedulable factor at the same LS marking: the least
+  /// fixpoint is monotone in the scaled parameters (metamorphic tests
+  /// InflatingExecutionTime / InflatingMemoryPhases), so that seed starts
+  /// at or below the target fixpoint and the iteration converges to the
+  /// same place in fewer rounds.
+  SensitivityResult max_scaling_factor(const rt::TaskSet& tasks,
+                                       Approach approach,
+                                       ScalingDimension dimension,
+                                       const SensitivityOptions& options = {});
+
+  /// Worker count the engine would fan out on (1 when serial).
+  std::size_t workers() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace mcs::analysis

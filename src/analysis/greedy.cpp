@@ -1,79 +1,24 @@
 #include "analysis/greedy.hpp"
 
-#include <algorithm>
-
-#include "support/contracts.hpp"
+#include "analysis/engine.hpp"
 
 namespace mcs::analysis {
 
+// The greedy LS-marking loop and the WP baseline live in AnalysisEngine
+// (engine.cpp), where one patchable formulation per (task, case) survives
+// every promotion round; these wrappers reproduce the historical one-shot
+// behavior through a throwaway engine.
+
 ProposedResult analyze_proposed(const rt::TaskSet& tasks,
-                                const AnalysisOptions& options) {
-  MCS_REQUIRE(!options.ignore_ls,
-              "analyze_proposed: ignore_ls belongs to the WP baseline");
-  ProposedResult result;
-  result.ls_flags.assign(tasks.size(), false);
-
-  rt::TaskSet working = tasks;
-  for (rt::TaskIndex i = 0; i < working.size(); ++i) {
-    working[i].latency_sensitive = false;  // paper: start all-NLS
-  }
-
-  // At most one promotion per round and at most n rounds.
-  for (std::size_t round = 0; round <= tasks.size(); ++round) {
-    ++result.rounds;
-    result.per_task.assign(tasks.size(), {});
-    bool all_ok = true;
-    rt::TaskIndex failing = 0;
-
-    // Analyze in priority order so the chosen promotion is deterministic:
-    // the highest-priority deadline-missing task is promoted first.
-    for (const rt::TaskIndex i : working.by_priority()) {
-      const TaskBoundResult bound = bound_response_time(working, i, options);
-      result.per_task[i] = bound;
-      result.any_relaxation_fallback |= bound.used_relaxation_bound;
-      result.total_milp_nodes += bound.milp_nodes;
-      if (!bound.schedulable) {
-        all_ok = false;
-        failing = i;
-        break;  // re-analysis is needed anyway once LS flags change
-      }
-    }
-
-    if (all_ok) {
-      result.schedulable = true;
-      for (rt::TaskIndex i = 0; i < working.size(); ++i) {
-        result.ls_flags[i] = working[i].latency_sensitive;
-      }
-      return result;
-    }
-    if (working[failing].latency_sensitive) {
-      // Already LS and still missing: unschedulable (paper §VI).
-      return result;
-    }
-    working[failing].latency_sensitive = true;
-  }
-  return result;  // defensive: cannot be reached (n+1 rounds, n promotions)
+                                const AnalysisOptions& options,
+                                const WpResult* wp_round0) {
+  AnalysisEngine engine;
+  return engine.analyze_proposed(tasks, options, wp_round0);
 }
 
 WpResult analyze_wp(const rt::TaskSet& tasks, const AnalysisOptions& options) {
-  AnalysisOptions wp_options = options;
-  wp_options.ignore_ls = true;
-
-  WpResult result;
-  result.per_task.assign(tasks.size(), {});
-  result.schedulable = true;
-  for (rt::TaskIndex i = 0; i < tasks.size(); ++i) {
-    const TaskBoundResult bound =
-        bound_response_time(tasks, i, wp_options);
-    result.per_task[i] = bound;
-    result.any_relaxation_fallback |= bound.used_relaxation_bound;
-    result.total_milp_nodes += bound.milp_nodes;
-    if (!bound.schedulable) {
-      result.schedulable = false;
-      // Keep analyzing the rest so callers see every per-task bound.
-    }
-  }
-  return result;
+  AnalysisEngine engine;
+  return engine.analyze_wp(tasks, options);
 }
 
 }  // namespace mcs::analysis

@@ -24,12 +24,6 @@ struct ProposedResult {
   std::size_t total_milp_nodes = 0;
 };
 
-/// Schedulability of `tasks` under the proposed protocol with greedy LS
-/// assignment.  Existing latency_sensitive flags on the input are ignored
-/// (the algorithm starts all-NLS, per the paper).
-ProposedResult analyze_proposed(const rt::TaskSet& tasks,
-                                const AnalysisOptions& options = {});
-
 /// Schedulability under the protocol of [3]: the same MILP analysis with
 /// LS semantics disabled for every task (paper Conclusions; DESIGN.md §5.3).
 struct WpResult {
@@ -38,6 +32,18 @@ struct WpResult {
   bool any_relaxation_fallback = false;
   std::size_t total_milp_nodes = 0;
 };
+
+/// Schedulability of `tasks` under the proposed protocol with greedy LS
+/// assignment.  Existing latency_sensitive flags on the input are ignored
+/// (the algorithm starts all-NLS, per the paper).
+///
+/// `wp_round0`, when given, must be the WP analysis of this same `tasks`
+/// under compatible options; the greedy loop adopts it as its round 0
+/// instead of recomputing (the all-NLS round-0 formulation coincides with
+/// the WP one).  See AnalysisEngine::analyze_proposed.
+ProposedResult analyze_proposed(const rt::TaskSet& tasks,
+                                const AnalysisOptions& options = {},
+                                const WpResult* wp_round0 = nullptr);
 
 WpResult analyze_wp(const rt::TaskSet& tasks,
                     const AnalysisOptions& options = {});

@@ -24,6 +24,37 @@ bool valid(VarId v) { return v.index != static_cast<std::size_t>(-1); }
 
 double td(Time t) { return static_cast<double>(t); }
 
+/// Expresses the task set's *current* LS marking in a patchable
+/// formulation through column bounds: LE columns stay open only for tasks
+/// that are latency-sensitive right now, CL columns only for tasks some
+/// currently-LS higher-priority task could cancel (rule R3).  Everything
+/// else is fixed to zero — structurally present for a future marking,
+/// inert under this one.
+void apply_ls_marking(DelayMilp& milp, const rt::TaskSet& tasks) {
+  const std::size_t n = tasks.size();
+  const auto cancelable_now = [&](TaskIndex j) {
+    for (TaskIndex s = 0; s < n; ++s) {
+      if (s != j && tasks[s].latency_sensitive &&
+          tasks[s].priority < tasks[j].priority) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (TaskIndex j = 0; j < n; ++j) {
+    const double le_ub = tasks[j].latency_sensitive ? 1.0 : 0.0;
+    const double cl_ub = cancelable_now(j) ? 1.0 : 0.0;
+    for (std::size_t k = 0; k < milp.num_intervals; ++k) {
+      if (valid(milp.urgent_vars[j][k])) {
+        milp.model.set_bounds(milp.urgent_vars[j][k], 0.0, le_ub);
+      }
+      if (valid(milp.cancel_vars[j][k])) {
+        milp.model.set_bounds(milp.cancel_vars[j][k], 0.0, cl_ub);
+      }
+    }
+  }
+}
+
 }  // namespace
 
 const char* to_string(FormulationCase c) noexcept {
@@ -39,7 +70,8 @@ const char* to_string(FormulationCase c) noexcept {
 }
 
 DelayMilp build_delay_milp(const rt::TaskSet& tasks, TaskIndex i, Time t,
-                           FormulationCase fcase, bool ignore_ls) {
+                           FormulationCase fcase, bool ignore_ls,
+                           bool patchable_ls) {
   MCS_REQUIRE(i < tasks.size(), "build_delay_milp: bad task index");
   MCS_REQUIRE(t >= 0, "build_delay_milp: negative window");
   const bool analyzed_ls = fcase != FormulationCase::kNls;
@@ -49,11 +81,19 @@ DelayMilp build_delay_milp(const rt::TaskSet& tasks, TaskIndex i, Time t,
     MCS_REQUIRE(tasks[i].latency_sensitive,
                 "LS formulation for a non-LS task");
   }
+  // With LS semantics disabled there is nothing marking-dependent to
+  // patch, so a "patchable" build degenerates to the exact formulation.
+  const bool patch = patchable_ls && !ignore_ls;
 
   const std::size_t n = tasks.size();
   const auto is_ls = [&](TaskIndex j) {
     return !ignore_ls && tasks[j].latency_sensitive;
   };
+  // Structural admission marking: under a patchable build every task may
+  // become latency-sensitive over a greedy marking run, so LE/CL columns
+  // (and the big-Ms below) cover that superset; the current marking is
+  // then expressed through column bounds only (apply_ls_marking).
+  const auto may_be_ls = [&](TaskIndex j) { return patch || is_ls(j); };
   const auto my_prio = tasks[i].priority;
   const auto is_lp = [&](TaskIndex j) { return tasks[j].priority > my_prio; };
 
@@ -61,7 +101,7 @@ DelayMilp build_delay_milp(const rt::TaskSet& tasks, TaskIndex i, Time t,
   // exists (rule R3).
   const auto cancelable = [&](TaskIndex j) {
     for (TaskIndex s = 0; s < n; ++s) {
-      if (s != j && is_ls(s) && tasks[s].priority < tasks[j].priority) {
+      if (s != j && may_be_ls(s) && tasks[s].priority < tasks[j].priority) {
         return true;
       }
     }
@@ -99,7 +139,7 @@ DelayMilp build_delay_milp(const rt::TaskSet& tasks, TaskIndex i, Time t,
   };
   // urgent_allowed(j, k): may LE_j^k be one?  Only LS tasks (Constraint 4).
   const auto urgent_allowed = [&](TaskIndex j, std::size_t k) {
-    if (j == i || !is_ls(j)) return false;
+    if (j == i || !may_be_ls(j)) return false;
     if (fcase == FormulationCase::kLsCaseB) return k == 0;
     if (is_lp(j)) {
       return fcase == FormulationCase::kNls ? k <= 1 : k == 0;
@@ -451,6 +491,11 @@ DelayMilp build_delay_milp(const rt::TaskSet& tasks, TaskIndex i, Time t,
     objective += LinExpr(out.delta_vars[k]);
   }
   m.set_objective(Sense::kMaximize, objective);
+
+  if (patch) {
+    out.patchable_ls = true;
+    apply_ls_marking(out, tasks);
+  }
   return out;
 }
 
@@ -472,6 +517,9 @@ void update_delay_milp(DelayMilp& milp, const rt::TaskSet& tasks,
   if (milp.cancellation_budget_constraint != DelayMilp::kNoConstraint) {
     milp.model.set_rhs(milp.cancellation_budget_constraint,
                        ls_release_budget(tasks, t, ignore_ls));
+  }
+  if (milp.patchable_ls) {
+    apply_ls_marking(milp, tasks);
   }
 }
 

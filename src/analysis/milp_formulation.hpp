@@ -67,6 +67,12 @@ struct DelayMilp {
   std::vector<std::size_t> budget_constraints;
   std::size_t cancellation_budget_constraint = kNoConstraint;
 
+  /// True when the formulation was built marking-agnostically (see
+  /// `build_delay_milp`): LE/CL columns exist for every task that could
+  /// ever be latency-sensitive, and the *current* marking is expressed
+  /// purely through column bounds that `update_delay_milp` re-derives.
+  bool patchable_ls = false;
+
   static constexpr std::size_t kNoConstraint = static_cast<std::size_t>(-1);
 };
 
@@ -74,9 +80,22 @@ struct DelayMilp {
 /// `t`.  With `ignore_ls` the task set is treated as all-NLS — this is the
 /// analysis of the protocol of [3] (paper Conclusions; DESIGN.md §5.3), and
 /// only kNls is a valid case then.
+///
+/// With `patchable_ls` (meaningful only when `!ignore_ls`) the formulation
+/// is built *marking-agnostically*: LE/CL columns are admitted for the
+/// superset of tasks that could be latency-sensitive under any marking,
+/// and the per-interval big-Ms cover that superset (looser, but every
+/// bound stays valid and the integer optimum is unchanged — at any
+/// integral assignment each interval length is still pinned to
+/// max(cpu, dma) by the alpha pair and the cuts).  Columns inactive under
+/// the task set's *current* LS flags are fixed to zero through their
+/// bounds, so a later `update_delay_milp` can re-target the same model to
+/// a different marking without rebuilding — this is what lets the
+/// analysis engine's formulation cache survive greedy LS-promotion
+/// rounds, where only flags change.
 DelayMilp build_delay_milp(const rt::TaskSet& tasks, rt::TaskIndex i,
                            rt::Time t, FormulationCase fcase,
-                           bool ignore_ls = false);
+                           bool ignore_ls = false, bool patchable_ls = false);
 
 /// Retargets an already-built formulation to a new window length `t`
 /// *without* rebuilding it.  Valid only when the interval count for the new
@@ -85,6 +104,11 @@ DelayMilp build_delay_milp(const rt::TaskSet& tasks, rt::TaskIndex i,
 /// through the Constraint-7 interference budgets and the cancellation
 /// budget, whose right-hand sides this patches in place.  The fixpoint
 /// loop uses this to reuse one `DelayMilp` across rounds.
+///
+/// For a `patchable_ls` formulation this additionally re-derives the
+/// LS-dependent pieces from the task set's current flags — LE/CL
+/// admission column bounds and the cancellation-budget right-hand side —
+/// so the same model may also be reused across greedy LS-marking rounds.
 void update_delay_milp(DelayMilp& milp, const rt::TaskSet& tasks,
                        rt::TaskIndex i, rt::Time t, bool ignore_ls = false);
 

@@ -3,8 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
-#include "analysis/nps.hpp"
-#include "analysis/response_time.hpp"
+#include "analysis/engine.hpp"
 #include "support/contracts.hpp"
 
 namespace mcs::analysis {
@@ -57,22 +56,11 @@ OpaResult audsley_assign(
 
 OpaResult audsley_assign(const rt::TaskSet& tasks, Approach approach,
                          const AnalysisOptions& options) {
-  const auto test = [approach, &options](const rt::TaskSet& set,
-                                         rt::TaskIndex i) {
-    switch (approach) {
-      case Approach::kNonPreemptive:
-        return nps_bound(set, i).schedulable;
-      case Approach::kWasilyPellizzoni: {
-        AnalysisOptions wp = options;
-        wp.ignore_ls = true;
-        return bound_response_time(set, i, wp).schedulable;
-      }
-      case Approach::kProposed:
-        return bound_response_time(set, i, options).schedulable;
-    }
-    return false;
-  };
-  return audsley_assign(tasks, test);
+  // Engine-backed: each candidate test reuses the engine's cached NPS
+  // bounds and formulations where the fingerprint allows (priority
+  // shuffles drop them, but the final converging rounds repeat task sets).
+  AnalysisEngine engine;
+  return engine.audsley_assign(tasks, approach, options);
 }
 
 }  // namespace mcs::analysis

@@ -1,152 +1,13 @@
 #include "analysis/response_time.hpp"
 
-#include <algorithm>
 #include <cmath>
 
-#include "analysis/milp_formulation.hpp"
-#include "analysis/window.hpp"
-#include "lp/simplex.hpp"
+#include "analysis/engine.hpp"
 #include "support/contracts.hpp"
-#include "support/telemetry.hpp"
 
 namespace mcs::analysis {
 
-namespace {
-
-using rt::Time;
-
-/// Outcome of one delay-MILP solve.
-struct DelayBound {
-  bool valid = false;         ///< a finite safe bound was obtained
-  double delay = 0.0;         ///< upper bound on sum of interval lengths
-  bool relaxation = false;    ///< dual bound used (budget exhausted)
-  std::size_t nodes = 0;
-  std::size_t lp_iterations = 0;
-};
-
-namespace telemetry = support::telemetry;
-
-/// Reuses one built `DelayMilp` across fixpoint rounds of the same
-/// (task, formulation case).  While the interval count is unchanged the
-/// window length only enters the model through a handful of right-hand
-/// sides (see `update_delay_milp`), so a cached formulation is patched in
-/// place instead of rebuilt; the previous round's incumbent is carried in
-/// as a starting incumbent so branch & bound can prune from node one.
-struct DelayMilpCache {
-  bool valid = false;
-  FormulationCase fcase = FormulationCase::kNls;
-  std::size_t num_intervals = 0;
-  DelayMilp milp;
-  lp::MilpOptions milp_options;   ///< options.milp + branch priorities
-  std::vector<double> incumbent;  ///< last solve's values (may be empty)
-};
-
-DelayBound solve_delay(const rt::TaskSet& tasks, rt::TaskIndex i, Time t,
-                       FormulationCase fcase,
-                       const AnalysisOptions& options,
-                       DelayMilpCache* cache = nullptr) {
-  std::size_t intervals = 2;
-  switch (fcase) {
-    case FormulationCase::kNls:
-      intervals = window_intervals_nls(tasks, i, t);
-      break;
-    case FormulationCase::kLsCaseA:
-      intervals = window_intervals_ls(tasks, i, t);
-      break;
-    case FormulationCase::kLsCaseB:
-      break;
-  }
-
-  DelayMilp local;
-  DelayMilp* milp = &local;
-  bool cache_hit = false;
-  if (cache != nullptr && cache->valid && cache->fcase == fcase &&
-      cache->num_intervals == intervals) {
-    update_delay_milp(cache->milp, tasks, i, t, options.ignore_ls);
-    telemetry::count("analysis.milp_cache_hits");
-    cache_hit = true;
-    milp = &cache->milp;
-  } else if (cache != nullptr) {
-    cache->milp = build_delay_milp(tasks, i, t, fcase, options.ignore_ls);
-    cache->valid = true;
-    cache->fcase = fcase;
-    cache->num_intervals = intervals;
-    cache->incumbent.clear();
-    telemetry::count("analysis.milp_builds");
-    milp = &cache->milp;
-  } else {
-    local = build_delay_milp(tasks, i, t, fcase, options.ignore_ls);
-    telemetry::count("analysis.milp_builds");
-  }
-
-  DelayBound out;
-  if (options.lp_relaxation_only) {
-    const lp::LpSolution sol = solve_lp(milp->model, options.milp.lp);
-    out.lp_iterations = sol.iterations;
-    if (sol.status == lp::SolveStatus::kOptimal) {
-      out.valid = true;
-      out.delay = sol.objective;
-      out.relaxation = true;
-      telemetry::count("analysis.fallbacks.lp_relaxation_only");
-    }
-    return out;
-  }
-  lp::MilpOptions local_options;
-  lp::MilpOptions& milp_options =
-      cache != nullptr ? cache->milp_options : local_options;
-  if (!cache_hit) {
-    // Branch the Constraint 13 max-selectors first (see
-    // DelayMilp::alpha_vars).  On a cache hit the priorities (and every
-    // other option) are structural and carry over unchanged.
-    milp_options = options.milp;
-    milp_options.branch_priority.assign(milp->model.num_variables(), 0);
-    for (const lp::VarId alpha : milp->alpha_vars) {
-      milp_options.branch_priority[alpha.index] = 1;
-    }
-  }
-  milp_options.start_values =
-      cache_hit && cache != nullptr ? cache->incumbent
-                                    : std::vector<double>{};
-  const lp::MilpResult res = solve_milp(milp->model, milp_options);
-  if (cache != nullptr && res.has_incumbent) {
-    cache->incumbent = res.values;
-  }
-  out.nodes = res.nodes;
-  out.lp_iterations = res.lp_iterations;
-  switch (res.status) {
-    case lp::SolveStatus::kOptimal:
-      out.valid = true;
-      // best_bound equals the objective when optimality was proven and is
-      // the safe dual bound when the search stopped at the relative gap.
-      out.delay = res.best_bound;
-      out.relaxation = res.gap_terminated;
-      if (res.gap_terminated) {
-        telemetry::count("analysis.fallbacks.gap_terminated");
-      }
-      break;
-    case lp::SolveStatus::kNodeLimit:
-      // Dual bound >= true maximum: safe.
-      if (std::isfinite(res.best_bound)) {
-        out.valid = true;
-        out.delay = res.best_bound;
-        out.relaxation = true;
-        telemetry::count("analysis.fallbacks.node_limit");
-      }
-      break;
-    case lp::SolveStatus::kInfeasible:
-      // Only the empty schedule could be cut off; treat as zero delay.
-      out.valid = true;
-      out.delay = 0.0;
-      break;
-    default:
-      break;  // unbounded / iteration limit: no safe bound
-  }
-  return out;
-}
-
-}  // namespace
-
-Time delay_to_ticks(double delay) {
+rt::Time delay_to_ticks(double delay) {
   MCS_REQUIRE(std::isfinite(delay) && delay >= 0.0,
               "delay_to_ticks: non-finite or negative delay bound");
   // Plain ceil: the only rounding that can never place the tick bound
@@ -157,135 +18,19 @@ Time delay_to_ticks(double delay) {
   // optimum is k, so the extra tick of pessimism is the price of safety.
   // Values that are exactly integral (the common case: all MILP data are
   // integer ticks) pass through ceil unchanged.
-  return static_cast<Time>(std::ceil(delay));
+  return static_cast<rt::Time>(std::ceil(delay));
 }
 
 TaskBoundResult bound_response_time(const rt::TaskSet& tasks,
                                     rt::TaskIndex i,
                                     const AnalysisOptions& options) {
-  MCS_REQUIRE(i < tasks.size(), "bound_response_time: bad task index");
-  const telemetry::ScopedTimer timer("analysis.bound_response_time");
-  telemetry::count("analysis.tasks_analyzed");
-  const rt::Task& task = tasks[i];
-  const bool analyzed_ls = task.latency_sensitive && !options.ignore_ls;
-
-  TaskBoundResult result;
-  Time response = task.total_demand();  // R^(0) = l + C + u
-  if (response > task.deadline) {
-    result.wcrt = response;
-    result.exceeded_deadline = true;
-    return result;
-  }
-
-  // Case (b) for LS tasks has a fixed two-interval window independent of t;
-  // solve it once.
-  double case_b_delay = 0.0;
-  if (analyzed_ls) {
-    const DelayBound b =
-        solve_delay(tasks, i, 0, FormulationCase::kLsCaseB, options);
-    result.milp_nodes += b.nodes;
-    result.lp_iterations += b.lp_iterations;
-    if (!b.valid) {
-      return result;  // no safe bound obtainable
-    }
-    result.used_relaxation_bound |= b.relaxation;
-    case_b_delay = b.delay;
-  }
-
-  // One formulation cache for the fast-accept probe and every fixpoint
-  // round: they all use the same (task, case) pair, so whenever the
-  // interval count repeats the built MILP is patched instead of rebuilt
-  // and the previous incumbent seeds the next search.
-  DelayMilpCache cache;
-
-  // Fast accept: the MILP value is monotone in the window length, so if
-  // the bound computed for the largest relevant window t_D = D - C - u
-  // already fits the deadline, the least fixpoint fits too (and that value
-  // is itself a safe WCRT bound).  One MILP instead of a full iteration in
-  // the common (schedulable) case.
-  if (options.fast_accept) {
-    const Time t_deadline = task.deadline - task.exec - task.copy_out;
-    const FormulationCase fcase = analyzed_ls ? FormulationCase::kLsCaseA
-                                              : FormulationCase::kNls;
-    const DelayBound d =
-        solve_delay(tasks, i, t_deadline, fcase, options, &cache);
-    result.milp_nodes += d.nodes;
-    result.lp_iterations += d.lp_iterations;
-    if (d.valid) {
-      result.used_relaxation_bound |= d.relaxation;
-      const Time r_full = delay_to_ticks(std::max(d.delay, case_b_delay)) +
-                          task.copy_out;
-      if (r_full <= task.deadline) {
-        result.wcrt = std::max(response, r_full);
-        result.schedulable = true;
-        return result;
-      }
-      // Inconclusive (f(D) > D does not imply a miss): fall through to the
-      // iterative scheme.
-    }
-  }
-
-  std::vector<std::uint64_t> prev_budgets;
-  double prev_ls_releases = -1.0;
-  for (std::size_t iter = 0; iter < options.max_outer_iterations; ++iter) {
-    ++result.outer_iterations;
-    telemetry::count("analysis.fixpoint_rounds");
-    const Time t = response - task.exec - task.copy_out;
-    MCS_ASSERT(t >= 0, "negative delay window");
-    const FormulationCase fcase = analyzed_ls ? FormulationCase::kLsCaseA
-                                              : FormulationCase::kNls;
-    const std::size_t window = analyzed_ls
-                                   ? window_intervals_ls(tasks, i, t)
-                                   : window_intervals_nls(tasks, i, t);
-    telemetry::record("analysis.window_intervals",
-                      static_cast<double>(window));
-    // The window length enters the MILP only through the interference
-    // budgets (which also fix the interval count) and the cancellation
-    // budget.  If none of them moved since the previous round the MILP is
-    // *identical*, so its value is too: fixpoint reached.  (Comparing the
-    // budgets rather than the interval count alone is exact: the count is
-    // derived from the budget sum and can mask a changed cancellation
-    // budget or clamp-equal windows with different budgets.)
-    std::vector<std::uint64_t> budgets = interference_budgets(tasks, i, t);
-    const double ls_releases =
-        ls_release_budget(tasks, t, options.ignore_ls);
-    if (iter > 0 && budgets == prev_budgets &&
-        ls_releases == prev_ls_releases) {
-      result.wcrt = response;
-      result.schedulable = response <= task.deadline;
-      return result;
-    }
-    prev_budgets = std::move(budgets);
-    prev_ls_releases = ls_releases;
-
-    const DelayBound a = solve_delay(tasks, i, t, fcase, options, &cache);
-    result.milp_nodes += a.nodes;
-    result.lp_iterations += a.lp_iterations;
-    if (!a.valid) {
-      return result;
-    }
-    result.used_relaxation_bound |= a.relaxation;
-
-    const double delay = std::max(a.delay, case_b_delay);
-    const Time new_response =
-        delay_to_ticks(delay) + task.copy_out;
-    // The MILP value never shrinks as the window grows; keep monotone.
-    const Time next = std::max(response, new_response);
-    if (next > task.deadline) {
-      result.wcrt = next;
-      result.exceeded_deadline = true;
-      return result;
-    }
-    if (next == response) {
-      result.wcrt = response;
-      result.schedulable = true;
-      return result;
-    }
-    response = next;
-  }
-  // Iteration cap hit without convergence: no safe claim below deadline.
-  result.wcrt = rt::kTimeMax;
-  return result;
+  // The fixpoint iteration lives in AnalysisEngine (engine.cpp), which
+  // carries formulation caches and solver sessions across calls; a
+  // throwaway engine reproduces the historical one-shot behavior exactly
+  // (within one call the engine's per-(task, case) cache plays the role of
+  // the old local DelayMilpCache).
+  AnalysisEngine engine;
+  return engine.bound_response_time(tasks, i, options);
 }
 
 }  // namespace mcs::analysis

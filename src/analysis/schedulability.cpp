@@ -1,5 +1,7 @@
 #include "analysis/schedulability.hpp"
 
+#include "analysis/engine.hpp"
+
 namespace mcs::analysis {
 
 const char* to_string(Approach approach) noexcept {
@@ -16,41 +18,8 @@ const char* to_string(Approach approach) noexcept {
 
 ApproachResult analyze(const rt::TaskSet& tasks, Approach approach,
                        const AnalysisOptions& options) {
-  ApproachResult result;
-  result.wcrt.assign(tasks.size(), rt::kTimeMax);
-  result.ls_flags.assign(tasks.size(), false);
-
-  switch (approach) {
-    case Approach::kProposed: {
-      const ProposedResult r = analyze_proposed(tasks, options);
-      result.schedulable = r.schedulable;
-      result.ls_flags = r.ls_flags;
-      result.any_relaxation_fallback = r.any_relaxation_fallback;
-      for (rt::TaskIndex i = 0; i < tasks.size(); ++i) {
-        result.wcrt[i] = r.per_task[i].wcrt;
-      }
-      break;
-    }
-    case Approach::kWasilyPellizzoni: {
-      const WpResult r = analyze_wp(tasks, options);
-      result.schedulable = r.schedulable;
-      result.any_relaxation_fallback = r.any_relaxation_fallback;
-      for (rt::TaskIndex i = 0; i < tasks.size(); ++i) {
-        result.wcrt[i] = r.per_task[i].wcrt;
-      }
-      break;
-    }
-    case Approach::kNonPreemptive: {
-      result.schedulable = true;
-      for (rt::TaskIndex i = 0; i < tasks.size(); ++i) {
-        const NpsTaskBound bound = nps_bound(tasks, i);
-        result.wcrt[i] = bound.wcrt;
-        result.schedulable = result.schedulable && bound.schedulable;
-      }
-      break;
-    }
-  }
-  return result;
+  AnalysisEngine engine;
+  return engine.analyze(tasks, approach, options);
 }
 
 }  // namespace mcs::analysis

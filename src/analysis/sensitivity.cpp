@@ -1,83 +1,18 @@
 #include "analysis/sensitivity.hpp"
 
-#include <algorithm>
-#include <cmath>
-
-#include "support/contracts.hpp"
+#include "analysis/engine.hpp"
 
 namespace mcs::analysis {
-
-namespace {
-
-rt::TaskSet scaled(const rt::TaskSet& tasks, ScalingDimension dimension,
-                   double factor) {
-  rt::TaskSet result = tasks;
-  for (std::size_t i = 0; i < result.size(); ++i) {
-    auto scale = [factor](rt::Time value) {
-      return static_cast<rt::Time>(
-          std::ceil(static_cast<double>(value) * factor));
-    };
-    switch (dimension) {
-      case ScalingDimension::kMemoryPhases:
-        result[i].copy_in = scale(result[i].copy_in);
-        result[i].copy_out = scale(result[i].copy_out);
-        break;
-      case ScalingDimension::kExecutionTimes:
-        result[i].exec = std::max<rt::Time>(1, scale(result[i].exec));
-        break;
-    }
-  }
-  return result;
-}
-
-}  // namespace
 
 SensitivityResult max_scaling_factor(const rt::TaskSet& tasks,
                                      Approach approach,
                                      ScalingDimension dimension,
                                      const SensitivityOptions& options) {
-  MCS_REQUIRE(options.tolerance > 0.0, "sensitivity: bad tolerance");
-  MCS_REQUIRE(options.upper_limit >= 1.0, "sensitivity: bad upper limit");
-
-  SensitivityResult result;
-  const auto schedulable = [&](double factor) {
-    ++result.analysis_runs;
-    return analyze(scaled(tasks, dimension, factor), approach,
-                   options.analysis)
-        .schedulable;
-  };
-
-  if (!schedulable(1.0)) {
-    result.min_failing_factor = 1.0;
-    return result;
-  }
-
-  // Grow the bracket geometrically until failure (or the limit).
-  double lo = 1.0;
-  double hi = 2.0;
-  while (hi <= options.upper_limit && schedulable(hi)) {
-    lo = hi;
-    hi *= 2.0;
-  }
-  if (hi > options.upper_limit) {
-    // Never failed within the limit: report the limit as schedulable-up-to.
-    result.max_factor = lo;
-    result.min_failing_factor = hi;
-    return result;
-  }
-
-  // Binary search on [lo, hi): lo schedulable, hi failing.
-  while (hi - lo > options.tolerance) {
-    const double mid = 0.5 * (lo + hi);
-    if (schedulable(mid)) {
-      lo = mid;
-    } else {
-      hi = mid;
-    }
-  }
-  result.max_factor = lo;
-  result.min_failing_factor = hi;
-  return result;
+  // The search lives in AnalysisEngine (engine.cpp): beyond formulation
+  // reuse, each probe's RTA fixpoints are warm-started from the WCRTs the
+  // previous (smaller) schedulable factor proved at the same LS marking.
+  AnalysisEngine engine;
+  return engine.max_scaling_factor(tasks, approach, dimension, options);
 }
 
 }  // namespace mcs::analysis

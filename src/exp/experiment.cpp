@@ -9,6 +9,7 @@
 #include <ostream>
 #include <string>
 
+#include "analysis/engine.hpp"
 #include "support/contracts.hpp"
 #include "support/csv.hpp"
 #include "support/rng.hpp"
@@ -111,27 +112,36 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
           support::Rng rng = rngs[s];
           const rt::TaskSet tasks = gen::generate_task_set(gen_cfg, rng);
 
+          // One analysis engine per task set: the three approaches share
+          // its formulation caches and solver sessions (serial inside —
+          // the sweep already parallelizes across task sets).
+          analysis::AnalysisEngine engine;
+
           const auto nps =
-              analysis::analyze(tasks, Approach::kNonPreemptive,
-                                config.analysis);
+              engine.analyze(tasks, Approach::kNonPreemptive,
+                             config.analysis);
           if (nps.schedulable) ok_nps.fetch_add(1);
 
-          const auto wp = analysis::analyze(
-              tasks, Approach::kWasilyPellizzoni, config.analysis);
+          const auto wp = engine.analyze_wp(tasks, config.analysis);
           if (wp.schedulable) ok_wp.fetch_add(1);
           if (wp.any_relaxation_fallback) fallbacks_wp.fetch_add(1);
 
-          // Greedy round 0 equals the WP analysis: reuse its verdict and
-          // only run the greedy promotion loop when WP failed.
+          // Greedy round 0 equals the WP analysis.  When WP succeeded its
+          // verdict *is* the proposed one (round 0 all-NLS, schedulable)
+          // — including any reliance on a relaxation fallback, which used
+          // to go unreported here.  Otherwise hand the WP bounds to the
+          // greedy loop as its round 0 so it starts promoting directly.
           bool proposed_ok = wp.schedulable;
           bool proposed_fb = false;
-          if (!proposed_ok) {
-            const auto prop = analysis::analyze(tasks, Approach::kProposed,
-                                                config.analysis);
+          if (proposed_ok) {
+            proposed_fb = wp.any_relaxation_fallback;
+          } else {
+            const auto prop =
+                engine.analyze_proposed(tasks, config.analysis, &wp);
             proposed_ok = prop.schedulable;
             proposed_fb = prop.any_relaxation_fallback;
-            if (proposed_fb) fallbacks_proposed.fetch_add(1);
           }
+          if (proposed_fb) fallbacks_proposed.fetch_add(1);
           if (proposed_ok) ok_proposed.fetch_add(1);
           // At most one fallback tick per task set, whichever analyses
           // tripped it — keeps the column <= tasksets.

@@ -67,8 +67,8 @@ using IntBounds = std::vector<std::pair<double, double>>;
 
 class BranchAndBound {
  public:
-  BranchAndBound(const Model& model, const MilpOptions& options)
-      : base_(model), opt_(options),
+  explicit BranchAndBound(const Model& model)
+      : base_(model),
         maximize_(model.objective_sense() == Sense::kMaximize) {
     for (std::size_t i = 0; i < model.num_variables(); ++i) {
       const Variable& v = model.variables()[i];
@@ -78,7 +78,10 @@ class BranchAndBound {
     }
   }
 
-  MilpResult run();
+  /// One branch & bound search under `options`.  Reusable: a later call
+  /// resyncs patched model bounds / right-hand sides into the retained
+  /// solvers and searches again, bit-identically to a fresh instance.
+  MilpResult run(const MilpOptions& options);
 
   std::size_t bound_deltas_applied() const noexcept { return deltas_; }
   std::size_t warm_solves() const noexcept {
@@ -89,6 +92,11 @@ class BranchAndBound {
   }
 
  private:
+  /// (Re)establishes the session: clamped root bounds from the current
+  /// model state, root model copy, and the two retained simplex solvers,
+  /// all synced to the model's present bounds and right-hand sides.
+  /// Returns false when a clamped integral domain is empty (infeasible).
+  bool sync_session();
   bool better(double a, double b) const {
     return maximize_ ? a > b : a < b;
   }
@@ -283,7 +291,85 @@ class BranchAndBound {
   std::size_t deltas_ = 0;
 };
 
-MilpResult BranchAndBound::run() {
+bool BranchAndBound::sync_session() {
+  // Clamped integral domains from the model's *current* bounds.  Integral
+  // variables need finite branching ranges; clamp huge domains (safe for
+  // the objective once the relaxation is known to be bounded; argmax
+  // components beyond 1e9 are out of scope).
+  IntBounds fresh;
+  fresh.reserve(int_vars_.size());
+  for (const std::size_t v : int_vars_) {
+    const Variable& mv = base_.variables()[v];
+    const double lo = std::isfinite(mv.lower) ? std::ceil(mv.lower) : -1e9;
+    const double hi = std::isfinite(mv.upper) ? std::floor(mv.upper) : 1e9;
+    if (lo > hi) return false;
+    fresh.emplace_back(lo, hi);
+  }
+
+  if (main_ == nullptr) {
+    root_bounds_ = std::move(fresh);
+    root_model_ = base_;
+    for (std::size_t k = 0; k < int_vars_.size(); ++k) {
+      // Clamping in the model (not just the solver) gives every integral
+      // variable a finite lower bound, which is what makes its simplex
+      // column warm-boundable (single shifted column).
+      root_model_.set_bounds(VarId{int_vars_[k]}, root_bounds_[k].first,
+                             root_bounds_[k].second);
+    }
+    main_ = std::make_unique<SimplexSolver>(root_model_, opt_.lp);
+    heur_ = std::make_unique<SimplexSolver>(root_model_, opt_.lp);
+    main_bounds_ = root_bounds_;
+    heur_bounds_ = root_bounds_;
+    arena_.clear();
+    return true;
+  }
+
+  // Session reuse: push exactly the data patched since the last search
+  // into the retained root model and solvers.  Continuous bounds first
+  // (integral ones go through the clamped vector below).
+  for (std::size_t i = 0; i < base_.num_variables(); ++i) {
+    const Variable& bv = base_.variables()[i];
+    const Variable& rv = root_model_.variables()[i];
+    if (bv.type != VarType::kContinuous) continue;
+    if (bv.lower != rv.lower || bv.upper != rv.upper) {
+      root_model_.set_bounds(VarId{i}, bv.lower, bv.upper);
+      main_->set_bounds(VarId{i}, bv.lower, bv.upper);
+      heur_->set_bounds(VarId{i}, bv.lower, bv.upper);
+    }
+  }
+  for (std::size_t k = 0; k < int_vars_.size(); ++k) {
+    if (fresh[k] != root_bounds_[k]) {
+      root_bounds_[k] = fresh[k];
+      root_model_.set_bounds(VarId{int_vars_[k]}, fresh[k].first,
+                             fresh[k].second);
+    }
+  }
+  // The previous search left the solvers at arbitrary node bounds; bring
+  // them back to the (possibly patched) root.
+  apply_bounds(*main_, main_bounds_, root_bounds_);
+  apply_bounds(*heur_, heur_bounds_, root_bounds_);
+
+  // Right-hand sides patched via Model::set_rhs since the last search.
+  const auto& patched = base_.constraints();
+  const auto& baked = root_model_.constraints();
+  for (std::size_t r = 0; r < patched.size(); ++r) {
+    if (patched[r].rhs != baked[r].rhs) {
+      root_model_.set_rhs(r, patched[r].rhs);
+      main_->set_rhs(r, patched[r].rhs);
+      heur_->set_rhs(r, patched[r].rhs);
+    }
+  }
+
+  // Bit-identity with a fresh instance: fresh solvers start without a
+  // valid tableau, so the retained ones must forget theirs too.
+  main_->invalidate();
+  heur_->invalidate();
+  arena_.clear();
+  return true;
+}
+
+MilpResult BranchAndBound::run(const MilpOptions& options) {
+  opt_ = options;
   MilpResult result;
 
   // Pure LP: no branching needed.
@@ -301,9 +387,18 @@ MilpResult BranchAndBound::run() {
   }
 
   // Detect unboundedness on the true relaxation before branching: the
-  // branching ranges below clamp infinite integer domains, which would
-  // silently turn an unbounded problem into a huge "optimal" one.
-  {
+  // branching ranges clamp infinite integer domains, which would silently
+  // turn an unbounded problem into a huge "optimal" one.  A fully
+  // box-bounded model cannot have an unbounded relaxation, so the analysis
+  // MILPs (all bounds finite) skip this extra cold LP entirely.
+  bool all_finite = true;
+  for (const Variable& v : base_.variables()) {
+    if (!std::isfinite(v.lower) || !std::isfinite(v.upper)) {
+      all_finite = false;
+      break;
+    }
+  }
+  if (!all_finite) {
     const LpSolution root = solve_lp(base_, opt_.lp);
     result.lp_iterations += root.iterations;
     if (root.status == SolveStatus::kUnbounded) {
@@ -316,29 +411,10 @@ MilpResult BranchAndBound::run() {
     }
   }
 
-  root_bounds_.reserve(int_vars_.size());
-  root_model_ = base_;
-  for (const std::size_t v : int_vars_) {
-    const Variable& mv = base_.variables()[v];
-    // Integral variables need finite branching ranges; clamp huge domains
-    // (safe for the objective once the relaxation is known to be bounded;
-    // argmax components beyond 1e9 are out of scope).
-    const double lo = std::isfinite(mv.lower) ? std::ceil(mv.lower) : -1e9;
-    const double hi = std::isfinite(mv.upper) ? std::floor(mv.upper) : 1e9;
-    if (lo > hi) {
-      result.status = SolveStatus::kInfeasible;
-      return result;
-    }
-    root_bounds_.emplace_back(lo, hi);
-    // Clamping in the model (not just the solver) gives every integral
-    // variable a finite lower bound, which is what makes its simplex column
-    // warm-boundable (single shifted column).
-    root_model_.set_bounds(VarId{v}, lo, hi);
+  if (!sync_session()) {
+    result.status = SolveStatus::kInfeasible;
+    return result;
   }
-  main_ = std::make_unique<SimplexSolver>(root_model_, opt_.lp);
-  heur_ = std::make_unique<SimplexSolver>(root_model_, opt_.lp);
-  main_bounds_ = root_bounds_;
-  heur_bounds_ = root_bounds_;
 
   try_seed_incumbent(result);
 
@@ -597,22 +673,40 @@ MilpResult BranchAndBound::run() {
 
 }  // namespace
 
-MilpResult solve_milp(const Model& model, const MilpOptions& options) {
+struct MilpSolver::Impl {
+  explicit Impl(const Model& model) : bnb(model) {}
+
+  BranchAndBound bnb;
+  // Counter snapshots so each solve emits per-run telemetry deltas (the
+  // underlying counters are cumulative over the session).
+  std::size_t deltas_seen = 0;
+  std::size_t warm_seen = 0;
+  std::size_t fallbacks_seen = 0;
+};
+
+MilpSolver::MilpSolver(const Model& model)
+    : impl_(std::make_unique<Impl>(model)) {}
+
+MilpSolver::~MilpSolver() = default;
+
+MilpResult MilpSolver::solve(const MilpOptions& options) {
   namespace telemetry = support::telemetry;
   const telemetry::ScopedTimer timer("milp.solve");
-  BranchAndBound solver(model, options);
-  MilpResult result = solver.run();
+  Impl& im = *impl_;
+  MilpResult result = im.bnb.run(options);
+  const std::size_t deltas = im.bnb.bound_deltas_applied();
+  const std::size_t warm = im.bnb.warm_solves();
+  const std::size_t fallbacks = im.bnb.warm_fallbacks();
   if (telemetry::enabled()) {
     telemetry::count("milp.solves");
     telemetry::count("milp.nodes_explored", result.nodes);
     telemetry::count("milp.nodes_pruned", result.nodes_pruned);
     telemetry::count("milp.lp_iterations", result.lp_iterations);
-    telemetry::count("milp.bound_deltas_applied",
-                     solver.bound_deltas_applied());
-    const std::size_t warm = solver.warm_solves();
-    const std::size_t fallbacks = solver.warm_fallbacks();
-    telemetry::count("milp.warm_start_hits", warm - fallbacks);
-    telemetry::count("milp.warm_start_fallbacks", fallbacks);
+    telemetry::count("milp.bound_deltas_applied", deltas - im.deltas_seen);
+    telemetry::count("milp.warm_start_hits",
+                     (warm - im.warm_seen) - (fallbacks - im.fallbacks_seen));
+    telemetry::count("milp.warm_start_fallbacks",
+                     fallbacks - im.fallbacks_seen);
     if (result.gap_terminated) {
       telemetry::count("milp.gap_terminations");
     }
@@ -620,7 +714,15 @@ MilpResult solve_milp(const Model& model, const MilpOptions& options) {
       telemetry::count("milp.node_limit_hits");
     }
   }
+  im.deltas_seen = deltas;
+  im.warm_seen = warm;
+  im.fallbacks_seen = fallbacks;
   return result;
+}
+
+MilpResult solve_milp(const Model& model, const MilpOptions& options) {
+  MilpSolver session(model);
+  return session.solve(options);
 }
 
 }  // namespace mcs::lp

@@ -892,6 +892,21 @@ void SimplexSolver::set_bounds(VarId v, double lower, double upper) {
   impl_->set_bounds(v.index, lower, upper);
 }
 
+void SimplexSolver::set_rhs(std::size_t row, double rhs) {
+  Impl& im = *impl_;
+  MCS_REQUIRE(row < im.rows_, "set_rhs: unknown constraint");
+  MCS_REQUIRE(std::isfinite(rhs), "set_rhs: non-finite right-hand side");
+  if (im.base_rhs_[row] == rhs) return;
+  im.base_rhs_[row] = rhs;
+  // The pivoted rhs depends on every base rhs through B^-1; rebuilding it
+  // incrementally would need the row's pivoted column, which is exactly
+  // what a cold reset recomputes anyway.  Invalidate and let the next
+  // solve start cold (solve_warm degrades to solve() on its own).
+  im.tableau_valid_ = false;
+}
+
+void SimplexSolver::invalidate() { impl_->tableau_valid_ = false; }
+
 LpSolution SimplexSolver::solve() {
   namespace telemetry = support::telemetry;
   impl_->warm_since_cold_ = 0;

@@ -109,6 +109,21 @@ class SimplexSolver {
   /// integral variables are clamped to finite ranges at the root).
   void set_bounds(VarId v, double lower, double upper);
 
+  /// Overrides the (normalized) right-hand side of constraint `row` for
+  /// subsequent solves.  The solver bakes constraint data at construction,
+  /// so a caller that patches the model via `Model::set_rhs` must mirror
+  /// the change here; the next solve then starts cold from the patched
+  /// data (a pending warm tableau is discarded — RHS changes invalidate
+  /// the pivoted right-hand side wholesale, unlike bound shifts).
+  void set_rhs(std::size_t row, double rhs);
+
+  /// Discards the retained tableau so the next solve starts cold from the
+  /// current (possibly patched) data.  Session users call this to make a
+  /// solve independent of where the previous one left off — required for
+  /// bit-reproducible results when a solver is reused across `MilpSolver`
+  /// runs.
+  void invalidate();
+
   /// Cold solve: rebuilds the tableau from scratch (phase 1 + phase 2).
   LpSolution solve();
 

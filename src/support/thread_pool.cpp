@@ -82,10 +82,61 @@ void ThreadPool::worker_loop() {
   }
 }
 
+namespace {
+
+/// Runs fn(i), converting any escaping exception into a ParallelForError
+/// that records i.  An already-wrapped error passes through untouched (a
+/// body may itself run a nested parallel loop).
+void run_indexed(const std::function<void(std::size_t)>& fn, std::size_t i) {
+  auto message = [i](const char* detail) {
+    std::string text = "parallel_for: index ";
+    text += std::to_string(i);
+    text += ": ";
+    text += detail;
+    return text;
+  };
+  try {
+    fn(i);
+  } catch (const ParallelForError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw ParallelForError(i, message(e.what()), std::current_exception());
+  } catch (...) {
+    throw ParallelForError(i, message("unknown exception"),
+                           std::current_exception());
+  }
+}
+
+}  // namespace
+
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& fn) {
   for (std::size_t i = 0; i < count; ++i) {
-    pool.submit([&fn, i] { fn(i); });
+    pool.submit([&fn, i] { run_indexed(fn, i); });
+  }
+  pool.wait_idle();
+}
+
+void parallel_for_chunked(ThreadPool& pool, std::size_t count,
+                          std::size_t chunks,
+                          const std::function<void(std::size_t)>& fn) {
+  if (count == 0) {
+    pool.wait_idle();  // surface any pending error, like parallel_for would
+    return;
+  }
+  if (chunks == 0) {
+    chunks = pool.worker_count();
+  }
+  chunks = std::min(std::max<std::size_t>(1, chunks), count);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    pool.submit([&fn, c, count, chunks] {
+      // The chunk's stripe runs in ascending order; if one index throws
+      // the rest of the stripe is skipped (other stripes still complete —
+      // wait_idle drains the queue before rethrowing the first error).
+      for (std::size_t i = c; i < count; i += chunks) {
+        run_indexed(fn, i);
+      }
+    });
   }
   pool.wait_idle();
 }

@@ -1,6 +1,7 @@
 // mcs_cli — command-line front end to the library.
 //
 //   mcs_cli analyze  <workload>  [--approach=proposed|wp|nps|all] [--opa]
+//                                [--threads=<n>]
 //   mcs_cli simulate <workload>  [--protocol=proposed|wp|nps]
 //                                [--horizon=<ticks>] [--pattern=sync|sporadic]
 //                                [--seed=<n>] [--gantt]
@@ -24,9 +25,8 @@
 #include <string>
 
 #include "analysis/chains.hpp"
+#include "analysis/engine.hpp"
 #include "analysis/milp_formulation.hpp"
-#include "analysis/opa.hpp"
-#include "analysis/schedulability.hpp"
 #include "lp/lp_writer.hpp"
 #include "rt/io.hpp"
 #include "sim/chain_age.hpp"
@@ -46,6 +46,9 @@ int usage() {
       "usage:\n"
       "  mcs_cli analyze   <workload> [--approach=proposed|wp|nps|all] "
       "[--opa]\n"
+      "                    [--threads=<n>]  (0 = hardware concurrency; the\n"
+      "                    verdicts and bounds are thread-count "
+      "independent)\n"
       "  mcs_cli simulate  <workload> [--protocol=proposed|wp|nps]\n"
       "                    [--horizon=<ticks>] [--pattern=sync|sporadic]\n"
       "                    [--seed=<n>] [--gantt]\n"
@@ -113,10 +116,19 @@ int cmd_analyze(const rt::Workload& workload, int argc, char** argv) {
     return 2;
   }
 
+  // One engine across every requested approach: formulations built for the
+  // WP pass are patched (not rebuilt) for the proposed greedy rounds, and
+  // --threads fans the per-task bounds out on a pool (deterministically —
+  // any thread count gives the same output).
+  analysis::EngineConfig engine_config;
+  engine_config.threads = static_cast<std::size_t>(
+      std::stoull(option(argc, argv, "threads").value_or("1")));
+  analysis::AnalysisEngine engine(engine_config);
+
   const auto& tasks = workload.tasks;
   bool all_ok = true;
   for (const auto approach : approaches) {
-    const auto result = analysis::analyze(tasks, approach);
+    const auto result = engine.analyze(tasks, approach, {});
     std::cout << "== " << to_string(approach) << ": "
               << (result.schedulable ? "SCHEDULABLE" : "not schedulable")
               << "\n";
@@ -129,7 +141,7 @@ int cmd_analyze(const rt::Workload& workload, int argc, char** argv) {
                 << (result.ls_flags[i] ? "yes" : "") << "\n";
     }
     if (!result.schedulable && use_opa) {
-      const auto opa = analysis::audsley_assign(tasks, approach);
+      const auto opa = engine.audsley_assign(tasks, approach, {});
       std::cout << "  OPA: " << (opa.schedulable
                                      ? "feasible priority order found"
                                      : "infeasible under any order")

@@ -1,22 +1,30 @@
 #!/usr/bin/env python3
-"""Solver performance gate for CI.
+"""Performance gates for CI.
 
-Compares a freshly produced BENCH_solver.json (written by
-bench/bench_ablation_solver) against the committed baseline at the repo
-root and fails when the warm-started solver has regressed:
+Dispatches on the JSON schema of the fresh bench result:
 
-  * total simplex pivots of the warm strategies grew by more than the
-    allowed factor over the baseline run, or
-  * the warm-vs-cold pivot reduction measured in the fresh run fell
-    below the required floor (the headline claim of the warm-start
-    work: warm restarts must at least halve the pivot count).
+mcs-bench-solver-v1 (written by bench/bench_ablation_solver)
+  Compared against the committed BENCH_solver.json baseline; fails when
+  the warm-started solver has regressed:
+    * total simplex pivots of the warm strategies grew by more than the
+      allowed factor over the baseline run, or
+    * the warm-vs-cold pivot reduction measured in the fresh run fell
+      below the required floor (warm restarts must at least halve the
+      pivot count).
+  Wall-clock numbers are recorded in the JSON for human inspection but
+  deliberately NOT gated on: CI machines are too noisy for stable timing
+  thresholds, whereas pivot counts are deterministic.
 
-Wall-clock numbers are recorded in the JSON for human inspection but are
-deliberately NOT gated on: CI machines are too noisy for stable timing
-thresholds, whereas pivot counts are deterministic.
+mcs-bench-analysis-v1 (written by bench/bench_analysis)
+  Fails when the AnalysisEngine's single-thread end-to-end speedup over
+  the legacy free functions fell below the floor.  This IS a timing
+  gate, but on a same-run, same-machine ratio — both numerator and
+  denominator see the same hardware and load, so the ratio is far more
+  stable than any absolute time.  The committed baseline documents the
+  reference speedup; the CI floor sits below it to absorb noise.
 
 Usage:
-  tools/perf_check.py <fresh BENCH_solver.json> [<baseline BENCH_solver.json>]
+  tools/perf_check.py <fresh BENCH json> [<baseline BENCH json>]
 """
 
 import json
@@ -31,27 +39,28 @@ MAX_PIVOT_GROWTH = 2.0
 # The fresh run's warm-vs-cold pivot reduction must stay above this.
 MIN_PIVOT_REDUCTION = 2.0
 
+# The fresh run's engine-vs-legacy single-thread speedup must stay above
+# this.  The committed baseline shows >= 1.3x; the CI floor is lower to
+# absorb run-to-run noise in the ratio.
+MIN_ENGINE_SPEEDUP = 1.15
 
-def load(path):
+BASELINES = {
+    "mcs-bench-solver-v1": "BENCH_solver.json",
+    "mcs-bench-analysis-v1": "BENCH_analysis.json",
+}
+
+
+def load(path, schema=None):
     with open(path) as fh:
         data = json.load(fh)
-    if data.get("schema") != "mcs-bench-solver-v1":
+    if data.get("schema") not in BASELINES:
         sys.exit(f"{path}: unexpected schema {data.get('schema')!r}")
+    if schema is not None and data["schema"] != schema:
+        sys.exit(f"{path}: schema {data['schema']!r}, expected {schema!r}")
     return data
 
 
-def main(argv):
-    if len(argv) not in (2, 3):
-        sys.exit(__doc__)
-    fresh_path = argv[1]
-    baseline_path = (
-        argv[2]
-        if len(argv) == 3
-        else pathlib.Path(__file__).resolve().parent.parent / "BENCH_solver.json"
-    )
-    fresh = load(fresh_path)
-    baseline = load(baseline_path)
-
+def check_solver(fresh, baseline):
     fresh_warm = fresh["summary"]["warm_pivots_total"]
     base_warm = baseline["summary"]["warm_pivots_total"]
     reduction = fresh["summary"]["pivot_reduction"]
@@ -71,6 +80,45 @@ def main(argv):
         failures.append(
             f"warm-vs-cold pivot reduction {reduction:.2f}x fell below the "
             f"required {MIN_PIVOT_REDUCTION:.1f}x")
+    return failures
+
+
+def check_analysis(fresh, baseline):
+    speedup = fresh["summary"]["speedup_single_thread"]
+    base_speedup = baseline["summary"]["speedup_single_thread"]
+    threads_n = fresh["summary"]["threads_n"]
+    speedup_nt = fresh["summary"]["speedup_threads_n"]
+
+    print(f"engine speedup (threads=1): {speedup:.2f}x "
+          f"(floor {MIN_ENGINE_SPEEDUP:.2f}x, baseline {base_speedup:.2f}x)")
+    print(f"engine speedup (threads={threads_n}): {speedup_nt:.2f}x "
+          f"(reported, not gated)")
+
+    failures = []
+    if speedup < MIN_ENGINE_SPEEDUP:
+        failures.append(
+            f"engine single-thread speedup {speedup:.2f}x fell below the "
+            f"required {MIN_ENGINE_SPEEDUP:.2f}x")
+    return failures
+
+
+def main(argv):
+    if len(argv) not in (2, 3):
+        sys.exit(__doc__)
+    fresh = load(argv[1])
+    schema = fresh["schema"]
+    baseline_path = (
+        argv[2]
+        if len(argv) == 3
+        else pathlib.Path(__file__).resolve().parent.parent
+        / BASELINES[schema]
+    )
+    baseline = load(baseline_path, schema)
+
+    if schema == "mcs-bench-solver-v1":
+        failures = check_solver(fresh, baseline)
+    else:
+        failures = check_analysis(fresh, baseline)
 
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
