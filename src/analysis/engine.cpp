@@ -9,8 +9,10 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/lint.hpp"
 #include "analysis/milp_formulation.hpp"
 #include "analysis/window.hpp"
+#include "check/check.hpp"
 #include "lp/milp.hpp"
 #include "support/contracts.hpp"
 #include "support/telemetry.hpp"
@@ -50,6 +52,38 @@ struct TaskSig {
 
   bool operator==(const TaskSig&) const = default;
 };
+
+/// Debug audit hook (docs/LINTING.md): lints every formulation the engine
+/// is about to solve and — for cache hits, at level 2 — rebuilds it from
+/// scratch to prove the patch path produced the identical model.  Folds
+/// to nothing when MCS_CHECK_LEVEL compiles to 0.
+void audit_formulation(const DelayMilp& milp, const rt::TaskSet& tasks,
+                       rt::TaskIndex i, Time t, FormulationCase fcase,
+                       bool ignore_ls, bool patched) {
+  if (!check::enabled(check::kLevelLint)) {
+    return;
+  }
+  check::CheckReport report = lint_delay_milp(milp, tasks, i, t, fcase,
+                                              ignore_ls);
+  telemetry::count("check.models_audited");
+  if (patched && check::enabled(check::kLevelDifferential)) {
+    report.merge(
+        verify_patched_equivalence(milp, tasks, i, t, fcase, ignore_ls));
+    telemetry::count("check.patches_verified");
+  }
+  if (!report.clean()) {
+    telemetry::count("check.diagnostics_emitted", report.diagnostics.size());
+  }
+  if (report.error_count() > 0) {
+    std::string detail = "delay MILP audit failed for task " +
+                         tasks[i].name + " at t=" + std::to_string(t) + ":";
+    for (const check::Diagnostic& d : report.diagnostics) {
+      detail += "\n  " + check::render(d);
+    }
+    support::contract_fail("invariant", "mcs::check formulation audit",
+                           __FILE__, __LINE__, detail);
+  }
+}
 
 std::vector<TaskSig> fingerprint_of(const rt::TaskSet& tasks) {
   std::vector<TaskSig> sig(tasks.size());
@@ -238,6 +272,8 @@ DelayBound AnalysisEngine::Impl::solve_delay(const rt::TaskSet& tasks,
     telemetry::count("analysis.milp_builds");
   }
   e.ls_marking = marking;
+  audit_formulation(e.milp, tasks, i, t, fcase, options.ignore_ls,
+                    /*patched=*/hit);
 
   DelayBound out;
   if (options.lp_relaxation_only) {

@@ -1,0 +1,59 @@
+#include "analysis/lint.hpp"
+
+#include "check/model_lint.hpp"
+
+namespace mcs::analysis {
+
+namespace {
+
+check::FormulationCase to_check_case(FormulationCase fcase) {
+  switch (fcase) {
+    case FormulationCase::kNls:
+      return check::FormulationCase::kNls;
+    case FormulationCase::kLsCaseA:
+      return check::FormulationCase::kLsCaseA;
+    case FormulationCase::kLsCaseB:
+      return check::FormulationCase::kLsCaseB;
+  }
+  return check::FormulationCase::kNls;
+}
+
+}  // namespace
+
+check::FormulationView formulation_view(const DelayMilp& milp) {
+  check::FormulationView view;
+  view.model = &milp.model;
+  view.num_intervals = milp.num_intervals;
+  view.delta_vars = milp.delta_vars;
+  view.alpha_vars = milp.alpha_vars;
+  view.exec_vars = milp.exec_vars;
+  view.urgent_vars = milp.urgent_vars;
+  view.cancel_vars = milp.cancel_vars;
+  view.budget_constraints = milp.budget_constraints;
+  view.cancellation_budget_constraint = milp.cancellation_budget_constraint;
+  view.patchable_ls = milp.patchable_ls;
+  static_assert(check::FormulationView::kNoConstraint ==
+                    DelayMilp::kNoConstraint,
+                "sentinel values must agree for the index copy above");
+  return view;
+}
+
+check::CheckReport lint_delay_milp(const DelayMilp& milp,
+                                   const rt::TaskSet& tasks,
+                                   rt::TaskIndex i, rt::Time t,
+                                   FormulationCase fcase, bool ignore_ls) {
+  return check::lint_formulation(formulation_view(milp), tasks, i, t,
+                                 to_check_case(fcase), ignore_ls);
+}
+
+check::CheckReport verify_patched_equivalence(const DelayMilp& milp,
+                                              const rt::TaskSet& tasks,
+                                              rt::TaskIndex i, rt::Time t,
+                                              FormulationCase fcase,
+                                              bool ignore_ls) {
+  const DelayMilp fresh =
+      build_delay_milp(tasks, i, t, fcase, ignore_ls, milp.patchable_ls);
+  return check::diff_models(milp.model, fresh.model);
+}
+
+}  // namespace mcs::analysis

@@ -1,0 +1,38 @@
+// Adapter from the analysis layer's DelayMilp to the mcs::check audits
+// (check/formulation_lint.hpp), plus the differential patched-vs-fresh
+// verification the engine's debug hooks run.  mcs_check sits below
+// mcs_analysis in the dependency order, so the check library defines its
+// own FormulationView mirror and this header provides the one-line
+// bridge.
+#pragma once
+
+#include "analysis/milp_formulation.hpp"
+#include "check/diagnostics.hpp"
+#include "check/formulation_lint.hpp"
+#include "rt/task.hpp"
+#include "rt/types.hpp"
+
+namespace mcs::analysis {
+
+/// Non-owning check-layer view of a DelayMilp (valid while `milp` lives).
+check::FormulationView formulation_view(const DelayMilp& milp);
+
+/// Audits `milp` against the Section V invariants for the given build /
+/// patch arguments.  Pure; returns the diagnostics.
+check::CheckReport lint_delay_milp(const DelayMilp& milp,
+                                   const rt::TaskSet& tasks,
+                                   rt::TaskIndex i, rt::Time t,
+                                   FormulationCase fcase,
+                                   bool ignore_ls = false);
+
+/// Rebuilds the formulation from scratch with the same arguments and
+/// requires the cache-patched `milp` to be structurally identical
+/// (check::diff_models, zero tolerance).  This is the ground truth the
+/// patch path (`update_delay_milp` + LS-marking patches) must reproduce.
+check::CheckReport verify_patched_equivalence(const DelayMilp& milp,
+                                              const rt::TaskSet& tasks,
+                                              rt::TaskIndex i, rt::Time t,
+                                              FormulationCase fcase,
+                                              bool ignore_ls = false);
+
+}  // namespace mcs::analysis

@@ -1,0 +1,30 @@
+#include "check/check.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace mcs::check {
+
+namespace {
+
+int parse_runtime_level() {
+  const char* env = std::getenv("MCS_CHECK_LEVEL");
+  if (env == nullptr || *env == '\0') {
+    return kCompiledLevel;
+  }
+  char* end = nullptr;
+  const long value = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0') {
+    return kCompiledLevel;  // malformed: keep everything compiled in active
+  }
+  return std::clamp(static_cast<int>(value), 0, kCompiledLevel);
+}
+
+}  // namespace
+
+int runtime_level() noexcept {
+  static const int level = parse_runtime_level();
+  return level;
+}
+
+}  // namespace mcs::check

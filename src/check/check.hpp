@@ -1,0 +1,48 @@
+// Runtime gate for the audit hooks (docs/LINTING.md).
+//
+// MCS_CHECK_LEVEL is a *compile-time* ceiling set by the build system
+// (CMake cache variable of the same name; AUTO = 2 in Debug, 0 in
+// Release).  At level 0 every hook call site folds to `if (false)` and
+// the audits cost nothing — the Release solver path is byte-for-byte
+// unaffected.  When compiled in, the MCS_CHECK_LEVEL *environment
+// variable* can lower the level at run time (it can never exceed the
+// compiled ceiling, since higher-level code does not exist in the
+// binary).
+//
+// Levels:
+//   0  hooks disabled
+//   1  pure lints: every fresh formulation and every cache patch is
+//      audited against the Section V invariants (lint_formulation)
+//   2  differential: additionally rebuild each patched formulation from
+//      scratch and require structural identity (diff_models)
+#pragma once
+
+#ifndef MCS_CHECK_LEVEL
+#define MCS_CHECK_LEVEL 0
+#endif
+
+namespace mcs::check {
+
+inline constexpr int kCompiledLevel = MCS_CHECK_LEVEL;
+
+/// Audit levels accepted by enabled().
+inline constexpr int kLevelLint = 1;
+inline constexpr int kLevelDifferential = 2;
+
+/// Effective level: min(compiled ceiling, MCS_CHECK_LEVEL environment
+/// variable), parsed once.  Returns the compiled ceiling when the
+/// variable is unset or malformed.
+int runtime_level() noexcept;
+
+/// True when hooks of `level` should run.  Constant false (and fully
+/// optimized out) when the build compiled the hooks away.
+inline bool enabled(int level) noexcept {
+  if constexpr (kCompiledLevel == 0) {
+    (void)level;
+    return false;
+  } else {
+    return runtime_level() >= level;
+  }
+}
+
+}  // namespace mcs::check

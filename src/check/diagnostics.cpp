@@ -1,0 +1,199 @@
+#include "check/diagnostics.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <utility>
+
+namespace mcs::check {
+
+const char* to_string(Severity severity) noexcept {
+  switch (severity) {
+    case Severity::kError:
+      return "error";
+    case Severity::kWarning:
+      return "warning";
+  }
+  return "?";
+}
+
+std::size_t CheckReport::error_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [](const Diagnostic& d) {
+                      return d.severity == Severity::kError;
+                    }));
+}
+
+bool CheckReport::has_rule(std::string_view rule) const noexcept {
+  return std::any_of(diagnostics.begin(), diagnostics.end(),
+                     [rule](const Diagnostic& d) { return d.rule == rule; });
+}
+
+void CheckReport::add(std::string rule, Severity severity, std::string object,
+                      std::string message) {
+  diagnostics.push_back(Diagnostic{std::move(rule), severity,
+                                   std::move(object), std::move(message)});
+}
+
+void CheckReport::merge(const CheckReport& other) {
+  diagnostics.insert(diagnostics.end(), other.diagnostics.begin(),
+                     other.diagnostics.end());
+}
+
+std::string render(const Diagnostic& diagnostic) {
+  std::string line = to_string(diagnostic.severity);
+  line += ": ";
+  line += diagnostic.rule;
+  line += ": ";
+  line += diagnostic.object;
+  line += ": ";
+  line += diagnostic.message;
+  return line;
+}
+
+void render(const CheckReport& report, std::ostream& out) {
+  for (const Diagnostic& diagnostic : report.diagnostics) {
+    out << render(diagnostic) << '\n';
+  }
+}
+
+const std::vector<RuleInfo>& rule_catalog() {
+  // docs/LINTING.md mirrors this table entry for entry; tests compare the
+  // two so an ID can never drift from its documentation.
+  static const std::vector<RuleInfo> catalog = {
+      // --- Generic model structure (any lp::Model) -------------------------
+      {"MCS-F001", Severity::kError,
+       "variable bound inversion or NaN bound (lower > upper)",
+       "lp::Model invariant; DESIGN.md §5.5"},
+      {"MCS-F002", Severity::kError,
+       "non-finite model data (constraint coefficient, right-hand side, or "
+       "integral-variable bound)",
+       "lp::Model invariant"},
+      {"MCS-F003", Severity::kError,
+       "binary variable with bounds outside [0, 1]",
+       "lp::Model invariant (binaries are placement indicators)"},
+      {"MCS-F004", Severity::kWarning,
+       "dangling column: variable in no constraint and not in the objective",
+       "formulation hygiene"},
+      {"MCS-F005", Severity::kWarning,
+       "vacuous empty row: constraint with no terms that is trivially true",
+       "formulation hygiene"},
+      {"MCS-F006", Severity::kError,
+       "unsatisfiable empty row: constraint with no terms that can never "
+       "hold",
+       "formulation hygiene"},
+      {"MCS-F007", Severity::kError, "duplicate variable name",
+       "LP-format export requires unique names"},
+      {"MCS-F008", Severity::kError, "duplicate constraint name",
+       "LP-format export requires unique names"},
+      {"MCS-F009", Severity::kError,
+       "constraint references an out-of-range variable index",
+       "lp::Model invariant"},
+      // --- Delay-MILP formulation (paper §V) -------------------------------
+      {"MCS-F101", Severity::kError,
+       "placement-cardinality row malformed: not exactly/at-most one "
+       "execution per scheduling interval",
+       "paper Constraint 5 (§V-A); DESIGN.md §5.5"},
+      {"MCS-F102", Severity::kError,
+       "copy-in cardinality row malformed: not exactly/at-most one copy-in "
+       "per interval",
+       "paper Constraint 6 (§V-A)"},
+      {"MCS-F103", Severity::kError,
+       "binary column outside the placement families (alpha, E, LE, CL)",
+       "paper §V-A variable definitions"},
+      {"MCS-F104", Severity::kError,
+       "interference-budget row disagrees with eta_j(t) + 1 recomputed from "
+       "the arrival curve",
+       "paper Constraint 7; Theorem 1 window N_i(t)"},
+      {"MCS-F105", Severity::kError,
+       "cancellation-budget right-hand side disagrees with the LS release "
+       "budget recomputed from the arrival curves",
+       "rule R3 (§IV-A); cancellation tightening, DESIGN.md §5.5"},
+      {"MCS-F106", Severity::kError,
+       "non-integral coefficient or right-hand side: formulation data must "
+       "stay in whole ticks",
+       "tick model (§II); DESIGN.md §5.1"},
+      {"MCS-F107", Severity::kError,
+       "LS-marking column bounds inconsistent with the task set's current "
+       "latency_sensitive flags",
+       "greedy marking (§VI); patchable build, DESIGN.md §5.10"},
+      {"MCS-F108", Severity::kError,
+       "interval-length variable malformed (not continuous, negative lower "
+       "bound, or unbounded)",
+       "paper Constraints 9-13 (Delta_k definition)"},
+      {"MCS-F109", Severity::kError,
+       "objective is not `maximize sum_k Delta_k`",
+       "paper Eq. 1 (delay maximization)"},
+      {"MCS-F110", Severity::kError,
+       "formulation handle invalid: interval/variable bookkeeping does not "
+       "match the model",
+       "DelayMilp structure; DESIGN.md §5.5"},
+      // --- Structural model diff (patched vs fresh, write vs reparse) ------
+      {"MCS-F201", Severity::kError, "column count mismatch",
+       "cache-patch equivalence; DESIGN.md §5.10"},
+      {"MCS-F202", Severity::kError,
+       "column attribute mismatch (bounds, type, or name)",
+       "cache-patch equivalence"},
+      {"MCS-F203", Severity::kError, "row count mismatch",
+       "cache-patch equivalence"},
+      {"MCS-F204", Severity::kError,
+       "row mismatch (relation, right-hand side, or coefficients)",
+       "cache-patch equivalence"},
+      {"MCS-F205", Severity::kError,
+       "objective mismatch (sense, constant, or coefficients)",
+       "cache-patch equivalence"},
+      // --- Protocol trace audit (paper §IV) --------------------------------
+      {"MCS-P001", Severity::kError,
+       "interval sequencing broken (negative length or overlap)",
+       "Definition 1 (scheduling intervals)"},
+      {"MCS-P002", Severity::kError,
+       "interval length differs from max(CPU, DMA) busy time",
+       "rule R6 (§IV-A)"},
+      {"MCS-P003", Severity::kError,
+       "DMA accounting mismatch (busy time != copy-out + copy-in)",
+       "rule R2 (§IV-A)"},
+      {"MCS-P004", Severity::kError,
+       "copy-in cancellation without a justifying higher-priority LS "
+       "release (or under a protocol without cancellations)",
+       "rule R3 (§IV-A); docs/PROTOCOL.md"},
+      {"MCS-P005", Severity::kError,
+       "urgent promotion of a non-latency-sensitive job",
+       "rule R4 (§IV-A)"},
+      {"MCS-P006", Severity::kError,
+       "urgent execution without a CPU-performed sequential copy-in",
+       "rule R5 (§IV-A), urgent path"},
+      {"MCS-P007", Severity::kError,
+       "execution without a completed copy-in in the adjacent previous "
+       "interval",
+       "rules R2/R5; Property 1 (§IV-B)"},
+      {"MCS-P008", Severity::kError,
+       "copy-out not in the adjacent next interval, or completion "
+       "bookkeeping inconsistent with it",
+       "rule R2; Properties 1-2 (§IV-B)"},
+      {"MCS-P009", Severity::kError,
+       "latency-sensitive job blocked in more than one interval",
+       "Property 4 (§IV-B)"},
+      {"MCS-P010", Severity::kError,
+       "non-latency-sensitive job blocked in more than two intervals",
+       "Property 3 (§IV-B)"},
+      {"MCS-P011", Severity::kError,
+       "job executed or copied out more than once",
+       "three-phase model (§II)"},
+      {"MCS-P012", Severity::kError,
+       "job lifecycle bookkeeping inconsistent (ordering or cancellation "
+       "counter)",
+       "§II job model; trace record contract"},
+  };
+  return catalog;
+}
+
+const RuleInfo* find_rule(std::string_view id) noexcept {
+  for (const RuleInfo& rule : rule_catalog()) {
+    if (id == rule.id) {
+      return &rule;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace mcs::check

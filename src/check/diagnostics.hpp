@@ -1,0 +1,75 @@
+// Machine-readable diagnostics for the mcs::check static-analysis layer.
+//
+// Every check in the subsystem reports through this vocabulary: a stable
+// rule ID (`MCS-F***` for formulation/model rules, `MCS-P***` for protocol
+// trace rules), a severity, the model/trace object the finding anchors to,
+// and a human-readable message.  docs/LINTING.md is the catalogue mapping
+// each ID to the paper equation/rule it guards and its severity rationale;
+// rule_catalog() below is the in-code form the docs and tests check
+// against, so an ID can never silently drift from its documentation.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcs::check {
+
+enum class Severity { kError, kWarning };
+
+const char* to_string(Severity severity) noexcept;
+
+/// One finding.  `rule` is a stable ID from rule_catalog(); `object` names
+/// the element the finding anchors to ("column LE_2_1", "row budget_vision",
+/// "interval 12", "job vision#3").
+struct Diagnostic {
+  std::string rule;
+  Severity severity = Severity::kError;
+  std::string object;
+  std::string message;
+};
+
+/// Result of one lint/audit pass.  `clean()` is the CI gate: no findings at
+/// all (warnings included — a linter that tolerates its own warnings
+/// accumulates them until they hide errors).
+struct CheckReport {
+  std::vector<Diagnostic> diagnostics;
+
+  bool clean() const noexcept { return diagnostics.empty(); }
+  std::size_t error_count() const noexcept;
+  bool has_rule(std::string_view rule) const noexcept;
+
+  void add(std::string rule, Severity severity, std::string object,
+           std::string message);
+  /// Appends every diagnostic of `other` (used to combine passes).
+  void merge(const CheckReport& other);
+};
+
+/// Renders one diagnostic as a single line:
+///   `<severity>: <rule>: <object>: <message>`
+/// — grep-able, one finding per line, stable field order.
+std::string render(const Diagnostic& diagnostic);
+
+/// Renders a whole report, one diagnostic per line, in emission order.
+void render(const CheckReport& report, std::ostream& out);
+
+/// Catalogue entry for one rule ID: what it guards and where in the paper
+/// the guarded invariant comes from.
+struct RuleInfo {
+  const char* id;
+  Severity severity;
+  const char* summary;    ///< one-line description of the invariant
+  const char* reference;  ///< paper equation/rule / DESIGN.md anchor
+};
+
+/// Every rule the subsystem can emit, ordered by ID.  Tests assert that
+/// emitted diagnostics use catalogued IDs and severities, and
+/// docs/LINTING.md mirrors this table.
+const std::vector<RuleInfo>& rule_catalog();
+
+/// Catalogue lookup; nullptr for an unknown ID.
+const RuleInfo* find_rule(std::string_view id) noexcept;
+
+}  // namespace mcs::check

@@ -1,0 +1,57 @@
+// Domain linter for the paper's delay-maximization MILP (§V).
+//
+// Audits an assembled formulation against the Section V invariants,
+// *recomputing* every window-dependent quantity (interference budgets
+// eta_j(t) + 1, the LS release budget, interval counts) directly from the
+// task set's arrival curves — deliberately NOT by calling the analysis
+// layer's own window code, so a bug there cannot certify itself.  The
+// pass is pure and side-effect-free.
+//
+// The view struct mirrors analysis::DelayMilp without depending on the
+// analysis library (mcs_check sits below mcs_analysis so the engine can
+// run these audits from its debug hooks); analysis/lint.hpp provides the
+// one-line adapter from a DelayMilp.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "check/diagnostics.hpp"
+#include "lp/model.hpp"
+#include "rt/task.hpp"
+#include "rt/types.hpp"
+
+namespace mcs::check {
+
+/// Mirror of analysis::FormulationCase (kept in sync by the adapter).
+enum class FormulationCase { kNls, kLsCaseA, kLsCaseB };
+
+/// Read-only view of an assembled delay MILP: the model plus the handle
+/// bookkeeping needed to interpret its columns and rows.  Invalid VarId
+/// (index == npos) marks a structurally absent column, as in DelayMilp.
+struct FormulationView {
+  const lp::Model* model = nullptr;
+  std::size_t num_intervals = 0;
+  std::vector<lp::VarId> delta_vars;
+  std::vector<lp::VarId> alpha_vars;
+  std::vector<std::vector<lp::VarId>> exec_vars;
+  std::vector<std::vector<lp::VarId>> urgent_vars;
+  std::vector<std::vector<lp::VarId>> cancel_vars;
+  std::vector<std::size_t> budget_constraints;
+  std::size_t cancellation_budget_constraint = kNoConstraint;
+  bool patchable_ls = false;
+
+  static constexpr std::size_t kNoConstraint = static_cast<std::size_t>(-1);
+};
+
+/// Audits `view` as the formulation for task `i` over a window of length
+/// `t` under `fcase` / `ignore_ls` (the same arguments the builder / the
+/// patcher were last called with).  Emitted rules: MCS-F101..F110 plus the
+/// generic MCS-F0xx structure rules via lint_model.  Empty report == the
+/// model is exactly the Section V program for these inputs.
+CheckReport lint_formulation(const FormulationView& view,
+                             const rt::TaskSet& tasks, rt::TaskIndex i,
+                             rt::Time t, FormulationCase fcase,
+                             bool ignore_ls = false);
+
+}  // namespace mcs::check

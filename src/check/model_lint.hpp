@@ -1,0 +1,40 @@
+// Generic structural linting and differential comparison of lp::Model.
+//
+// Pure, side-effect-free audit passes: nothing here mutates a model, takes
+// locks, or depends on solver state, so the passes are safe to run from
+// debug hooks inside the analysis engine as well as from the standalone
+// `mcs_lint` tool.  Rule IDs are catalogued in check/diagnostics.hpp and
+// docs/LINTING.md.
+#pragma once
+
+#include "check/diagnostics.hpp"
+#include "lp/model.hpp"
+
+namespace mcs::check {
+
+/// Structural audit of any model: bound sanity (MCS-F001/F003), finiteness
+/// (MCS-F002), dangling columns (MCS-F004), empty rows (MCS-F005/F006),
+/// name uniqueness (MCS-F007/F008), and index validity (MCS-F009).
+CheckReport lint_model(const lp::Model& model);
+
+struct DiffOptions {
+  /// Compare variable / constraint names too.  Off when diffing a written
+  /// + reparsed model, whose names went through LP-format sanitization.
+  bool compare_names = true;
+  /// Absolute tolerance for coefficient / bound / rhs comparison.  The
+  /// default 0.0 demands bit-identical data — the contract for cache
+  /// patches; the LP round-trip uses it too since the writer prints
+  /// losslessly.
+  double tolerance = 0.0;
+};
+
+/// Structural equivalence check: reports every difference between `a` and
+/// `b` (MCS-F201..F205).  Constraints are compared row by row in order with
+/// normalized (sorted, merged) coefficient lists, so models built through
+/// different code paths compare equal iff they define the same polytope
+/// row for row.  An empty report means `a` and `b` are interchangeable for
+/// any solver.
+CheckReport diff_models(const lp::Model& a, const lp::Model& b,
+                        const DiffOptions& options = {});
+
+}  // namespace mcs::check

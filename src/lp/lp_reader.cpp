@@ -1,0 +1,458 @@
+#include "lp/lp_reader.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <istream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace mcs::lp {
+
+namespace {
+
+enum class Section {
+  kPreamble,
+  kObjective,
+  kConstraints,
+  kBounds,
+  kGenerals,
+  kBinaries,
+  kEnd,
+};
+
+struct ParsedConstraint {
+  std::string name;
+  std::vector<std::pair<std::string, double>> terms;
+  double lhs_constant = 0.0;
+  Relation relation = Relation::kLe;
+  double rhs = 0.0;
+};
+
+struct ParsedBounds {
+  double lower = 0.0;
+  double upper = kInfinity;
+};
+
+std::string lower_copy(std::string text) {
+  for (char& c : text) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return text;
+}
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw LpParseError("lp format, line " + std::to_string(line) + ": " +
+                     message);
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) {
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+bool parse_number(const std::string& token, double* value) {
+  if (token.empty()) {
+    return false;
+  }
+  // Reject name-like tokens up front; strtod would accept "inf"/"nan".
+  const char first = token.front();
+  if (std::isalpha(static_cast<unsigned char>(first)) != 0 || first == '_') {
+    return false;
+  }
+  char* end = nullptr;
+  *value = std::strtod(token.c_str(), &end);
+  return end == token.c_str() + token.size();
+}
+
+bool is_relation(const std::string& token, Relation* relation) {
+  if (token == "<=" || token == "<" || token == "=<") {
+    *relation = Relation::kLe;
+    return true;
+  }
+  if (token == ">=" || token == ">" || token == "=>") {
+    *relation = Relation::kGe;
+    return true;
+  }
+  if (token == "=") {
+    *relation = Relation::kEq;
+    return true;
+  }
+  return false;
+}
+
+/// Parses `[+|-] [coef] name | [+|-] constant` sequences from
+/// tokens[begin, end).
+void parse_expr(const std::vector<std::string>& tokens, std::size_t begin,
+                std::size_t end, std::size_t line,
+                std::vector<std::pair<std::string, double>>* terms,
+                double* constant) {
+  double sign = 1.0;
+  bool have_sign = false;
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::string& token = tokens[i];
+    if (token == "+" || token == "-") {
+      if (have_sign) {
+        fail(line, "consecutive signs in expression");
+      }
+      sign = token == "-" ? -1.0 : 1.0;
+      have_sign = true;
+      continue;
+    }
+    double value = 0.0;
+    if (parse_number(token, &value)) {
+      if (i + 1 < end && !parse_number(tokens[i + 1], &value) &&
+          tokens[i + 1] != "+" && tokens[i + 1] != "-") {
+        double coef = 0.0;
+        parse_number(token, &coef);
+        terms->emplace_back(tokens[i + 1], sign * coef);
+        ++i;
+      } else {
+        double c = 0.0;
+        parse_number(token, &c);
+        *constant += sign * c;
+      }
+    } else {
+      terms->emplace_back(token, sign);
+    }
+    sign = 1.0;
+    have_sign = false;
+  }
+  if (have_sign) {
+    fail(line, "dangling sign at end of expression");
+  }
+}
+
+class Builder {
+ public:
+  std::size_t index_of(const std::string& name) {
+    const auto it = index_.find(name);
+    if (it != index_.end()) {
+      return it->second;
+    }
+    const std::size_t index = order_.size();
+    index_.emplace(name, index);
+    order_.push_back(name);
+    bounds_.push_back(std::nullopt);
+    types_.push_back(VarType::kContinuous);
+    return index;
+  }
+
+  void set_bounds(const std::string& name, ParsedBounds bounds) {
+    bounds_[index_of(name)] = bounds;
+  }
+
+  void set_type(const std::string& name, VarType type) {
+    types_[index_of(name)] = type;
+  }
+
+  LinExpr expr_of(const std::vector<std::pair<std::string, double>>& terms,
+                  double constant, const std::vector<VarId>& ids,
+                  std::size_t line) const {
+    LinExpr expr(constant);
+    for (const auto& [name, coef] : terms) {
+      const auto it = index_.find(name);
+      if (it == index_.end()) {
+        fail(line, "unknown variable '" + name + "'");
+      }
+      expr.add_term(ids[it->second], coef);
+    }
+    return expr;
+  }
+
+  std::vector<VarId> install_variables(Model* model) const {
+    std::vector<VarId> ids;
+    ids.reserve(order_.size());
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+      const VarType type = types_[i];
+      // Defaults per LP format: continuous/integer in [0, +inf), binary
+      // in [0, 1]; an explicit Bounds entry overrides.
+      ParsedBounds bounds;
+      if (type == VarType::kBinary) {
+        bounds.upper = 1.0;
+      }
+      if (bounds_[i].has_value()) {
+        bounds = *bounds_[i];
+      }
+      VarId id;
+      switch (type) {
+        case VarType::kContinuous:
+          id = model->add_continuous(bounds.lower, bounds.upper, order_[i]);
+          break;
+        case VarType::kBinary:
+          id = model->add_binary(order_[i]);
+          model->set_bounds(id, bounds.lower, bounds.upper);
+          break;
+        case VarType::kInteger:
+          id = model->add_integer(bounds.lower, bounds.upper, order_[i]);
+          break;
+      }
+      ids.push_back(id);
+    }
+    return ids;
+  }
+
+ private:
+  std::unordered_map<std::string, std::size_t> index_;
+  std::vector<std::string> order_;
+  std::vector<std::optional<ParsedBounds>> bounds_;
+  std::vector<VarType> types_;
+};
+
+double parse_bound_value(const std::string& token, std::size_t line) {
+  const std::string low = lower_copy(token);
+  if (low == "-inf" || low == "-infinity") {
+    return -kInfinity;
+  }
+  if (low == "inf" || low == "+inf" || low == "infinity" ||
+      low == "+infinity") {
+    return kInfinity;
+  }
+  double value = 0.0;
+  if (!parse_number(token, &value)) {
+    fail(line, "expected a bound value, got '" + token + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+Model read_lp_format(std::istream& in) {
+  // --- Split into comment-stripped lines per section -----------------------
+  Section section = Section::kPreamble;
+  Sense sense = Sense::kMinimize;
+  std::vector<std::pair<std::size_t, std::string>> objective_lines;
+  std::vector<std::pair<std::size_t, std::string>> constraint_lines;
+  std::vector<std::pair<std::size_t, std::string>> bounds_lines;
+  std::vector<std::pair<std::size_t, std::string>> generals_lines;
+  std::vector<std::pair<std::size_t, std::string>> binaries_lines;
+
+  std::string raw;
+  std::size_t line_no = 0;
+  bool saw_objective_header = false;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::size_t comment = raw.find('\\');
+    if (comment != std::string::npos) {
+      raw.erase(comment);
+    }
+    const std::string trimmed_lower = lower_copy(raw);
+    const auto first_char = trimmed_lower.find_first_not_of(" \t\r");
+    if (first_char == std::string::npos) {
+      continue;
+    }
+    const auto last_char = trimmed_lower.find_last_not_of(" \t\r");
+    const std::string keyword =
+        trimmed_lower.substr(first_char, last_char - first_char + 1);
+
+    if (keyword == "maximize" || keyword == "maximise" || keyword == "max") {
+      sense = Sense::kMaximize;
+      section = Section::kObjective;
+      saw_objective_header = true;
+      continue;
+    }
+    if (keyword == "minimize" || keyword == "minimise" || keyword == "min") {
+      sense = Sense::kMinimize;
+      section = Section::kObjective;
+      saw_objective_header = true;
+      continue;
+    }
+    if (keyword == "subject to" || keyword == "such that" ||
+        keyword == "st" || keyword == "s.t." || keyword == "st.") {
+      section = Section::kConstraints;
+      continue;
+    }
+    if (keyword == "bounds" || keyword == "bound") {
+      section = Section::kBounds;
+      continue;
+    }
+    if (keyword == "generals" || keyword == "general" ||
+        keyword == "integers" || keyword == "integer") {
+      section = Section::kGenerals;
+      continue;
+    }
+    if (keyword == "binaries" || keyword == "binary" || keyword == "bin") {
+      section = Section::kBinaries;
+      continue;
+    }
+    if (keyword == "end") {
+      section = Section::kEnd;
+      continue;
+    }
+
+    switch (section) {
+      case Section::kPreamble:
+        fail(line_no, "content before the objective sense keyword");
+      case Section::kObjective:
+        objective_lines.emplace_back(line_no, raw);
+        break;
+      case Section::kConstraints:
+        constraint_lines.emplace_back(line_no, raw);
+        break;
+      case Section::kBounds:
+        bounds_lines.emplace_back(line_no, raw);
+        break;
+      case Section::kGenerals:
+        generals_lines.emplace_back(line_no, raw);
+        break;
+      case Section::kBinaries:
+        binaries_lines.emplace_back(line_no, raw);
+        break;
+      case Section::kEnd:
+        fail(line_no, "content after End");
+    }
+  }
+  if (!saw_objective_header) {
+    fail(line_no, "missing Maximize/Minimize section");
+  }
+
+  Builder builder;
+
+  // --- Bounds first: the writer lists every column here in order, which
+  // pins the reader's variable indices to the source model's.
+  for (const auto& [line, text] : bounds_lines) {
+    const std::vector<std::string> tokens = tokenize(text);
+    if (tokens.empty()) {
+      continue;
+    }
+    ParsedBounds bounds;
+    if (tokens.size() == 2 && lower_copy(tokens[1]) == "free") {
+      bounds.lower = -kInfinity;
+      bounds.upper = kInfinity;
+      builder.set_bounds(tokens[0], bounds);
+      continue;
+    }
+    Relation relation = Relation::kLe;
+    if (tokens.size() == 3 && is_relation(tokens[1], &relation)) {
+      // "lb <= name" or "name <= ub" (also >= mirrored).
+      double value = 0.0;
+      const bool first_is_value = parse_number(tokens[0], &value) ||
+                                  lower_copy(tokens[0]).find("inf") !=
+                                      std::string::npos;
+      const std::string& name = first_is_value ? tokens[2] : tokens[0];
+      const double bound =
+          parse_bound_value(first_is_value ? tokens[0] : tokens[2], line);
+      const bool is_lower = first_is_value == (relation == Relation::kLe);
+      if (relation == Relation::kEq) {
+        bounds.lower = bounds.upper = bound;
+      } else if (is_lower) {
+        bounds.lower = bound;
+      } else {
+        bounds.upper = bound;
+      }
+      builder.set_bounds(name, bounds);
+      continue;
+    }
+    if (tokens.size() == 5 && is_relation(tokens[1], &relation) &&
+        relation == Relation::kLe && tokens[3] == tokens[1]) {
+      bounds.lower = parse_bound_value(tokens[0], line);
+      bounds.upper = parse_bound_value(tokens[4], line);
+      builder.set_bounds(tokens[2], bounds);
+      continue;
+    }
+    fail(line, "unrecognized bounds entry '" + text + "'");
+  }
+  for (const auto& entry : generals_lines) {
+    for (const std::string& name : tokenize(entry.second)) {
+      builder.set_type(name, VarType::kInteger);
+    }
+  }
+  for (const auto& entry : binaries_lines) {
+    for (const std::string& name : tokenize(entry.second)) {
+      builder.set_type(name, VarType::kBinary);
+    }
+  }
+
+  // --- Objective -----------------------------------------------------------
+  std::vector<std::pair<std::string, double>> objective_terms;
+  double objective_constant = 0.0;
+  {
+    std::vector<std::string> tokens;
+    std::size_t first_line = 0;
+    for (const auto& [line, text] : objective_lines) {
+      if (first_line == 0) {
+        first_line = line;
+      }
+      for (std::string& token : tokenize(text)) {
+        tokens.push_back(std::move(token));
+      }
+    }
+    std::size_t begin = 0;
+    if (!tokens.empty() && tokens[0].back() == ':') {
+      begin = 1;
+    } else if (tokens.size() > 1 && tokens[1] == ":") {
+      begin = 2;
+    }
+    parse_expr(tokens, begin, tokens.size(), first_line, &objective_terms,
+               &objective_constant);
+    // Register objective-only variables (after Bounds, preserving order).
+    for (const auto& term : objective_terms) {
+      builder.index_of(term.first);
+    }
+  }
+
+  // --- Constraints ---------------------------------------------------------
+  std::vector<ParsedConstraint> parsed_constraints;
+  for (const auto& [line, text] : constraint_lines) {
+    std::vector<std::string> tokens = tokenize(text);
+    if (tokens.empty()) {
+      continue;
+    }
+    ParsedConstraint row;
+    std::size_t begin = 0;
+    if (tokens[0].back() == ':') {
+      row.name = tokens[0].substr(0, tokens[0].size() - 1);
+      begin = 1;
+    } else if (tokens.size() > 1 && tokens[1] == ":") {
+      row.name = tokens[0];
+      begin = 2;
+    }
+    std::size_t rel_at = tokens.size();
+    for (std::size_t i = begin; i < tokens.size(); ++i) {
+      if (is_relation(tokens[i], &row.relation)) {
+        rel_at = i;
+      }
+    }
+    if (rel_at == tokens.size()) {
+      fail(line, "constraint without a relation operator");
+    }
+    if (rel_at + 2 != tokens.size()) {
+      fail(line, "constraint right-hand side must be a single value");
+    }
+    if (!parse_number(tokens[rel_at + 1], &row.rhs)) {
+      fail(line, "non-numeric right-hand side '" + tokens[rel_at + 1] + "'");
+    }
+    parse_expr(tokens, begin, rel_at, line, &row.terms, &row.lhs_constant);
+    for (const auto& term : row.terms) {
+      builder.index_of(term.first);
+    }
+    parsed_constraints.push_back(std::move(row));
+  }
+
+  // --- Assemble the model --------------------------------------------------
+  Model model;
+  const std::vector<VarId> ids = builder.install_variables(&model);
+  model.set_objective(
+      sense, builder.expr_of(objective_terms, objective_constant, ids, 0));
+  for (const ParsedConstraint& row : parsed_constraints) {
+    model.add_constraint(
+        builder.expr_of(row.terms, row.lhs_constant, ids, 0), row.relation,
+        LinExpr(row.rhs), row.name);
+  }
+  return model;
+}
+
+Model read_lp_format(const std::string& text) {
+  std::istringstream in(text);
+  return read_lp_format(in);
+}
+
+}  // namespace mcs::lp

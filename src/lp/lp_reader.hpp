@@ -1,0 +1,35 @@
+// CPLEX-LP-format reader for the subset lp_writer emits.
+//
+// Parses Maximize/Minimize, `Subject To`, `Bounds`, `Generals`,
+// `Binaries`, `End` with `\`-comments, case-insensitive section keywords,
+// and expressions in the spaced `[+|-] coef name` form the writer
+// produces.  Round-trip contract: for any model M,
+// `read_lp_format(to_lp_format(M))` is structurally identical to M up to
+// name sanitization — column for column, row for row — which
+// check::diff_models verifies with `compare_names = false`.  Column order
+// is recovered from the `Bounds` section (the writer enumerates every
+// variable there in column order); names met only in expressions are
+// appended in first-appearance order, so foreign LP files load too.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "lp/model.hpp"
+
+namespace mcs::lp {
+
+/// Thrown on malformed input; the message carries the 1-based line number.
+class LpParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses an LP-format document.  Throws LpParseError on malformed input.
+Model read_lp_format(std::istream& in);
+
+/// Convenience overload for in-memory documents.
+Model read_lp_format(const std::string& text);
+
+}  // namespace mcs::lp

@@ -1,20 +1,25 @@
 #include "lp/lp_writer.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <ostream>
 #include <sstream>
+#include <unordered_set>
 #include <vector>
+
+#include "support/contracts.hpp"
 
 namespace mcs::lp {
 
 namespace {
 
-/// LP-format-safe variable names: keep [A-Za-z0-9_], never start with a
-/// digit or 'e'/'E' (which the format reads as part of a number).
-std::string sanitize(const std::string& name, std::size_t index) {
+/// LP-format-safe names: keep [A-Za-z0-9_], never start with a digit or
+/// 'e'/'E' (which the format reads as part of a number).
+std::string sanitize(const std::string& name, std::size_t index,
+                     char fallback_prefix) {
   if (name.empty()) {
-    return "x" + std::to_string(index);
+    return fallback_prefix + std::to_string(index);
   }
   std::string out;
   out.reserve(name.size());
@@ -29,16 +34,40 @@ std::string sanitize(const std::string& name, std::size_t index) {
   return out;
 }
 
+/// Sanitized names with collisions resolved: two distinct model names that
+/// sanitize identically (e.g. "a.b" and "a_b") would otherwise alias in
+/// the export and break any reader.  Deterministic: suffix the entity's
+/// index, then widen until free.
+std::vector<std::string> unique_names(const std::vector<std::string>& raw,
+                                      char fallback_prefix) {
+  std::vector<std::string> names;
+  names.reserve(raw.size());
+  std::unordered_set<std::string> used;
+  used.reserve(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    std::string candidate = sanitize(raw[i], i, fallback_prefix);
+    while (!used.insert(candidate).second) {
+      candidate += "_" + std::to_string(i);
+    }
+    names.push_back(std::move(candidate));
+  }
+  return names;
+}
+
 void write_number(std::ostream& out, double value) {
-  // LP format accepts plain decimal; print losslessly.
-  std::ostringstream buf;
-  buf.precision(17);
-  buf << value;
-  out << buf.str();
+  // LP format accepts plain decimal or scientific; print losslessly
+  // without paying for a stringstream per number (same idiom as
+  // support/csv.cpp).
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value,
+                                       std::chars_format::general, 17);
+  MCS_ASSERT(ec == std::errc{}, "to_chars(double) failed");
+  out.write(buf, ptr - buf);
 }
 
 void write_expr(std::ostream& out, const LinExpr& expr,
-                const std::vector<std::string>& names) {
+                const std::vector<std::string>& names,
+                bool include_constant = false) {
   const LinExpr normal = expr.normalized();
   bool first = true;
   for (const auto& [var, coef] : normal.terms()) {
@@ -51,6 +80,15 @@ void write_expr(std::ostream& out, const LinExpr& expr,
     out << ' ' << names[var];
     first = false;
   }
+  if (include_constant && normal.constant() != 0.0) {
+    if (normal.constant() >= 0.0) {
+      out << (first ? "" : " + ");
+    } else {
+      out << (first ? "- " : " - ");
+    }
+    write_number(out, std::abs(normal.constant()));
+    first = false;
+  }
   if (first) {
     out << "0";
   }
@@ -59,27 +97,29 @@ void write_expr(std::ostream& out, const LinExpr& expr,
 }  // namespace
 
 void write_lp_format(const Model& model, std::ostream& out) {
-  std::vector<std::string> names;
-  names.reserve(model.num_variables());
-  for (std::size_t i = 0; i < model.num_variables(); ++i) {
-    names.push_back(sanitize(model.variables()[i].name, i));
+  std::vector<std::string> raw_vars;
+  raw_vars.reserve(model.num_variables());
+  for (const Variable& v : model.variables()) {
+    raw_vars.push_back(v.name);
   }
+  const std::vector<std::string> names = unique_names(raw_vars, 'x');
+  std::vector<std::string> raw_rows;
+  raw_rows.reserve(model.num_constraints());
+  for (const Constraint& c : model.constraints()) {
+    raw_rows.push_back(c.name);
+  }
+  const std::vector<std::string> labels = unique_names(raw_rows, 'c');
 
   out << (model.objective_sense() == Sense::kMaximize ? "Maximize"
                                                       : "Minimize")
       << "\n obj: ";
-  write_expr(out, model.objective(), names);
-  // The LP format has no objective constant; emit it as a comment.
-  if (model.objective().normalized().constant() != 0.0) {
-    out << "\n\\ objective constant: ";
-    write_number(out, model.objective().normalized().constant());
-  }
+  // A constant objective term is legal in the CPLEX LP format and must be
+  // part of the expression — a comment would silently drop it on reparse.
+  write_expr(out, model.objective(), names, /*include_constant=*/true);
   out << "\nSubject To\n";
   for (std::size_t r = 0; r < model.num_constraints(); ++r) {
     const Constraint& c = model.constraints()[r];
-    const std::string label =
-        c.name.empty() ? "c" + std::to_string(r) : sanitize(c.name, r);
-    out << ' ' << label << ": ";
+    out << ' ' << labels[r] << ": ";
     write_expr(out, c.lhs, names);
     switch (c.relation) {
       case Relation::kLe:

@@ -254,7 +254,12 @@ ScopedTimer::ScopedTimer(const char* name) noexcept
 ScopedTimer::~ScopedTimer() {
   if (!armed_) return;
   const auto elapsed = std::chrono::steady_clock::now() - start_;
-  add_time(name_, std::chrono::duration<double>(elapsed).count());
+  try {
+    add_time(name_, std::chrono::duration<double>(elapsed).count());
+  } catch (...) {
+    // add_time allocates; an OOM during unwinding must not terminate the
+    // process over a telemetry sample.
+  }
 }
 
 }  // namespace mcs::support::telemetry

@@ -69,15 +69,19 @@ void ThreadPool::worker_loop() {
     } catch (...) {
       error = std::current_exception();
     }
+    bool drained = false;
     {
       std::unique_lock lock(mutex_);
       if (error && !first_error_) {
         first_error_ = std::move(error);
       }
       --in_flight_;
-      if (queue_.empty() && in_flight_ == 0) {
-        idle_.notify_all();
-      }
+      drained = queue_.empty() && in_flight_ == 0;
+    }
+    if (drained) {
+      // Notify after unlocking so waiters don't wake straight into a held
+      // mutex.
+      idle_.notify_all();
     }
   }
 }

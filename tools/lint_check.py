@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Static-analysis gate for CI: runs mcs_lint over the repo's corpora.
+
+Drives the mcs_lint binary (tools/mcs_lint.cpp) across everything the
+repository commits that the linter can audit:
+
+  * every workload in workloads/*.wl — formulation lint (MCS-F1xx),
+    differential patched-vs-fresh verification (MCS-F2xx), and the LP
+    writer round-trip, for every formulation case the analysis engine
+    would build;
+  * every LP file passed explicitly or found under the given extra
+    directories (*.lp) — generic model lint (MCS-F0xx) plus round-trip;
+  * every exported trace pair (<stem>.intervals.csv + <stem>.jobs.csv
+    next to a <stem>.wl) — protocol-invariant audit (MCS-P0xx).
+
+The gate fails (exit 1) when any corpus member produces a diagnostic —
+warnings included, matching CheckReport::clean() — or when mcs_lint
+itself errors.  A missing binary or an empty corpus is a configuration
+error (exit 2): a gate that silently checks nothing is worse than none.
+
+Usage:
+  tools/lint_check.py <mcs_lint binary> [corpus dirs...]
+
+With no corpus dirs, defaults to workloads/ relative to this script's
+repository root.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+
+def run_lint(binary, args):
+    """Runs one mcs_lint invocation; returns (ok, output)."""
+    proc = subprocess.run(
+        [str(binary)] + [str(a) for a in args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    return proc.returncode == 0, proc.stdout
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    binary = pathlib.Path(argv[1])
+    if not binary.exists():
+        print(f"lint_check: mcs_lint binary not found: {binary}")
+        return 2
+
+    repo_root = pathlib.Path(__file__).resolve().parent.parent
+    corpus_dirs = [pathlib.Path(d) for d in argv[2:]] or [
+        repo_root / "workloads"
+    ]
+
+    jobs = []  # (label, mcs_lint args)
+    for corpus in corpus_dirs:
+        if not corpus.is_dir():
+            print(f"lint_check: not a directory: {corpus}")
+            return 2
+        for wl in sorted(corpus.glob("*.wl")):
+            jobs.append((f"workload {wl.name}", ["workload", wl]))
+            intervals = wl.with_suffix(".intervals.csv")
+            job_csv = wl.with_suffix(".jobs.csv")
+            if intervals.exists() and job_csv.exists():
+                jobs.append(
+                    (f"trace {intervals.name}", ["trace", wl, intervals, job_csv])
+                )
+        for lp in sorted(corpus.glob("*.lp")):
+            jobs.append((f"lp {lp.name}", ["lp", lp]))
+
+    if not jobs:
+        print(f"lint_check: empty corpus in {[str(d) for d in corpus_dirs]}")
+        return 2
+
+    failures = 0
+    for label, args in jobs:
+        ok, output = run_lint(binary, args)
+        status = "ok" if ok else "FAIL"
+        print(f"[{status}] {label}")
+        if not ok:
+            failures += 1
+            sys.stdout.write(output)
+
+    if failures:
+        print(f"lint_check: {failures}/{len(jobs)} corpus member(s) failed")
+        return 1
+    print(f"lint_check: {len(jobs)} corpus member(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

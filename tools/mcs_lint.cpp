@@ -1,0 +1,275 @@
+// mcs_lint — standalone front end to the mcs::check static-analysis layer.
+//
+//   mcs_lint workload <file> [--task=<name>] [--window=<ticks>]
+//       Builds every delay-MILP formulation the analysis engine would use
+//       for the workload (fresh and cache-patched, per case and LS mode),
+//       lints each against the Section V invariants, differentially
+//       verifies patched == fresh, and round-trips each model through the
+//       LP writer/reader.
+//   mcs_lint lp <file>
+//       Parses a CPLEX-LP-format file, runs the generic model lints
+//       (MCS-F0xx), and verifies the write->reparse round trip.
+//   mcs_lint trace <workload> <intervals.csv> <jobs.csv>
+//             [--protocol=proposed|wp|nps]
+//       Re-imports an exported trace and audits it against the protocol
+//       invariants R1-R6 / Properties 1-4 (MCS-P0xx).
+//   mcs_lint rules
+//       Prints the rule catalogue (ID, severity, summary, reference).
+//
+// Exit status: 0 when every report is clean, 1 when any diagnostic was
+// emitted (warnings included — see CheckReport::clean()), 2 on usage or
+// input errors.  Diagnostics go to stdout, one per line, prefixed with the
+// context that produced them.
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.hpp"
+#include "analysis/milp_formulation.hpp"
+#include "check/diagnostics.hpp"
+#include "check/model_lint.hpp"
+#include "check/trace_audit.hpp"
+#include "lp/lp_reader.hpp"
+#include "lp/lp_writer.hpp"
+#include "rt/io.hpp"
+#include "sim/trace_import.hpp"
+
+using namespace mcs;
+
+namespace {
+
+int usage() {
+  std::cerr <<
+      "usage:\n"
+      "  mcs_lint workload <file> [--task=<name>] [--window=<ticks>]\n"
+      "  mcs_lint lp <file>\n"
+      "  mcs_lint trace <workload> <intervals.csv> <jobs.csv>\n"
+      "            [--protocol=proposed|wp|nps]\n"
+      "  mcs_lint rules\n";
+  return 2;
+}
+
+std::optional<std::string> option(int argc, char** argv, const char* key) {
+  const std::string prefix = std::string("--") + key + "=";
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return std::string(argv[i] + prefix.size());
+    }
+  }
+  return std::nullopt;
+}
+
+/// Prints a report with a context prefix; returns the number of findings.
+std::size_t report_findings(const std::string& context,
+                            const check::CheckReport& report) {
+  for (const check::Diagnostic& d : report.diagnostics) {
+    std::cout << context << ": " << check::render(d) << "\n";
+  }
+  return report.diagnostics.size();
+}
+
+/// Write -> reparse -> diff self-check of the LP writer (positional
+/// identity; names may be sanitized, so they are excluded).
+check::CheckReport roundtrip_check(const lp::Model& model) {
+  check::CheckReport report;
+  try {
+    const lp::Model reparsed = lp::read_lp_format(lp::to_lp_format(model));
+    check::DiffOptions diff_options;
+    diff_options.compare_names = false;
+    report = check::diff_models(model, reparsed, diff_options);
+  } catch (const lp::LpParseError& e) {
+    report.add("MCS-F201", check::Severity::kError, "model",
+               std::string("LP writer output does not reparse: ") + e.what());
+  }
+  return report;
+}
+
+/// Lints one (task, case, mode) formulation the way the engine uses it:
+/// fresh build, then the patch path re-targeted to the same arguments,
+/// then the differential patched-vs-fresh comparison, then the LP
+/// round trip.  Returns the total finding count.
+std::size_t lint_one_formulation(const rt::TaskSet& tasks, rt::TaskIndex i,
+                                 rt::Time t, analysis::FormulationCase fcase,
+                                 bool ignore_ls) {
+  std::ostringstream context;
+  context << tasks[i].name << " case=" << analysis::to_string(fcase)
+          << " t=" << t << (ignore_ls ? " ignore-ls" : "");
+
+  const bool patchable = !ignore_ls;
+  analysis::DelayMilp milp =
+      analysis::build_delay_milp(tasks, i, t, fcase, ignore_ls, patchable);
+
+  std::size_t findings = report_findings(
+      context.str() + " [fresh]",
+      analysis::lint_delay_milp(milp, tasks, i, t, fcase, ignore_ls));
+
+  analysis::update_delay_milp(milp, tasks, i, t, ignore_ls);
+  findings += report_findings(
+      context.str() + " [patched]",
+      analysis::lint_delay_milp(milp, tasks, i, t, fcase, ignore_ls));
+  findings += report_findings(
+      context.str() + " [diff]",
+      analysis::verify_patched_equivalence(milp, tasks, i, t, fcase,
+                                           ignore_ls));
+  findings += report_findings(context.str() + " [roundtrip]",
+                              roundtrip_check(milp.model));
+  return findings;
+}
+
+int cmd_workload(const std::string& path, int argc, char** argv) {
+  rt::Workload workload;
+  try {
+    workload = rt::load_workload_file(path);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  const rt::TaskSet& tasks = workload.tasks;
+
+  const std::optional<std::string> only = option(argc, argv, "task");
+  std::optional<rt::Time> window;
+  if (const auto w = option(argc, argv, "window")) {
+    try {
+      window = static_cast<rt::Time>(std::stoll(*w));
+    } catch (const std::exception&) {
+      std::cerr << "error: malformed --window '" << *w << "'\n";
+      return 2;
+    }
+  }
+
+  std::size_t findings = 0;
+  bool matched = false;
+  for (rt::TaskIndex i = 0; i < tasks.size(); ++i) {
+    if (only && tasks[i].name != *only) {
+      continue;
+    }
+    matched = true;
+    const rt::Time t = window.value_or(tasks[i].deadline);
+    // The engine analyzes every task as NLS for the baseline protocol
+    // (ignore_ls) and under the current marking; LS tasks additionally get
+    // the Case A / Case B windows of Corollary 1.
+    findings += lint_one_formulation(tasks, i, t,
+                                     analysis::FormulationCase::kNls, true);
+    findings += lint_one_formulation(tasks, i, t,
+                                     analysis::FormulationCase::kNls, false);
+    if (tasks[i].latency_sensitive) {
+      findings += lint_one_formulation(
+          tasks, i, t, analysis::FormulationCase::kLsCaseA, false);
+      findings += lint_one_formulation(
+          tasks, i, 0, analysis::FormulationCase::kLsCaseB, false);
+    }
+  }
+  if (only && !matched) {
+    std::cerr << "error: no task named '" << *only << "'\n";
+    return 2;
+  }
+  if (findings == 0) {
+    std::cout << "clean: " << path << "\n";
+    return 0;
+  }
+  std::cout << findings << " finding(s) in " << path << "\n";
+  return 1;
+}
+
+int cmd_lp(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "error: cannot open " << path << "\n";
+    return 2;
+  }
+  lp::Model model;
+  try {
+    model = lp::read_lp_format(in);
+  } catch (const lp::LpParseError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+
+  std::size_t findings = report_findings(path, check::lint_model(model));
+  findings += report_findings(path + " [roundtrip]", roundtrip_check(model));
+  if (findings == 0) {
+    std::cout << "clean: " << path << "\n";
+    return 0;
+  }
+  std::cout << findings << " finding(s) in " << path << "\n";
+  return 1;
+}
+
+int cmd_trace(const std::string& workload_path,
+              const std::string& intervals_path, const std::string& jobs_path,
+              int argc, char** argv) {
+  sim::Protocol protocol = sim::Protocol::kProposed;
+  if (const auto p = option(argc, argv, "protocol")) {
+    if (*p == "proposed") {
+      protocol = sim::Protocol::kProposed;
+    } else if (*p == "wp") {
+      protocol = sim::Protocol::kWasilyPellizzoni;
+    } else if (*p == "nps") {
+      protocol = sim::Protocol::kNonPreemptive;
+    } else {
+      std::cerr << "error: unknown protocol '" << *p << "'\n";
+      return 2;
+    }
+  }
+
+  rt::Workload workload;
+  sim::Trace trace;
+  try {
+    workload = rt::load_workload_file(workload_path);
+    trace = sim::import_trace_csv_files(workload.tasks, intervals_path,
+                                        jobs_path);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+
+  const check::CheckReport report =
+      check::audit_trace(workload.tasks, protocol, trace);
+  const std::size_t findings = report_findings(intervals_path, report);
+  if (findings == 0) {
+    std::cout << "clean: " << intervals_path << "\n";
+    return 0;
+  }
+  std::cout << findings << " finding(s) in " << intervals_path << "\n";
+  return 1;
+}
+
+int cmd_rules() {
+  for (const check::RuleInfo& rule : check::rule_catalog()) {
+    std::cout << rule.id << "  " << check::to_string(rule.severity) << "  "
+              << rule.summary << "  [" << rule.reference << "]\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return usage();
+  }
+  const std::string command = argv[1];
+  try {
+    if (command == "workload" && argc >= 3) {
+      return cmd_workload(argv[2], argc, argv);
+    }
+    if (command == "lp" && argc >= 3) {
+      return cmd_lp(argv[2]);
+    }
+    if (command == "trace" && argc >= 5) {
+      return cmd_trace(argv[2], argv[3], argv[4], argc, argv);
+    }
+    if (command == "rules") {
+      return cmd_rules();
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  return usage();
+}
