@@ -5,6 +5,7 @@
 //   * alpha-first branch priority        vs. plain most-fractional,
 //   * the relative-gap termination (2%)  vs. proving optimality,
 //   * warm-started node relaxations      vs. cold per-node solves,
+//   * presolve + node propagation        vs. solving the model as built,
 // reporting nodes, LP iterations, simplex pivots, wall time, and bound
 // quality.  Besides the human-readable table the bench writes
 // BENCH_solver.json, which tools/perf_check.py compares against the
@@ -13,6 +14,7 @@
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "analysis/milp_formulation.hpp"
@@ -33,6 +35,7 @@ struct Strategy {
   bool alpha_priority;
   double relative_gap;
   bool warm_start;
+  bool presolve;
 };
 
 struct Tally {
@@ -45,6 +48,10 @@ struct Tally {
   std::uint64_t cold_pivots = 0;
   std::uint64_t warm_hits = 0;
   std::uint64_t warm_fallbacks = 0;
+  std::uint64_t presolve_rows_removed = 0;
+  std::uint64_t presolve_cols_removed = 0;
+  std::uint64_t presolve_node_fixings = 0;
+  std::uint64_t presolve_node_prunes = 0;
 };
 
 std::uint64_t counter(const support::telemetry::Snapshot& snap,
@@ -56,13 +63,20 @@ std::uint64_t counter(const support::telemetry::Snapshot& snap,
 }  // namespace
 
 int main() {
+  // The first six strategies isolate branching/gap/warm-start with
+  // presolve off (comparable across baselines predating it); the last two
+  // measure what the reduction pipeline adds on top of the warm paths.
+  // The "plain, 2%gap" pair is the headline presolve axis perf_check.py
+  // gates on.
   constexpr Strategy kStrategies[] = {
-      {"alpha+2%gap, warm", true, 0.02, true},
-      {"alpha+2%gap, cold", true, 0.02, false},
-      {"alpha, prove, warm", true, 0.0, true},
-      {"alpha, prove, cold", true, 0.0, false},
-      {"plain, 2%gap, warm", false, 0.02, true},
-      {"plain, 2%gap, cold", false, 0.02, false},
+      {"alpha+2%gap, warm", true, 0.02, true, false},
+      {"alpha+2%gap, cold", true, 0.02, false, false},
+      {"alpha, prove, warm", true, 0.0, true, false},
+      {"alpha, prove, cold", true, 0.0, false, false},
+      {"plain, 2%gap, warm", false, 0.02, true, false},
+      {"plain, 2%gap, cold", false, 0.02, false, false},
+      {"plain, 2%gap, warm+pre", false, 0.02, true, true},
+      {"alpha+2%gap, warm+pre", true, 0.02, true, true},
   };
 
   // Pivot counters come from telemetry; the bench insists on it so the
@@ -103,6 +117,7 @@ int main() {
       options.max_nodes = 30000;
       options.relative_gap = strategy.relative_gap;
       options.use_warm_start = strategy.warm_start;
+      options.use_presolve = strategy.presolve;
       if (strategy.alpha_priority) {
         options.branch_priority.assign(inst.model.num_variables(), 0);
         for (const auto a : inst.alpha_vars) {
@@ -127,6 +142,10 @@ int main() {
     tally.cold_pivots = counter(snap, "simplex.cold_pivots");
     tally.warm_hits = counter(snap, "milp.warm_start_hits");
     tally.warm_fallbacks = counter(snap, "milp.warm_start_fallbacks");
+    tally.presolve_rows_removed = counter(snap, "lp.presolve.rows_removed");
+    tally.presolve_cols_removed = counter(snap, "lp.presolve.cols_removed");
+    tally.presolve_node_fixings = counter(snap, "lp.presolve.node_fixings");
+    tally.presolve_node_prunes = counter(snap, "lp.presolve.node_prunes");
     tallies.push_back(tally);
 
     std::cout << std::left << std::setw(22) << strategy.name << std::setw(8)
@@ -139,12 +158,16 @@ int main() {
   }
 
   // Warm-vs-cold summary over the strategy pairs (each warm strategy is
-  // immediately followed by its cold twin above).
+  // immediately followed by its cold twin above).  Presolve strategies sit
+  // outside the pairing and are summarized separately below.
   std::uint64_t warm_total = 0;
   std::uint64_t cold_total = 0;
   double warm_sec = 0.0;
   double cold_sec = 0.0;
   for (std::size_t k = 0; k < tallies.size(); ++k) {
+    if (kStrategies[k].presolve) {
+      continue;
+    }
     const auto pivots = tallies[k].warm_pivots + tallies[k].cold_pivots;
     if (kStrategies[k].warm_start) {
       warm_total += pivots;
@@ -164,6 +187,30 @@ int main() {
             << "s wall\n"
             << "(equal mean bounds across strategies = same answer)\n";
 
+  // Presolve axis: same strategy ("plain, 2%gap, warm") with and without
+  // the reduction pipeline, from the same run on the same machine, so the
+  // wall-time ratio is meaningful (unlike cross-run absolute times).
+  double pre_off_sec = 0.0;
+  double pre_on_sec = 0.0;
+  std::uint64_t pre_rows_removed = 0;
+  std::uint64_t pre_cols_removed = 0;
+  for (std::size_t k = 0; k < tallies.size(); ++k) {
+    const std::string name = kStrategies[k].name;
+    if (name == "plain, 2%gap, warm") {
+      pre_off_sec = tallies[k].seconds;
+    } else if (name == "plain, 2%gap, warm+pre") {
+      pre_on_sec = tallies[k].seconds;
+      pre_rows_removed = tallies[k].presolve_rows_removed;
+      pre_cols_removed = tallies[k].presolve_cols_removed;
+    }
+  }
+  const double presolve_speedup =
+      pre_on_sec > 0.0 ? pre_off_sec / pre_on_sec : 0.0;
+  std::cout << "presolve axis (plain, 2%gap, warm): " << std::setprecision(2)
+            << pre_off_sec << "s without vs " << pre_on_sec << "s with ("
+            << presolve_speedup << "x), removed " << pre_rows_removed
+            << " rows / " << pre_cols_removed << " cols\n";
+
   std::ofstream json("BENCH_solver.json");
   json << "{\n  \"schema\": \"mcs-bench-solver-v1\",\n"
        << "  \"instances\": " << instances.size() << ",\n"
@@ -172,6 +219,7 @@ int main() {
     const Tally& t = tallies[k];
     json << "    {\"name\": \"" << kStrategies[k].name << "\", "
          << "\"warm_start\": " << (kStrategies[k].warm_start ? "true" : "false")
+         << ", \"presolve\": " << (kStrategies[k].presolve ? "true" : "false")
          << ", \"solved\": " << t.solved << ", \"nodes\": " << t.nodes
          << ", \"lp_iterations\": " << t.lp_iters
          << ", \"pivots\": " << t.warm_pivots + t.cold_pivots
@@ -179,6 +227,10 @@ int main() {
          << ", \"cold_pivots\": " << t.cold_pivots
          << ", \"warm_start_hits\": " << t.warm_hits
          << ", \"warm_start_fallbacks\": " << t.warm_fallbacks
+         << ", \"presolve_rows_removed\": " << t.presolve_rows_removed
+         << ", \"presolve_cols_removed\": " << t.presolve_cols_removed
+         << ", \"presolve_node_fixings\": " << t.presolve_node_fixings
+         << ", \"presolve_node_prunes\": " << t.presolve_node_prunes
          << ", \"wall_ms\": " << std::fixed << std::setprecision(1)
          << t.seconds * 1000.0 << ", \"mean_bound\": "
          << std::setprecision(6)
@@ -189,7 +241,11 @@ int main() {
        << ", \"cold_pivots_total\": " << cold_total
        << ", \"pivot_reduction\": " << std::setprecision(3) << pivot_ratio
        << ", \"warm_wall_ms\": " << std::setprecision(1) << warm_sec * 1000.0
-       << ", \"cold_wall_ms\": " << cold_sec * 1000.0 << "}\n}\n";
+       << ", \"cold_wall_ms\": " << cold_sec * 1000.0
+       << ", \"presolve_speedup\": " << std::setprecision(3)
+       << presolve_speedup
+       << ", \"presolve_rows_removed\": " << pre_rows_removed
+       << ", \"presolve_cols_removed\": " << pre_cols_removed << "}\n}\n";
   json.close();
   std::cout << "wrote BENCH_solver.json\n";
 

@@ -13,6 +13,7 @@
 #include "analysis/milp_formulation.hpp"
 #include "analysis/window.hpp"
 #include "check/check.hpp"
+#include "check/presolve_audit.hpp"
 #include "lp/milp.hpp"
 #include "support/contracts.hpp"
 #include "support/telemetry.hpp"
@@ -81,6 +82,30 @@ void audit_formulation(const DelayMilp& milp, const rt::TaskSet& tasks,
       detail += "\n  " + check::render(d);
     }
     support::contract_fail("invariant", "mcs::check formulation audit",
+                           __FILE__, __LINE__, detail);
+  }
+}
+
+/// Debug audit hook: every incumbent a MILP session returns has travelled
+/// through presolve, node-level propagation, and postsolve — re-verify it
+/// against the pristine formulation model (MCS-F303/F304).  Folds to
+/// nothing when MCS_CHECK_LEVEL compiles to 0.
+void audit_incumbent(const lp::Model& model, const lp::MilpResult& res,
+                     const rt::TaskSet& tasks, rt::TaskIndex i, Time t) {
+  if (!check::enabled(check::kLevelLint) || !res.has_incumbent) {
+    return;
+  }
+  const check::CheckReport report =
+      check::audit_postsolve(model, res.values, res.objective);
+  telemetry::count("check.incumbents_audited");
+  if (report.error_count() > 0) {
+    telemetry::count("check.diagnostics_emitted", report.diagnostics.size());
+    std::string detail = "postsolved incumbent audit failed for task " +
+                         tasks[i].name + " at t=" + std::to_string(t) + ":";
+    for (const check::Diagnostic& d : report.diagnostics) {
+      detail += "\n  " + check::render(d);
+    }
+    support::contract_fail("invariant", "mcs::check postsolve audit",
                            __FILE__, __LINE__, detail);
   }
 }
@@ -305,6 +330,7 @@ DelayBound AnalysisEngine::Impl::solve_delay(const rt::TaskSet& tasks,
     e.session = std::make_unique<lp::MilpSolver>(e.milp.model);
   }
   const lp::MilpResult res = e.session->solve(milp_options);
+  audit_incumbent(e.milp.model, res, tasks, i, t);
   if (res.has_incumbent) {
     e.incumbent = res.values;
   }

@@ -222,6 +222,51 @@ DelayMilp build_delay_milp(const rt::TaskSet& tasks, TaskIndex i, Time t,
   out.urgent_vars.assign(n, std::vector<VarId>(N, kNoVar));
   out.cancel_vars.assign(n, std::vector<VarId>(N, kNoVar));
 
+  // Exact capacity hints: the admission predicates fully determine how many
+  // variables and constraints the loops below create, so derive the counts
+  // up front and reserve once instead of reallocating along the way.
+  std::size_t reserved_vars = 2 * N + 2;  // Delta_k, alpha_k, copy boundaries
+  std::size_t reserved_rows = 3 * N + (N - 1);  // delta_{cpu,dma,sum,1exec}
+  {
+    bool any_cl = false;
+    for (TaskIndex j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k + 1 < N; ++k) {
+        if (exec_allowed(j, k)) ++reserved_vars;
+        if (urgent_allowed(j, k)) ++reserved_vars;
+        if (cancel_allowed(j, k)) ++reserved_vars;
+        any_cl = any_cl || cancel_allowed(j, k);
+      }
+    }
+    for (std::size_t k = 0; k + 1 < N; ++k) {
+      bool any = false;
+      for (TaskIndex j = 0; j < n && !any; ++j) {
+        any = exec_allowed(j, k) || urgent_allowed(j, k);
+      }
+      if (any) ++reserved_rows;  // one_exec_k
+    }
+    for (std::size_t k = 0; k + 2 < N; ++k) {
+      bool copyin = false;
+      bool urgent = false;
+      for (TaskIndex j = 0; j < n && !(copyin && urgent); ++j) {
+        copyin = copyin || exec_allowed(j, k + 1) || cancel_allowed(j, k);
+        urgent = urgent || urgent_allowed(j, k + 1);
+      }
+      if (copyin) ++reserved_rows;
+      if (urgent) ++reserved_rows;
+    }
+    for (TaskIndex j = 0; j < n; ++j) {
+      if (j == i) continue;
+      bool any = false;
+      for (std::size_t k = 0; k + 1 < N && !any; ++k) {
+        any = exec_allowed(j, k) || urgent_allowed(j, k);
+      }
+      if (any) ++reserved_rows;  // budget_j
+    }
+    if (any_cl) ++reserved_rows;  // cancellation_budget
+  }
+  m.reserve_variables(reserved_vars);
+  m.reserve_constraints(reserved_rows);
+
   for (std::size_t k = 0; k < N; ++k) {
     out.delta_vars[k] = m.add_continuous(
         0.0, std::max(cpu_ub[k], dma_ub[k]), "Delta_" + std::to_string(k));
@@ -491,6 +536,10 @@ DelayMilp build_delay_milp(const rt::TaskSet& tasks, TaskIndex i, Time t,
     objective += LinExpr(out.delta_vars[k]);
   }
   m.set_objective(Sense::kMaximize, objective);
+
+  MCS_ASSERT(m.num_variables() == reserved_vars &&
+                 m.num_constraints() == reserved_rows,
+             "build_delay_milp: capacity hints diverged from construction");
 
   if (patch) {
     out.patchable_ls = true;

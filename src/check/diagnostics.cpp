@@ -142,6 +142,23 @@ const std::vector<RuleInfo>& rule_catalog() {
       {"MCS-F205", Severity::kError,
        "objective mismatch (sense, constant, or coefficients)",
        "cache-patch equivalence"},
+      // --- Presolve / postsolve audit (lp/presolve.hpp) ---------------------
+      {"MCS-F301", Severity::kError,
+       "presolve bookkeeping inconsistent: reduction log, postsolve map, "
+       "and model deltas disagree",
+       "presolve exactness contract; DESIGN.md §5.11"},
+      {"MCS-F302", Severity::kError,
+       "presolve widened a variable domain, changed a type, or fixed a "
+       "column outside its original bounds",
+       "presolve exactness contract; DESIGN.md §5.11"},
+      {"MCS-F303", Severity::kError,
+       "postsolved solution infeasible in the pristine model (bounds, "
+       "integrality, or a constraint row)",
+       "postsolve exactness (lp/postsolve.hpp)"},
+      {"MCS-F304", Severity::kError,
+       "postsolved objective disagrees with the reduced-space objective "
+       "beyond certificate tolerance",
+       "objective pass-through contract (lp/postsolve.hpp)"},
       // --- Protocol trace audit (paper §IV) --------------------------------
       {"MCS-P001", Severity::kError,
        "interval sequencing broken (negative length or overlap)",

@@ -1,0 +1,55 @@
+// Audit passes for the MILP presolve/postsolve layer (lp/presolve.hpp).
+//
+// Presolve promises exactness: every reduction preserves the feasible
+// integer points (projected onto surviving columns) and their objective
+// values, and the postsolve map embeds the reduced space back into the
+// original one losslessly.  These passes check that promise from the
+// outside — against the pristine model only, never trusting the reducer's
+// own arithmetic.  Rule IDs MCS-F301..F304 are catalogued in
+// check/diagnostics.hpp and docs/LINTING.md.
+#pragma once
+
+#include <vector>
+
+#include "check/diagnostics.hpp"
+#include "lp/model.hpp"
+#include "lp/presolve.hpp"
+
+namespace mcs::check {
+
+/// Audits a presolve run against the pristine model it reduced:
+///
+///  * MCS-F301 — bookkeeping: the reduction log, the postsolve map, and
+///    the model deltas must tell the same story (every removed row/column
+///    logged exactly once, map dimensions and embedding consistent,
+///    stats counters matching the log).
+///  * MCS-F302 — domain containment: presolve may only shrink variable
+///    domains; a reduced bound looser than the original, a changed
+///    variable type, or a fixed value outside the original bounds all
+///    break exactness.
+CheckReport audit_presolve(const lp::Model& original,
+                           const lp::presolve::Presolved& presolved);
+
+struct PostsolveAuditOptions {
+  /// Base feasibility tolerance; every bound and row check scales it by
+  /// the magnitudes involved, so ill-scaled rows are not misflagged.
+  double feasibility_tol = 1e-6;
+  /// Relative tolerance for the objective transfer check (MCS-F304),
+  /// matching the independent primal+dual certificate of the simplex
+  /// layer.
+  double objective_tol = 1e-6;
+};
+
+/// Audits a postsolved (original-variable-space) solution:
+///
+///  * MCS-F303 — the point must satisfy every original bound, every
+///    original row, and integrality in the pristine model.
+///  * MCS-F304 — the pristine objective evaluated at the point must match
+///    the objective the reduced-space solver reported (objective values
+///    pass through postsolve unchanged by contract).
+CheckReport audit_postsolve(const lp::Model& original,
+                            const std::vector<double>& values,
+                            double reported_objective,
+                            const PostsolveAuditOptions& options = {});
+
+}  // namespace mcs::check

@@ -41,6 +41,13 @@ struct MilpOptions {
   /// to tolerances (the warm path falls back to a cold solve on trouble);
   /// off mainly for differential testing.
   bool use_warm_start = true;
+  /// Run the presolve reduction pipeline (lp/presolve.hpp) on the model
+  /// before branch & bound and propagate packing-row implications at node
+  /// creation.  Exact: reductions preserve the MILP optimum, and results
+  /// are postsolved back to the original variable space, so callers see
+  /// the same contract either way.  Off mainly for differential testing
+  /// (tests/test_lp_presolve.cpp compares both paths at gap 0).
+  bool use_presolve = true;
   /// Optional starting incumbent, one value per model variable.  Checked
   /// for bound/constraint feasibility and integrality before adoption;
   /// anything infeasible is silently ignored.  Lets the analysis fixpoint

@@ -97,6 +97,12 @@ struct Constraint {
 /// model; binary variables have bounds within [0, 1].
 class Model {
  public:
+  /// Capacity hints for builders that know their final size (the delay-MILP
+  /// builder derives exact counts): one reallocation instead of a
+  /// doubling cascade on the hottest build path.
+  void reserve_variables(std::size_t count) { variables_.reserve(count); }
+  void reserve_constraints(std::size_t count) { constraints_.reserve(count); }
+
   VarId add_continuous(double lower, double upper, std::string name = "");
   VarId add_binary(std::string name = "");
   VarId add_integer(double lower, double upper, std::string name = "");

@@ -76,6 +76,7 @@ struct SimplexSolver::Impl {
   std::vector<std::vector<double>> tab_;         // rows_ x total_cols_
   std::vector<double> row_sign_;                 // reset-time row orientation
   std::vector<double> prhs_;                     // pivoted rhs (B^-1 b')
+  double rhs_scale_ = 1.0;                       // 1 + max |rhs| at reset
   std::vector<double> xb_;                       // basic variable values
   std::vector<std::size_t> basis_;               // column basic in each row
   std::vector<VarStatus> status_;                // per internal column
@@ -234,6 +235,10 @@ void SimplexSolver::Impl::reset_tableau() {
       upper_[art] = kInfinity;
     }
     status_[basis_[r]] = VarStatus::kBasic;
+  }
+  rhs_scale_ = 1.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    rhs_scale_ = std::max(rhs_scale_, 1.0 + prhs_[r]);  // prhs_ >= 0 here
   }
   xb_ = prhs_;  // every nonbasic column starts at its lower bound
   tableau_valid_ = true;
@@ -560,7 +565,13 @@ LpSolution SimplexSolver::Impl::run_cold() {
     if (p1 == SolveStatus::kIterationLimit) {
       return extract_solution(SolveStatus::kIterationLimit, iterations);
     }
-    if (current_internal_objective() > opt_.feasibility_tol * 10.0) {
+    // Relative infeasibility test: the phase-1 objective (total artificial
+    // residual) scales with the problem's rhs magnitudes, so an absolute
+    // threshold misclassifies well-posed but large-rhs models as
+    // infeasible.  Scale-relative, consistent with the ratio-test
+    // tolerances in dual_reoptimize below.
+    if (current_internal_objective() >
+        opt_.feasibility_tol * 10.0 * rhs_scale_) {
       freeze_artificials();
       return extract_solution(SolveStatus::kInfeasible, iterations);
     }

@@ -19,6 +19,8 @@
 #include "check/diagnostics.hpp"
 #include "check/formulation_lint.hpp"
 #include "check/model_lint.hpp"
+#include "check/presolve_audit.hpp"
+#include "lp/presolve.hpp"
 #include "gen/generator.hpp"
 #include "rt/task.hpp"
 #include "support/rng.hpp"
@@ -375,6 +377,95 @@ TEST(CheckLintNegative, GenericModelRulesFire) {
   EXPECT_TRUE(report.has_rule("MCS-F006")) << render_all(report);
   EXPECT_TRUE(report.has_rule("MCS-F007")) << render_all(report);
   EXPECT_TRUE(report.has_rule("MCS-F008")) << render_all(report);
+}
+
+TEST(CheckLintNegative, PresolveAuditRulesFire30x) {
+  using mcs::check::audit_postsolve;
+  using mcs::check::audit_presolve;
+  using mcs::lp::presolve::kRemoved;
+  using mcs::lp::presolve::presolve;
+  using mcs::lp::presolve::Presolved;
+
+  // A model presolve visibly reduces: one pinned column, one slack row.
+  Model model;
+  const VarId x = model.add_continuous(0.0, 10.0, "x");
+  const VarId f = model.add_continuous(3.0, 3.0, "f");
+  model.add_constraint(LinExpr(x) + LinExpr(f), Relation::kLe, LinExpr(100.0),
+                       "slack");
+  model.add_constraint(LinExpr(x) - LinExpr(f), Relation::kLe, LinExpr(4.0),
+                       "tight");
+  model.set_objective(Sense::kMaximize, LinExpr(x) + LinExpr(f));
+
+  const Presolved pristine = presolve(model);
+  ASSERT_FALSE(pristine.infeasible);
+  ASSERT_GT(pristine.stats.cols_removed, 0u);
+  {
+    const CheckReport clean = audit_presolve(model, pristine);
+    ASSERT_TRUE(clean.clean()) << render_all(clean);
+  }
+
+  {
+    // MCS-F301: stats counter disagrees with the reduction log.
+    Presolved corrupted = presolve(model);
+    corrupted.stats.rows_removed += 1;
+    const CheckReport report = audit_presolve(model, corrupted);
+    EXPECT_TRUE(report.has_rule("MCS-F301")) << render_all(report);
+  }
+  {
+    // MCS-F301: log entry lost while the map still records the removal.
+    Presolved corrupted = presolve(model);
+    corrupted.log.clear();
+    const CheckReport report = audit_presolve(model, corrupted);
+    EXPECT_TRUE(report.has_rule("MCS-F301")) << render_all(report);
+  }
+  {
+    // MCS-F301: map no longer a monotone dense embedding.
+    Presolved corrupted = presolve(model);
+    corrupted.map.col_map[x.index] = 7;
+    const CheckReport report = audit_presolve(model, corrupted);
+    EXPECT_TRUE(report.has_rule("MCS-F301")) << render_all(report);
+  }
+  {
+    // MCS-F302: reduced domain wider than the original.
+    Presolved corrupted = presolve(model);
+    const std::size_t rx = corrupted.map.col_map[x.index];
+    ASSERT_NE(rx, kRemoved);
+    corrupted.reduced.set_bounds(VarId{rx}, -5.0, 50.0);
+    const CheckReport report = audit_presolve(model, corrupted);
+    EXPECT_TRUE(report.has_rule("MCS-F302")) << render_all(report);
+  }
+  {
+    // MCS-F302: fixed value outside the original bounds.
+    Presolved corrupted = presolve(model);
+    ASSERT_EQ(corrupted.map.col_map[f.index], kRemoved);
+    corrupted.map.fixed_value[f.index] = 99.0;
+    const CheckReport report = audit_presolve(model, corrupted);
+    EXPECT_TRUE(report.has_rule("MCS-F302")) << render_all(report);
+  }
+
+  // A genuinely optimal point audits clean; corruptions fire F303/F304.
+  const std::vector<double> optimum = {7.0, 3.0};  // x - f <= 4 binds
+  {
+    const CheckReport clean = audit_postsolve(model, optimum, 10.0);
+    EXPECT_TRUE(clean.clean()) << render_all(clean);
+  }
+  {
+    // MCS-F303: bound violation.
+    const CheckReport report =
+        audit_postsolve(model, {12.0, 3.0}, 15.0);
+    EXPECT_TRUE(report.has_rule("MCS-F303")) << render_all(report);
+  }
+  {
+    // MCS-F303: row violation within bounds.
+    const CheckReport report = audit_postsolve(model, {10.0, 3.0}, 13.0);
+    EXPECT_TRUE(report.has_rule("MCS-F303")) << render_all(report);
+  }
+  {
+    // MCS-F304: objective transfer mismatch.
+    const CheckReport report = audit_postsolve(model, optimum, 11.5);
+    EXPECT_TRUE(report.has_rule("MCS-F304")) << render_all(report);
+    EXPECT_FALSE(report.has_rule("MCS-F303")) << render_all(report);
+  }
 }
 
 TEST(CheckLint, EveryEmittableRuleIsCatalogued) {

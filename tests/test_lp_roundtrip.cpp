@@ -16,6 +16,7 @@
 #include "lp/lp_reader.hpp"
 #include "lp/lp_writer.hpp"
 #include "lp/model.hpp"
+#include "lp/presolve.hpp"
 #include "rt/task.hpp"
 #include "support/rng.hpp"
 
@@ -126,6 +127,101 @@ TEST(LpRoundTrip, FixedAndNegativeBounds) {
                        Relation::kEq, LinExpr(0.0), "balance");
   model.set_objective(Sense::kMinimize, LinExpr(wide));
   expect_roundtrip(model);
+}
+
+TEST(LpRoundTrip, ZeroConstraintModel) {
+  // Presolve can eliminate every row of a trivial model; the written file
+  // then has an empty Subject To section and carries all structure in
+  // Bounds.
+  Model model;
+  const VarId x = model.add_continuous(1.0, 6.0, "x");
+  const VarId b = model.add_binary("b");
+  const VarId n = model.add_integer(-4.0, 4.0, "n");
+  model.set_objective(Sense::kMaximize,
+                      LinExpr(x) + 3.0 * LinExpr(b) - LinExpr(n));
+  expect_roundtrip(model);
+}
+
+TEST(LpRoundTrip, AllVariablesFixed) {
+  // Every column pinned (lower == upper), including at zero and at a
+  // negative value — the form presolve leaves behind when a patch fixes a
+  // whole column family.
+  Model model;
+  const VarId a = model.add_continuous(0.0, 0.0, "a");
+  const VarId b = model.add_continuous(-2.5, -2.5, "b");
+  const VarId c = model.add_integer(7.0, 7.0, "c");
+  model.add_constraint(LinExpr(a) + LinExpr(b) + LinExpr(c), Relation::kLe,
+                       LinExpr(10.0), "cap");
+  model.set_objective(Sense::kMinimize, LinExpr(a) + LinExpr(c));
+  expect_roundtrip(model);
+}
+
+TEST(LpRoundTrip, ZeroVariableModel) {
+  // The fully-reduced endpoint: presolve fixed everything and removed all
+  // rows; only the objective constant is left.  The writer must emit a
+  // parseable file and the constant must survive.
+  Model model;
+  model.set_objective(Sense::kMaximize, LinExpr(12.5));
+  expect_roundtrip(model);
+  const Model reparsed = read_lp_format(to_lp_format(model));
+  EXPECT_EQ(reparsed.num_variables(), 0u);
+  EXPECT_EQ(reparsed.num_constraints(), 0u);
+  EXPECT_DOUBLE_EQ(reparsed.objective().constant(), 12.5);
+
+  // Same with an empty (zero) objective.
+  Model empty;
+  expect_roundtrip(empty);
+}
+
+TEST(LpRoundTrip, PresolveReducedFormulationsRoundTrip) {
+  // Whatever shape presolve leaves a delay MILP in — fewer rows, tightened
+  // bounds, strengthened coefficients, possibly no rows at all — must
+  // still survive the write -> reparse -> diff trip (MCS-F201..F205
+  // clean).
+  const TaskSet tasks({
+      [] {
+        Task t;
+        t.name = "ls";
+        t.exec = 2;
+        t.copy_in = t.copy_out = 1;
+        t.period = 25;
+        t.deadline = 12;
+        t.priority = 0;
+        t.latency_sensitive = true;
+        return t;
+      }(),
+      [] {
+        Task t;
+        t.name = "mid";
+        t.exec = 3;
+        t.copy_in = t.copy_out = 2;
+        t.period = 50;
+        t.deadline = 40;
+        t.priority = 1;
+        return t;
+      }(),
+      [] {
+        Task t;
+        t.name = "bulk";
+        t.exec = 6;
+        t.copy_in = t.copy_out = 2;
+        t.period = 100;
+        t.deadline = 90;
+        t.priority = 2;
+        return t;
+      }(),
+  });
+  using mcs::analysis::build_delay_milp;
+  using mcs::analysis::FormulationCase;
+  for (mcs::rt::TaskIndex i = 0; i < tasks.size(); ++i) {
+    const Time t = tasks[i].deadline;
+    const Model& model =
+        build_delay_milp(tasks, i, t, FormulationCase::kNls, false, true)
+            .model;
+    const mcs::lp::presolve::Presolved pre = mcs::lp::presolve::presolve(model);
+    ASSERT_FALSE(pre.infeasible);
+    expect_roundtrip(pre.reduced);
+  }
 }
 
 TEST(LpRoundTrip, EveryDelayMilpRoundTrips) {

@@ -75,6 +75,29 @@ TEST(Simplex, DetectsInfeasibility) {
   EXPECT_EQ(solve_lp(m).status, SolveStatus::kInfeasible);
 }
 
+TEST(Simplex, IllScaledFeasibleModelIsNotDeclaredInfeasible) {
+  // Regression: the phase-1 infeasibility gate used to be absolute
+  // (feasibility_tol * 10) while every other termination test in the solver
+  // scales with the data, so a feasible model with 1e9-scale right-hand
+  // sides could be declared infeasible on residuals that are pure noise at
+  // its magnitude.  Each tiny equality below keeps its artificial stuck
+  // basic at 3e-8 (the 5e-10 coefficient sits under both pivot_tol and
+  // reduced_cost_tol), which is legal per-row; the sum 40 * 3e-8 = 1.2e-6
+  // crossed the old absolute gate even though the model is exactly
+  // feasible (x = 1.5e9, every y = 60).
+  Model m;
+  const VarId x = m.add_continuous(0.0, 2e9, "x");
+  m.add_constraint(LinExpr(x), Relation::kEq, 1.5e9);
+  for (int i = 0; i < 40; ++i) {
+    const VarId y = m.add_continuous(0.0, 1e6, "y");
+    m.add_constraint(term(y, 5e-10), Relation::kEq, 3e-8);
+  }
+  m.set_objective(Sense::kMinimize, LinExpr(x));
+  const LpSolution sol = solve_lp(m);
+  ASSERT_EQ(sol.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol.values[x.index], 1.5e9, 1.0);
+}
+
 TEST(Simplex, DetectsUnboundedness) {
   Model m;
   const VarId x = m.add_continuous(0, kInfinity, "x");

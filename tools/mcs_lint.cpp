@@ -4,8 +4,9 @@
 //       Builds every delay-MILP formulation the analysis engine would use
 //       for the workload (fresh and cache-patched, per case and LS mode),
 //       lints each against the Section V invariants, differentially
-//       verifies patched == fresh, and round-trips each model through the
-//       LP writer/reader.
+//       verifies patched == fresh, round-trips each model through the
+//       LP writer/reader, and audits the presolve reduction pipeline plus
+//       an end-to-end solve's postsolved incumbent (MCS-F3xx).
 //   mcs_lint lp <file>
 //       Parses a CPLEX-LP-format file, runs the generic model lints
 //       (MCS-F0xx), and verifies the write->reparse round trip.
@@ -20,6 +21,7 @@
 // emitted (warnings included — see CheckReport::clean()), 2 on usage or
 // input errors.  Diagnostics go to stdout, one per line, prefixed with the
 // context that produced them.
+#include <algorithm>
 #include <cstring>
 #include <exception>
 #include <fstream>
@@ -33,9 +35,12 @@
 #include "analysis/milp_formulation.hpp"
 #include "check/diagnostics.hpp"
 #include "check/model_lint.hpp"
+#include "check/presolve_audit.hpp"
 #include "check/trace_audit.hpp"
 #include "lp/lp_reader.hpp"
 #include "lp/lp_writer.hpp"
+#include "lp/milp.hpp"
+#include "lp/presolve.hpp"
 #include "rt/io.hpp"
 #include "sim/trace_import.hpp"
 
@@ -118,6 +123,37 @@ std::size_t lint_one_formulation(const rt::TaskSet& tasks, rt::TaskIndex i,
                                            ignore_ls));
   findings += report_findings(context.str() + " [roundtrip]",
                               roundtrip_check(milp.model));
+
+  // Presolve exactness audit (MCS-F301/F302) plus an end-to-end solve of
+  // the default path — presolve, branch & bound, postsolve — whose
+  // incumbent must check out against the pristine model (MCS-F303/F304).
+  // The solve is budgeted: the audit needs *an* incumbent that travelled
+  // through postsolve, not a proven optimum, and large formulations take
+  // minutes to close at gap 0.
+  const lp::presolve::Presolved pre = lp::presolve::presolve(milp.model);
+  findings += report_findings(context.str() + " [presolve]",
+                              check::audit_presolve(milp.model, pre));
+  if (!pre.infeasible) {
+    lp::MilpOptions solve_options;
+    // Node budget inversely proportional to model size: per-node LP cost
+    // grows with the formulation, and the big committed workloads (tens
+    // of thousands of ticks of window) would otherwise dominate the
+    // sweep's wall time at no audit benefit.
+    solve_options.max_nodes = std::clamp<std::size_t>(
+        50000 / std::max<std::size_t>(1, milp.model.num_variables()), 16,
+        1000);
+    solve_options.relative_gap = 0.05;
+    solve_options.branch_priority.assign(milp.model.num_variables(), 0);
+    for (const lp::VarId alpha : milp.alpha_vars) {
+      solve_options.branch_priority[alpha.index] = 1;
+    }
+    const lp::MilpResult res = lp::solve_milp(milp.model, solve_options);
+    if (res.has_incumbent) {
+      findings += report_findings(
+          context.str() + " [postsolve]",
+          check::audit_postsolve(milp.model, res.values, res.objective));
+    }
+  }
   return findings;
 }
 

@@ -10,10 +10,16 @@ mcs-bench-solver-v1 (written by bench/bench_ablation_solver)
       allowed factor over the baseline run, or
     * the warm-vs-cold pivot reduction measured in the fresh run fell
       below the required floor (warm restarts must at least halve the
-      pivot count).
-  Wall-clock numbers are recorded in the JSON for human inspection but
-  deliberately NOT gated on: CI machines are too noisy for stable timing
-  thresholds, whereas pivot counts are deterministic.
+      pivot count), or
+    * the presolve axis regressed: the same-run wall-time speedup of
+      "plain, 2%gap, warm+pre" over "plain, 2%gap, warm" fell below the
+      floor, or presolve stopped removing anything at all.
+  Cross-run wall-clock numbers are recorded in the JSON for human
+  inspection but deliberately NOT gated on: CI machines are too noisy for
+  stable timing thresholds, whereas pivot counts are deterministic.  The
+  presolve speedup IS a timing gate, but — like the analysis gate below —
+  on a same-run, same-machine ratio, which is far more stable than any
+  absolute time.
 
 mcs-bench-analysis-v1 (written by bench/bench_analysis)
   Fails when the AnalysisEngine's single-thread end-to-end speedup over
@@ -38,6 +44,12 @@ MAX_PIVOT_GROWTH = 2.0
 
 # The fresh run's warm-vs-cold pivot reduction must stay above this.
 MIN_PIVOT_REDUCTION = 2.0
+
+# The fresh run's presolve-on vs presolve-off wall-time ratio on the
+# "plain, 2%gap, warm" strategy must stay above this.  The committed
+# baseline shows >= 1.5x; the CI floor is lower to absorb noise in the
+# same-run ratio.
+MIN_PRESOLVE_SPEEDUP = 1.2
 
 # The fresh run's engine-vs-legacy single-thread speedup must stay above
 # this.  The committed baseline shows >= 1.3x; the CI floor is lower to
@@ -80,6 +92,21 @@ def check_solver(fresh, baseline):
         failures.append(
             f"warm-vs-cold pivot reduction {reduction:.2f}x fell below the "
             f"required {MIN_PIVOT_REDUCTION:.1f}x")
+
+    pre_speedup = fresh["summary"]["presolve_speedup"]
+    pre_removed = (fresh["summary"]["presolve_rows_removed"]
+                   + fresh["summary"]["presolve_cols_removed"])
+    print(f"presolve speedup (same-run wall ratio): {pre_speedup:.2f}x "
+          f"(floor {MIN_PRESOLVE_SPEEDUP:.1f}x), "
+          f"{fresh['summary']['presolve_rows_removed']} rows / "
+          f"{fresh['summary']['presolve_cols_removed']} cols removed")
+    if pre_speedup < MIN_PRESOLVE_SPEEDUP:
+        failures.append(
+            f"presolve speedup {pre_speedup:.2f}x fell below the required "
+            f"{MIN_PRESOLVE_SPEEDUP:.1f}x")
+    if pre_removed == 0:
+        failures.append(
+            "presolve removed no rows and no columns on the bench corpus")
     return failures
 
 
