@@ -863,8 +863,30 @@ struct MilpSolver::Impl {
   std::size_t fixings_seen = 0;
   std::size_t prunes_seen = 0;
 
-  std::size_t total(std::size_t (BranchAndBound::*get)() const) const {
-    std::size_t sum = 0;
+  /// Counters absorbed from presolve sessions torn down by a structural
+  /// rebuild.  total() folds these in so the lifetime totals — and with
+  /// them the per-solve deltas against the *_seen snapshots — stay
+  /// monotone across session resets instead of wrapping around.
+  struct Retired {
+    std::size_t deltas = 0;
+    std::size_t warm = 0;
+    std::size_t fallbacks = 0;
+    std::size_t fixings = 0;
+    std::size_t prunes = 0;
+
+    void absorb(const BranchAndBound& bb) {
+      deltas += bb.bound_deltas_applied();
+      warm += bb.warm_solves();
+      fallbacks += bb.warm_fallbacks();
+      fixings += bb.node_fixings();
+      prunes += bb.node_prunes();
+    }
+  };
+  Retired retired;
+
+  std::size_t total(std::size_t (BranchAndBound::*get)() const,
+                    std::size_t retired_part) const {
+    std::size_t sum = retired_part;
     if (direct) sum += ((*direct).*get)();
     if (session) sum += ((*session).*get)();
     return sum;
@@ -919,6 +941,7 @@ MilpResult MilpSolver::Impl::solve_with_presolve(const MilpOptions& options) {
     map = std::move(pre.map);
     telemetry::count("lp.presolve.session_reuses");
   } else {
+    if (session) retired.absorb(*session);
     session.reset();
     reduced = std::make_unique<Model>(std::move(pre.reduced));
     map = std::move(pre.map);
@@ -964,11 +987,16 @@ MilpResult MilpSolver::solve(const MilpOptions& options) {
     }
     result = im.direct->run(options);
   }
-  const std::size_t deltas = im.total(&BranchAndBound::bound_deltas_applied);
-  const std::size_t warm = im.total(&BranchAndBound::warm_solves);
-  const std::size_t fallbacks = im.total(&BranchAndBound::warm_fallbacks);
-  const std::size_t fixings = im.total(&BranchAndBound::node_fixings);
-  const std::size_t prunes = im.total(&BranchAndBound::node_prunes);
+  const std::size_t deltas = im.total(&BranchAndBound::bound_deltas_applied,
+                                      im.retired.deltas);
+  const std::size_t warm =
+      im.total(&BranchAndBound::warm_solves, im.retired.warm);
+  const std::size_t fallbacks =
+      im.total(&BranchAndBound::warm_fallbacks, im.retired.fallbacks);
+  const std::size_t fixings =
+      im.total(&BranchAndBound::node_fixings, im.retired.fixings);
+  const std::size_t prunes =
+      im.total(&BranchAndBound::node_prunes, im.retired.prunes);
   if (telemetry::enabled()) {
     telemetry::count("milp.solves");
     telemetry::count("milp.nodes_explored", result.nodes);

@@ -147,7 +147,12 @@ class Reducer {
       return;
     }
     if (integral(c)) cand = std::ceil(cand - kIntegralityTol);
-    if (cand - c.lo <= tol(c.lo)) return;  // no significant improvement
+    // An infinite incumbent is always improvable — tol(-inf) is inf, so
+    // the finite-difference gate below would wrongly report no gain and
+    // the caller (fold_singleton) would drop the row without the bound.
+    if (std::isfinite(c.lo) && cand - c.lo <= tol(c.lo)) {
+      return;  // no significant improvement
+    }
     if (cand > c.hi + tol(c.hi)) {
       infeasible_ = true;
       return;
@@ -169,7 +174,8 @@ class Reducer {
       return;
     }
     if (integral(c)) cand = std::floor(cand + kIntegralityTol);
-    if (c.hi - cand <= tol(c.hi)) return;
+    // Mirror of tighten_lo: an infinite incumbent is always improvable.
+    if (std::isfinite(c.hi) && c.hi - cand <= tol(c.hi)) return;
     if (cand < c.lo - tol(c.lo)) {
       infeasible_ = true;
       return;
@@ -206,21 +212,28 @@ class Reducer {
     row.terms.resize(w);
   }
 
+  /// Disposes of a row whose live support is empty: drops it when the
+  /// residual rhs is satisfied, flags infeasibility otherwise.
+  void dispose_empty_row(std::size_t ri) {
+    const Row& row = rows_[ri];
+    const double t = tol(row.rhs);
+    const bool sat = row.rel == Relation::kLe   ? 0.0 <= row.rhs + t
+                     : row.rel == Relation::kGe ? 0.0 >= row.rhs - t
+                                                : std::abs(row.rhs) <= t;
+    if (sat) {
+      remove_row(ri, ReductionKind::kRedundantRow);
+    } else {
+      infeasible_ = true;
+    }
+  }
+
   void process_row(std::size_t ri) {
     Row& row = rows_[ri];
     if (!row.alive) return;
     substitute_fixed(row);
 
     if (row.terms.empty()) {
-      const double t = tol(row.rhs);
-      const bool sat = row.rel == Relation::kLe   ? 0.0 <= row.rhs + t
-                       : row.rel == Relation::kGe ? 0.0 >= row.rhs - t
-                                                  : std::abs(row.rhs) <= t;
-      if (sat) {
-        remove_row(ri, ReductionKind::kRedundantRow);
-      } else {
-        infeasible_ = true;
-      }
+      dispose_empty_row(ri);
       return;
     }
     if (row.terms.size() == 1) {
@@ -496,6 +509,17 @@ class Reducer {
   }
 
   void emit() {
+    // The round cap can leave fixings unsubstituted in surviving rows;
+    // absorb them now and dispose of rows whose live support collapses to
+    // empty — emitting an empty-LHS row would delegate a possible
+    // infeasibility to whatever the solver does with degenerate rows.
+    for (std::size_t r = 0; r < rows_.size() && !infeasible_; ++r) {
+      Row& row = rows_[r];
+      if (!row.alive) continue;
+      substitute_fixed(row);
+      if (row.terms.empty()) dispose_empty_row(r);
+    }
+
     PostsolveMap& map = out_->map;
     map.original_cols = cols_.size();
     map.original_rows = rows_.size();
@@ -549,8 +573,6 @@ class Reducer {
     for (std::size_t r = 0; r < rows_.size(); ++r) {
       Row& row = rows_[r];
       if (!row.alive) continue;
-      // The round cap can leave fixings unsubstituted; absorb them here.
-      substitute_fixed(row);
       LinExpr lhs;
       for (const auto [v, a] : row.terms) {
         lhs.add_term(VarId{map.col_map[v]}, a);

@@ -27,6 +27,12 @@ const char* to_string(SolveStatus status) noexcept {
 
 namespace {
 
+/// Cap on the rhs-relative scaling of the phase-1 infeasibility gate:
+/// the gate must grow with problem magnitude to absorb summation noise,
+/// yet stay well below one tick (the smallest genuine violation) even on
+/// models with 1e9-scale right-hand sides.
+constexpr double kPhase1ScaleCap = 1e5;
+
 enum class VarStatus : std::uint8_t { kBasic, kAtLower, kAtUpper };
 
 /// Internal column: value x = offset + sign * y where y is the simplex
@@ -569,9 +575,14 @@ LpSolution SimplexSolver::Impl::run_cold() {
     // residual) scales with the problem's rhs magnitudes, so an absolute
     // threshold misclassifies well-posed but large-rhs models as
     // infeasible.  Scale-relative, consistent with the ratio-test
-    // tolerances in dual_reoptimize below.
+    // tolerances in dual_reoptimize below — but capped: uncapped, tick
+    // magnitudes around 1e8-1e9 would push the threshold past one tick,
+    // the smallest true violation in the analysis models, and a genuinely
+    // infeasible model would slip through as feasible.  The cap keeps the
+    // threshold at least a decade below tick scale for the default
+    // feasibility_tol.
     if (current_internal_objective() >
-        opt_.feasibility_tol * 10.0 * rhs_scale_) {
+        opt_.feasibility_tol * 10.0 * std::min(rhs_scale_, kPhase1ScaleCap)) {
       freeze_artificials();
       return extract_solution(SolveStatus::kInfeasible, iterations);
     }

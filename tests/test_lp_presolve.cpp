@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,7 @@
 #include "rt/io.hpp"
 #include "rt/task.hpp"
 #include "support/rng.hpp"
+#include "support/telemetry.hpp"
 
 namespace {
 
@@ -29,6 +31,7 @@ using mcs::analysis::build_delay_milp;
 using mcs::analysis::DelayMilp;
 using mcs::analysis::FormulationCase;
 using mcs::analysis::update_delay_milp;
+using mcs::lp::kInfinity;
 using mcs::lp::LinExpr;
 using mcs::lp::MilpOptions;
 using mcs::lp::MilpResult;
@@ -43,6 +46,7 @@ using mcs::lp::VarId;
 using mcs::lp::presolve::kRemoved;
 using mcs::lp::presolve::presolve;
 using mcs::lp::presolve::Presolved;
+using mcs::lp::presolve::PresolveOptions;
 using mcs::rt::Task;
 using mcs::rt::TaskIndex;
 using mcs::rt::TaskSet;
@@ -106,6 +110,77 @@ TEST(Presolve, SingletonRowFoldsIntoABound) {
   const std::size_t rx = pre.map.col_map[x.index];
   ASSERT_NE(rx, kRemoved);
   EXPECT_DOUBLE_EQ(pre.reduced.variables()[rx].upper, 5.0);
+}
+
+TEST(Presolve, SingletonRowBoundsAnUnboundedColumn) {
+  // Regression: tol(±inf) is inf, so the bound-improvement gate used to
+  // see "no improvement" on an infinite incumbent bound and fold_singleton
+  // then dropped the row without applying it — silently deleting `2x <= 10`
+  // on a column unbounded above and leaving the model unbounded.
+  Model m;
+  const VarId x = m.add_continuous(0.0, kInfinity, "x");
+  const VarId y = m.add_continuous(-kInfinity, 0.0, "y");
+  m.add_constraint(term(x, 2.0), Relation::kLe, 10.0, "cap_x");
+  m.add_constraint(LinExpr(y), Relation::kGe, -3.0, "floor_y");
+  m.set_objective(Sense::kMaximize, LinExpr(x) - LinExpr(y));
+
+  const Presolved pre = presolve_audited(m);
+  ASSERT_FALSE(pre.infeasible);
+  EXPECT_EQ(pre.map.row_map[0], kRemoved);
+  EXPECT_EQ(pre.map.row_map[1], kRemoved);
+  const std::size_t rx = pre.map.col_map[x.index];
+  const std::size_t ry = pre.map.col_map[y.index];
+  ASSERT_NE(rx, kRemoved);
+  ASSERT_NE(ry, kRemoved);
+  EXPECT_DOUBLE_EQ(pre.reduced.variables()[rx].upper, 5.0);
+  EXPECT_DOUBLE_EQ(pre.reduced.variables()[ry].lower, -3.0);
+
+  MilpOptions opt;
+  opt.use_presolve = true;
+  const MilpResult r = solve_milp(m, opt);
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 8.0, kTol);
+}
+
+TEST(Presolve, RoundCapEmptyRowInfeasibilityIsDetected) {
+  // x + y <= 1 with both binaries pinned to 1 by later equality rows.  At
+  // max_rounds = 1 the cardinality row survives the reduction loop and
+  // only collapses to an empty row during emit-time substitution; its
+  // violated residual rhs must still be flagged here, not emitted as a
+  // degenerate empty-LHS constraint for the solver to trip over.
+  Model m;
+  const VarId x = m.add_binary("x");
+  const VarId y = m.add_binary("y");
+  m.add_constraint(LinExpr(x) + LinExpr(y), Relation::kLe, 1.0, "card");
+  m.add_constraint(LinExpr(x), Relation::kEq, 1.0, "pin_x");
+  m.add_constraint(LinExpr(y), Relation::kEq, 1.0, "pin_y");
+  m.set_objective(Sense::kMaximize, LinExpr(x));
+
+  PresolveOptions opt;
+  opt.max_rounds = 1;
+  const Presolved pre = presolve(m, opt);
+  EXPECT_TRUE(pre.infeasible);
+}
+
+TEST(Presolve, RoundCapEmptySatisfiedRowIsDropped) {
+  // Same shape, but the pins (x = 1, y = 0) satisfy the cardinality row:
+  // the emit-time disposal must drop it instead of emitting an empty row.
+  Model m;
+  const VarId x = m.add_binary("x");
+  const VarId y = m.add_binary("y");
+  m.add_constraint(LinExpr(x) + LinExpr(y), Relation::kLe, 1.0, "card");
+  m.add_constraint(LinExpr(x), Relation::kEq, 1.0, "pin_x");
+  m.add_constraint(LinExpr(y), Relation::kEq, 0.0, "pin_y");
+  m.set_objective(Sense::kMaximize, LinExpr(x));
+
+  PresolveOptions opt;
+  opt.max_rounds = 1;
+  const Presolved pre = presolve(m, opt);
+  ASSERT_FALSE(pre.infeasible);
+  EXPECT_EQ(pre.map.row_map[0], kRemoved);
+  for (const auto& c : pre.reduced.constraints()) {
+    EXPECT_FALSE(c.lhs.terms().empty());
+  }
 }
 
 TEST(Presolve, RedundantAndDuplicateRowsAreDropped) {
@@ -362,6 +437,57 @@ TEST(PresolveSession, GreedyRoundPatchChainStaysExact) {
     EXPECT_TRUE(milp.model.is_feasible(patched.values, 1e-6)) << label;
     opt.start_values = patched.values;  // carry like the engine does
   }
+}
+
+TEST(PresolveSession, RebuildKeepsTelemetryDeltasMonotone) {
+  // Regression: a structural rebuild (session.reset()) zeroes the inner
+  // BranchAndBound counters, but the per-solve snapshots used to keep the
+  // pre-reset totals, so the next solve's deltas wrapped around
+  // std::size_t and telemetry reported ~2^64 warm-start hits and node
+  // fixings.  Drive a patch chain whose LS flips force rebuilds and check
+  // every per-solve counter stays sane.
+  namespace telemetry = mcs::support::telemetry;
+  telemetry::set_enabled(true);
+  telemetry::reset();
+
+  Rng rng(0xC0FFEE);
+  mcs::gen::GeneratorConfig cfg;
+  cfg.num_tasks = 4;
+  cfg.utilization = 0.4;
+  TaskSet tasks = mcs::gen::generate_task_set(cfg, rng);
+  const TaskIndex i = static_cast<TaskIndex>(tasks.size() - 1);
+  const Time t = tasks[i].period / 2;
+  DelayMilp milp = build_delay_milp(tasks, i, t, FormulationCase::kNls,
+                                    /*ignore_ls=*/false, /*patchable=*/true);
+
+  MilpSolver session(milp.model);
+  MilpOptions opt;
+  opt.max_nodes = 50000;
+  opt.use_presolve = true;
+  for (int round = 0; round < 4; ++round) {
+    const std::size_t flip =
+        static_cast<std::size_t>(rng.uniform_int(0,
+            static_cast<std::int64_t>(tasks.size()) - 1));
+    tasks[flip].latency_sensitive = !tasks[flip].latency_sensitive;
+    update_delay_milp(milp, tasks, i, t, /*ignore_ls=*/false);
+    (void)session.solve(opt);
+  }
+
+  const auto snap = telemetry::snapshot();
+  ASSERT_NE(snap.counters.count("lp.presolve.session_rebuilds"), 0u);
+  // An underflowed delta lands near 2^64; every real per-solve count in a
+  // four-round chain over a 4-task model is tiny by comparison.
+  constexpr std::uint64_t kSane = std::uint64_t{1} << 40;
+  for (const char* key :
+       {"milp.warm_start_hits", "milp.warm_start_fallbacks",
+        "milp.bound_deltas_applied", "lp.presolve.node_fixings",
+        "lp.presolve.node_prunes"}) {
+    const auto it = snap.counters.find(key);
+    if (it != snap.counters.end()) {
+      EXPECT_LT(it->second, kSane) << key;
+    }
+  }
+  telemetry::reset();
 }
 
 TEST(PresolveCorpus, CommittedWorkloadFormulationsReduceAndStayExact) {

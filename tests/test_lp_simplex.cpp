@@ -98,6 +98,21 @@ TEST(Simplex, IllScaledFeasibleModelIsNotDeclaredInfeasible) {
   EXPECT_NEAR(sol.values[x.index], 1.5e9, 1.0);
 }
 
+TEST(Simplex, IllScaledInfeasibleModelIsStillDetected) {
+  // Companion to the feasible regression above: the phase-1 gate is
+  // scale-relative but capped, so rhs magnitudes around 1e9 must not push
+  // the threshold past tick scale and swallow a genuine (>= 1 tick)
+  // infeasibility.  Uncapped, feasibility_tol * 10 * rhs_scale would be
+  // ~1500 here and the 4-tick gap between the two rows would pass as
+  // phase-1 noise.
+  Model m;
+  const VarId x = m.add_continuous(0.0, 2e9, "x");
+  m.add_constraint(LinExpr(x), Relation::kGe, 1.5e9 + 2.0);
+  m.add_constraint(LinExpr(x), Relation::kLe, 1.5e9 - 2.0);
+  m.set_objective(Sense::kMinimize, LinExpr(x));
+  EXPECT_EQ(solve_lp(m).status, SolveStatus::kInfeasible);
+}
+
 TEST(Simplex, DetectsUnboundedness) {
   Model m;
   const VarId x = m.add_continuous(0, kInfinity, "x");
