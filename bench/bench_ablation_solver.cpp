@@ -6,8 +6,9 @@
 //   * the relative-gap termination (2%)  vs. proving optimality,
 //   * warm-started node relaxations      vs. cold per-node solves,
 //   * presolve + node propagation        vs. solving the model as built,
-// reporting nodes, LP iterations, simplex pivots, wall time, and bound
-// quality.  Besides the human-readable table the bench writes
+//   * the sparse revised-simplex kernel  vs. the dense tableau reference,
+// reporting nodes, LP iterations, simplex pivots, pivot throughput,
+// refactorization stats, wall time, and bound quality.  Besides the human-readable table the bench writes
 // BENCH_solver.json, which tools/perf_check.py compares against the
 // committed baseline in CI.
 #include <chrono>
@@ -36,6 +37,7 @@ struct Strategy {
   double relative_gap;
   bool warm_start;
   bool presolve;
+  lp::SimplexKernel kernel = lp::SimplexKernel::kSparse;
 };
 
 struct Tally {
@@ -52,6 +54,11 @@ struct Tally {
   std::uint64_t presolve_cols_removed = 0;
   std::uint64_t presolve_node_fixings = 0;
   std::uint64_t presolve_node_prunes = 0;
+  std::uint64_t refactorizations = 0;
+  std::uint64_t eta_nnz = 0;
+  std::uint64_t bound_flips = 0;
+  std::uint64_t devex_resets = 0;
+  std::uint64_t fixed_cols_skipped = 0;
 };
 
 std::uint64_t counter(const support::telemetry::Snapshot& snap,
@@ -64,10 +71,14 @@ std::uint64_t counter(const support::telemetry::Snapshot& snap,
 
 int main() {
   // The first six strategies isolate branching/gap/warm-start with
-  // presolve off (comparable across baselines predating it); the last two
+  // presolve off (comparable across baselines predating it); the next two
   // measure what the reduction pipeline adds on top of the warm paths.
   // The "plain, 2%gap" pair is the headline presolve axis perf_check.py
-  // gates on.
+  // gates on.  The two [dense] twins form the kernel axis: the heaviest
+  // strategy pair gates the sparse kernel's same-run wall speedup, and the
+  // prove pair pins bound identity (both kernels must prove the same
+  // optimum; the 2%-gap strategies hit node limits at different trees, so
+  // their bounds legitimately differ).
   constexpr Strategy kStrategies[] = {
       {"alpha+2%gap, warm", true, 0.02, true, false},
       {"alpha+2%gap, cold", true, 0.02, false, false},
@@ -77,6 +88,10 @@ int main() {
       {"plain, 2%gap, cold", false, 0.02, false, false},
       {"plain, 2%gap, warm+pre", false, 0.02, true, true},
       {"alpha+2%gap, warm+pre", true, 0.02, true, true},
+      {"plain, 2%gap, warm [dense]", false, 0.02, true, false,
+       lp::SimplexKernel::kDense},
+      {"alpha, prove, warm [dense]", true, 0.0, true, false,
+       lp::SimplexKernel::kDense},
   };
 
   // Pivot counters come from telemetry; the bench insists on it so the
@@ -118,6 +133,7 @@ int main() {
       options.relative_gap = strategy.relative_gap;
       options.use_warm_start = strategy.warm_start;
       options.use_presolve = strategy.presolve;
+      options.lp.kernel = strategy.kernel;
       if (strategy.alpha_priority) {
         options.branch_priority.assign(inst.model.num_variables(), 0);
         for (const auto a : inst.alpha_vars) {
@@ -146,6 +162,11 @@ int main() {
     tally.presolve_cols_removed = counter(snap, "lp.presolve.cols_removed");
     tally.presolve_node_fixings = counter(snap, "lp.presolve.node_fixings");
     tally.presolve_node_prunes = counter(snap, "lp.presolve.node_prunes");
+    tally.refactorizations = counter(snap, "simplex.refactorizations");
+    tally.eta_nnz = counter(snap, "simplex.eta_nnz");
+    tally.bound_flips = counter(snap, "simplex.bound_flips");
+    tally.devex_resets = counter(snap, "simplex.devex_resets");
+    tally.fixed_cols_skipped = counter(snap, "simplex.fixed_cols_skipped");
     tallies.push_back(tally);
 
     std::cout << std::left << std::setw(22) << strategy.name << std::setw(8)
@@ -158,14 +179,16 @@ int main() {
   }
 
   // Warm-vs-cold summary over the strategy pairs (each warm strategy is
-  // immediately followed by its cold twin above).  Presolve strategies sit
-  // outside the pairing and are summarized separately below.
+  // immediately followed by its cold twin above).  Presolve strategies and
+  // the dense kernel twins sit outside the pairing and are summarized
+  // separately below.
   std::uint64_t warm_total = 0;
   std::uint64_t cold_total = 0;
   double warm_sec = 0.0;
   double cold_sec = 0.0;
   for (std::size_t k = 0; k < tallies.size(); ++k) {
-    if (kStrategies[k].presolve) {
+    if (kStrategies[k].presolve ||
+        kStrategies[k].kernel != lp::SimplexKernel::kSparse) {
       continue;
     }
     const auto pivots = tallies[k].warm_pivots + tallies[k].cold_pivots;
@@ -211,27 +234,72 @@ int main() {
             << presolve_speedup << "x), removed " << pre_rows_removed
             << " rows / " << pre_cols_removed << " cols\n";
 
+  // Kernel axis: the same heaviest strategy through both kernels, from the
+  // same run on the same machine.  The prove pair must land on identical
+  // mean bounds (both prove the true optimum); the 2%-gap pair carries the
+  // wall-time speedup perf_check.py gates on.
+  double sparse_sec = 0.0;
+  double dense_sec = 0.0;
+  double prove_bound_sparse = 0.0;
+  double prove_bound_dense = 0.0;
+  for (std::size_t k = 0; k < tallies.size(); ++k) {
+    const std::string name = kStrategies[k].name;
+    const double mean_bound =
+        tallies[k].bound_sum / static_cast<double>(tallies[k].solved);
+    if (name == "plain, 2%gap, warm") {
+      sparse_sec = tallies[k].seconds;
+    } else if (name == "plain, 2%gap, warm [dense]") {
+      dense_sec = tallies[k].seconds;
+    } else if (name == "alpha, prove, warm") {
+      prove_bound_sparse = mean_bound;
+    } else if (name == "alpha, prove, warm [dense]") {
+      prove_bound_dense = mean_bound;
+    }
+  }
+  const double kernel_speedup =
+      sparse_sec > 0.0 ? dense_sec / sparse_sec : 0.0;
+  std::cout << "kernel axis (plain, 2%gap, warm): sparse "
+            << std::setprecision(2) << sparse_sec << "s vs dense "
+            << dense_sec << "s (" << kernel_speedup << "x)\n"
+            << "kernel bound identity (alpha, prove, warm): sparse "
+            << std::setprecision(6) << prove_bound_sparse << " vs dense "
+            << prove_bound_dense << "\n";
+
   std::ofstream json("BENCH_solver.json");
   json << "{\n  \"schema\": \"mcs-bench-solver-v1\",\n"
        << "  \"instances\": " << instances.size() << ",\n"
        << "  \"strategies\": [\n";
   for (std::size_t k = 0; k < tallies.size(); ++k) {
     const Tally& t = tallies[k];
+    const std::uint64_t pivots = t.warm_pivots + t.cold_pivots;
+    const double pivot_rate =
+        t.seconds > 0.0 ? static_cast<double>(pivots) / t.seconds : 0.0;
     json << "    {\"name\": \"" << kStrategies[k].name << "\", "
-         << "\"warm_start\": " << (kStrategies[k].warm_start ? "true" : "false")
+         << "\"kernel\": \""
+         << (kStrategies[k].kernel == lp::SimplexKernel::kSparse ? "sparse"
+                                                                 : "dense")
+         << "\", \"warm_start\": "
+         << (kStrategies[k].warm_start ? "true" : "false")
          << ", \"presolve\": " << (kStrategies[k].presolve ? "true" : "false")
          << ", \"solved\": " << t.solved << ", \"nodes\": " << t.nodes
          << ", \"lp_iterations\": " << t.lp_iters
-         << ", \"pivots\": " << t.warm_pivots + t.cold_pivots
+         << ", \"pivots\": " << pivots
          << ", \"warm_pivots\": " << t.warm_pivots
          << ", \"cold_pivots\": " << t.cold_pivots
+         << ", \"pivot_rate\": " << std::fixed << std::setprecision(0)
+         << pivot_rate
          << ", \"warm_start_hits\": " << t.warm_hits
          << ", \"warm_start_fallbacks\": " << t.warm_fallbacks
+         << ", \"refactorizations\": " << t.refactorizations
+         << ", \"eta_nnz\": " << t.eta_nnz
+         << ", \"bound_flips\": " << t.bound_flips
+         << ", \"devex_resets\": " << t.devex_resets
+         << ", \"fixed_cols_skipped\": " << t.fixed_cols_skipped
          << ", \"presolve_rows_removed\": " << t.presolve_rows_removed
          << ", \"presolve_cols_removed\": " << t.presolve_cols_removed
          << ", \"presolve_node_fixings\": " << t.presolve_node_fixings
          << ", \"presolve_node_prunes\": " << t.presolve_node_prunes
-         << ", \"wall_ms\": " << std::fixed << std::setprecision(1)
+         << ", \"wall_ms\": " << std::setprecision(1)
          << t.seconds * 1000.0 << ", \"mean_bound\": "
          << std::setprecision(6)
          << t.bound_sum / static_cast<double>(t.solved) << "}"
@@ -245,7 +313,8 @@ int main() {
        << ", \"presolve_speedup\": " << std::setprecision(3)
        << presolve_speedup
        << ", \"presolve_rows_removed\": " << pre_rows_removed
-       << ", \"presolve_cols_removed\": " << pre_cols_removed << "}\n}\n";
+       << ", \"presolve_cols_removed\": " << pre_cols_removed
+       << ", \"sparse_kernel_speedup\": " << kernel_speedup << "}\n}\n";
   json.close();
   std::cout << "wrote BENCH_solver.json\n";
 

@@ -116,6 +116,55 @@ CheckReport audit_presolve(const Model& original, const Presolved& presolved) {
   check_embedding(map.col_map, reduced.num_variables(), "column", &report);
   check_embedding(map.row_map, reduced.num_constraints(), "row", &report);
 
+  // --- F301: equilibration scales are well-formed --------------------------
+  // Empty vectors mean the identity; non-empty ones must cover the reduced
+  // dimensions exactly and hold positive powers of two (the exactness of
+  // postsolve rests on that), with integral columns left unscaled.
+  const auto power_of_two = [](double v) {
+    int exp = 0;
+    return std::isfinite(v) && v > 0.0 && std::frexp(v, &exp) == 0.5;
+  };
+  if (!map.row_scale.empty() &&
+      map.row_scale.size() != reduced.num_constraints()) {
+    report.add("MCS-F301", Severity::kError, "row scales",
+               std::to_string(map.row_scale.size()) + " scales vs " +
+                   std::to_string(reduced.num_constraints()) +
+                   " reduced rows");
+  }
+  if (!map.col_scale.empty() &&
+      map.col_scale.size() != reduced.num_variables()) {
+    report.add("MCS-F301", Severity::kError, "column scales",
+               std::to_string(map.col_scale.size()) + " scales vs " +
+                   std::to_string(reduced.num_variables()) +
+                   " reduced columns");
+  }
+  for (std::size_t i = 0; i < map.row_scale.size(); ++i) {
+    if (!power_of_two(map.row_scale[i])) {
+      report.add("MCS-F301", Severity::kError,
+                 "row scale " + std::to_string(i),
+                 number(map.row_scale[i]) +
+                     " is not a positive power of two");
+      break;
+    }
+  }
+  for (std::size_t j = 0;
+       j < map.col_scale.size() && j < reduced.num_variables(); ++j) {
+    if (!power_of_two(map.col_scale[j])) {
+      report.add("MCS-F301", Severity::kError,
+                 "column scale " + std::to_string(j),
+                 number(map.col_scale[j]) +
+                     " is not a positive power of two");
+      break;
+    }
+    if (reduced.variables()[j].type != VarType::kContinuous &&
+        map.col_scale[j] != 1.0) {
+      report.add("MCS-F301", Severity::kError,
+                 "column scale " + std::to_string(j),
+                 "integral column scaled by " + number(map.col_scale[j]));
+      break;
+    }
+  }
+
   // --- F301: the log, the stats, and the map agree on what was removed ----
   std::size_t logged_col_fixes = 0;
   std::size_t logged_row_removals = 0;
@@ -224,11 +273,16 @@ CheckReport audit_presolve(const Model& original, const Presolved& presolved) {
       continue;  // already reported by check_embedding
     }
     const Variable& rv = reduced.variables()[j];
-    if (rv.lower < ov.lower - tol_at(kTol, ov.lower) ||
-        rv.upper > ov.upper + tol_at(kTol, ov.upper)) {
+    // Reduced bounds live in scaled space; translate back through the
+    // (positive, power-of-two) column scale before the containment check.
+    const double cs = j < map.col_scale.size() ? map.col_scale[j] : 1.0;
+    const double lower = rv.lower * cs;
+    const double upper = rv.upper * cs;
+    if (lower < ov.lower - tol_at(kTol, ov.lower) ||
+        upper > ov.upper + tol_at(kTol, ov.upper)) {
       report.add("MCS-F302", Severity::kError, column_name(original, i),
-                 "reduced bounds [" + number(rv.lower) + ", " +
-                     number(rv.upper) + "] are not within original [" +
+                 "reduced bounds [" + number(lower) + ", " +
+                     number(upper) + "] are not within original [" +
                      number(ov.lower) + ", " + number(ov.upper) + "]");
     }
     if (rv.type != ov.type) {

@@ -33,7 +33,9 @@ std::vector<double> PostsolveMap::postsolve_primal(
     } else {
       MCS_REQUIRE(col_map[c] < reduced.size(),
                   "postsolve_primal: reduced point too short");
-      out[c] = reduced[col_map[c]];
+      const double scale =
+          col_scale.empty() ? 1.0 : col_scale[col_map[c]];
+      out[c] = scale * reduced[col_map[c]];
     }
   }
   return out;
@@ -52,7 +54,9 @@ bool PostsolveMap::restrict_primal(const std::vector<double>& original,
         return false;
       }
     } else {
-      reduced[col_map[c]] = original[c];
+      const double scale =
+          col_scale.empty() ? 1.0 : col_scale[col_map[c]];
+      reduced[col_map[c]] = original[c] / scale;
     }
   }
   *out = std::move(reduced);

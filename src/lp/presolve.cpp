@@ -508,6 +508,62 @@ class Reducer {
     }
   }
 
+  /// Geometric-mean equilibration over the surviving submatrix: fills
+  /// `rs` / `cs` in *original* row/column index space (dead rows and fixed
+  /// columns keep 1).  Every scale is a power of two — snapped via
+  /// exp2(round(log2(.))) — so applying it is exact in floating point.
+  /// Integral columns are pinned at 1: their bounds, branching values, and
+  /// pack-row membership (unit coefficients over 0/1 columns, detected by
+  /// the MILP layer on this reduced model) must survive verbatim.
+  void compute_scales(std::vector<double>* rs_out,
+                      std::vector<double>* cs_out) const {
+    std::vector<double>& rs = *rs_out;
+    std::vector<double>& cs = *cs_out;
+    rs.assign(rows_.size(), 1.0);
+    cs.assign(cols_.size(), 1.0);
+    const auto snap = [](double g) {
+      return g > 0.0 && std::isfinite(g)
+                 ? std::exp2(-std::round(std::log2(g)))
+                 : 1.0;
+    };
+    const double inf = std::numeric_limits<double>::infinity();
+    std::vector<double> clo(cols_.size());
+    std::vector<double> chi(cols_.size());
+    // Two alternating row/column sweeps; the power-of-two rounding absorbs
+    // any further refinement on these models.
+    for (int sweep = 0; sweep < 2; ++sweep) {
+      for (std::size_t r = 0; r < rows_.size(); ++r) {
+        const Row& row = rows_[r];
+        if (!row.alive) continue;
+        double lo = inf;
+        double hi = 0.0;
+        for (const auto [v, a] : row.terms) {
+          const double m = std::abs(a) * cs[v];
+          if (m == 0.0) continue;
+          lo = std::min(lo, m);
+          hi = std::max(hi, m);
+        }
+        if (hi > 0.0) rs[r] = snap(std::sqrt(lo * hi));
+      }
+      clo.assign(cols_.size(), inf);
+      chi.assign(cols_.size(), 0.0);
+      for (std::size_t r = 0; r < rows_.size(); ++r) {
+        const Row& row = rows_[r];
+        if (!row.alive) continue;
+        for (const auto [v, a] : row.terms) {
+          const double m = std::abs(a) * rs[r];
+          if (m == 0.0) continue;
+          clo[v] = std::min(clo[v], m);
+          chi[v] = std::max(chi[v], m);
+        }
+      }
+      for (std::size_t c = 0; c < cols_.size(); ++c) {
+        if (cols_[c].fixed || integral(cols_[c])) continue;
+        if (chi[c] > 0.0) cs[c] = snap(std::sqrt(clo[c] * chi[c]));
+      }
+    }
+  }
+
   void emit() {
     // The round cap can leave fixings unsubstituted in surviving rows;
     // absorb them now and dispose of rows whose live support collapses to
@@ -536,12 +592,36 @@ class Reducer {
       return;
     }
 
+    // Equilibration scales, in original index space (all ones when the
+    // pass is off or settles on the identity).  Applied while the reduced
+    // model is built below; recorded in the map only when non-trivial so
+    // the unscaled path stays bit-identical to `equilibrate = false`.
+    std::vector<double> rs(rows_.size(), 1.0);
+    std::vector<double> cs(cols_.size(), 1.0);
+    bool scaled = false;
+    if (opt_.equilibrate) {
+      compute_scales(&rs, &cs);
+      for (std::size_t r = 0; r < rows_.size(); ++r) {
+        if (rows_[r].alive && rs[r] != 1.0) {
+          ++out_->stats.rows_scaled;
+          scaled = true;
+        }
+      }
+      for (std::size_t c = 0; c < cols_.size(); ++c) {
+        if (!cols_[c].fixed && cs[c] != 1.0) {
+          ++out_->stats.cols_scaled;
+          scaled = true;
+        }
+      }
+    }
+
     Model& red = out_->reduced;
     std::size_t n_cols = 0;
     for (const Col& c : cols_) {
       if (!c.fixed) ++n_cols;
     }
     red.reserve_variables(n_cols);
+    if (scaled) map.col_scale.reserve(n_cols);
     for (std::size_t c = 0; c < cols_.size(); ++c) {
       const Col& col = cols_[c];
       if (col.fixed) {
@@ -552,7 +632,8 @@ class Reducer {
       VarId id{};
       switch (col.type) {
         case VarType::kContinuous:
-          id = red.add_continuous(col.lo, col.hi, name);
+          // Power-of-two division is exact; x_reduced = x / cs.
+          id = red.add_continuous(col.lo / cs[c], col.hi / cs[c], name);
           break;
         case VarType::kBinary:
           id = red.add_binary(name);
@@ -563,6 +644,7 @@ class Reducer {
           break;
       }
       map.col_map[c] = id.index;
+      if (scaled) map.col_scale.push_back(cs[c]);
     }
 
     std::size_t n_rows = 0;
@@ -570,15 +652,17 @@ class Reducer {
       if (r.alive) ++n_rows;
     }
     red.reserve_constraints(n_rows);
+    if (scaled) map.row_scale.reserve(n_rows);
     for (std::size_t r = 0; r < rows_.size(); ++r) {
       Row& row = rows_[r];
       if (!row.alive) continue;
       LinExpr lhs;
       for (const auto [v, a] : row.terms) {
-        lhs.add_term(VarId{map.col_map[v]}, a);
+        lhs.add_term(VarId{map.col_map[v]}, a * rs[r] * cs[v]);
       }
       map.row_map[r] = red.num_constraints();
-      red.add_constraint(lhs, row.rel, LinExpr(row.rhs),
+      if (scaled) map.row_scale.push_back(rs[r]);
+      red.add_constraint(lhs, row.rel, LinExpr(row.rhs * rs[r]),
                          model_.constraints()[r].name);
     }
 
@@ -590,7 +674,8 @@ class Reducer {
       if (cols_[v].fixed) {
         constant += coef * cols_[v].value;
       } else {
-        obj.add_term(VarId{map.col_map[v]}, coef);
+        // c * x == (c * cs) * (x / cs): objective values transfer exactly.
+        obj.add_term(VarId{map.col_map[v]}, coef * cs[v]);
       }
     }
     obj += LinExpr(constant);
@@ -607,6 +692,10 @@ class Reducer {
                  static_cast<std::uint64_t>(out_->stats.bounds_tightened));
       tel::count("lp.presolve.coefficients_tightened",
                  static_cast<std::uint64_t>(out_->stats.coefficients_tightened));
+      tel::count("lp.presolve.rows_scaled",
+                 static_cast<std::uint64_t>(out_->stats.rows_scaled));
+      tel::count("lp.presolve.cols_scaled",
+                 static_cast<std::uint64_t>(out_->stats.cols_scaled));
     }
   }
 

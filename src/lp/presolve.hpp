@@ -27,7 +27,8 @@
 //
 // Telemetry (when enabled): lp.presolve.runs, lp.presolve.rows_removed,
 // lp.presolve.cols_removed, lp.presolve.bounds_tightened,
-// lp.presolve.coefficients_tightened, lp.presolve.infeasible.
+// lp.presolve.coefficients_tightened, lp.presolve.rows_scaled,
+// lp.presolve.cols_scaled, lp.presolve.infeasible.
 #pragma once
 
 #include <cstddef>
@@ -46,6 +47,16 @@ struct PresolveOptions {
   double feasibility_tol = 1e-9;
   /// Reduction rounds before giving up on reaching a fixpoint.
   std::size_t max_rounds = 16;
+  /// Geometric-mean row/column equilibration of the reduced model.  Scale
+  /// factors are powers of two (exact in floating point, so the scaled
+  /// model is a reparametrization, not an approximation) and are carried
+  /// in the PostsolveMap; integral columns and their bounds are never
+  /// scaled, so branching, pack-row detection, and integrality are
+  /// untouched.  Mixed-magnitude rows (unit placement coefficients next to
+  /// big-M delay terms) are what the sparse kernel's relative tolerances
+  /// struggle with most; equilibration narrows that spread before the
+  /// first pivot.
+  bool equilibrate = true;
 };
 
 enum class ReductionKind {
@@ -79,6 +90,9 @@ struct PresolveStats {
   std::size_t bounds_tightened = 0;
   std::size_t coefficients_tightened = 0;
   std::size_t rounds = 0;
+  /// Rows / continuous columns whose equilibration scale ended up != 1.
+  std::size_t rows_scaled = 0;
+  std::size_t cols_scaled = 0;
 };
 
 struct Presolved {

@@ -1,9 +1,14 @@
+// Dense full-tableau kernel plus the kernel-independent SimplexSolver
+// facade (kernel selection, warm/cold orchestration, stats, telemetry).
+// The sparse revised-simplex kernel lives in simplex_sparse.cpp; both
+// implement SimplexSolver::Impl (simplex_impl.hpp).
 #include "lp/simplex.hpp"
 
 #include <algorithm>
 #include <cmath>
 #include <limits>
 
+#include "lp/simplex_impl.hpp"
 #include "support/contracts.hpp"
 #include "support/telemetry.hpp"
 
@@ -25,30 +30,38 @@ const char* to_string(SolveStatus status) noexcept {
   return "unknown";
 }
 
+ColumnLayout build_column_layout(const Model& model) {
+  ColumnLayout layout;
+  const auto& vars = model.variables();
+  layout.var_cols.assign(vars.size(), {});
+  for (std::size_t v = 0; v < vars.size(); ++v) {
+    const Variable& mv = vars[v];
+    if (std::isfinite(mv.lower)) {
+      layout.col_map.push_back({v, mv.lower, 1.0});
+      layout.upper.push_back(std::isfinite(mv.upper) ? mv.upper - mv.lower
+                                                     : kInfinity);
+      layout.var_cols[v].push_back(layout.col_map.size() - 1);
+    } else if (std::isfinite(mv.upper)) {
+      // x = ub - y,  y in [0, inf)
+      layout.col_map.push_back({v, mv.upper, -1.0});
+      layout.upper.push_back(kInfinity);
+      layout.var_cols[v].push_back(layout.col_map.size() - 1);
+    } else {
+      // free: x = y1 - y2
+      layout.col_map.push_back({v, 0.0, 1.0});
+      layout.upper.push_back(kInfinity);
+      layout.var_cols[v].push_back(layout.col_map.size() - 1);
+      layout.col_map.push_back({v, 0.0, -1.0});
+      layout.upper.push_back(kInfinity);
+      layout.var_cols[v].push_back(layout.col_map.size() - 1);
+    }
+  }
+  return layout;
+}
+
 namespace {
 
-/// Cap on the rhs-relative scaling of the phase-1 infeasibility gate:
-/// the gate must grow with problem magnitude to absorb summation noise,
-/// yet stay well below one tick (the smallest genuine violation) even on
-/// models with 1e9-scale right-hand sides.
-constexpr double kPhase1ScaleCap = 1e5;
-
-enum class VarStatus : std::uint8_t { kBasic, kAtLower, kAtUpper };
-
-/// Internal column: value x = offset + sign * y where y is the simplex
-/// variable with bounds [0, upper] (upper possibly +inf).  Free model
-/// variables are split into two internal columns (sign +1 and -1).
-struct ColumnMap {
-  std::size_t model_var = static_cast<std::size_t>(-1);
-  double offset = 0.0;
-  double sign = 1.0;
-};
-
-constexpr std::size_t npos = static_cast<std::size_t>(-1);
-
-}  // namespace
-
-/// All solver state.  The layout splits into
+/// All dense-kernel state.  The layout splits into
 ///  * static data built once from the model (base rows in a fixed
 ///    orientation, costs, column mapping),
 ///  * bound state shadowing the model's variable bounds (offsets / uppers,
@@ -57,10 +70,7 @@ constexpr std::size_t npos = static_cast<std::size_t>(-1);
 ///    survives between solves so warm restarts can continue from it.
 /// `prhs_` is the right-hand side pivoted along with the tableau (B^-1 b');
 /// keeping it current is what makes bound changes patchable in O(rows).
-struct SimplexSolver::Impl {
-  const Model& model_;
-  SimplexOptions opt_;
-
+struct DenseKernel final : SimplexSolver::Impl {
   std::size_t rows_ = 0;
   std::size_t structural_ = 0;     // model-variable (+ split) columns
   std::size_t cols_ = 0;           // structural + one slack per row
@@ -88,12 +98,14 @@ struct SimplexSolver::Impl {
   std::vector<VarStatus> status_;                // per internal column
   std::vector<double> dj_;                       // reduced costs
   const std::vector<double>* active_cost_ = nullptr;
+  /// Pricing list: columns not pinned by equal bounds (upper_ > 0), in
+  /// ascending index order (Bland's rule relies on the ordering).  Rebuilt
+  /// at every iterate / dual_reoptimize entry — upper_ only changes between
+  /// phases (freeze_artificials) or between solves (set_bounds).
+  std::vector<std::size_t> live_cols_;
 
-  std::size_t warm_since_cold_ = 0;
-  SimplexStats stats_;
-
-  Impl(const Model& model, const SimplexOptions& options)
-      : model_(model), opt_(options) {
+  DenseKernel(const Model& model, const SimplexOptions& options)
+      : Impl(model, options) {
     build_static();
   }
 
@@ -101,6 +113,7 @@ struct SimplexSolver::Impl {
   void reset_tableau();
   void compute_basic_values();
   void recompute_reduced_costs();
+  void rebuild_live_cols();
   double current_internal_objective() const;
   std::size_t choose_entering(bool bland) const;
   SolveStatus iterate(bool phase_one, std::size_t& iterations);
@@ -112,7 +125,6 @@ struct SimplexSolver::Impl {
   LpSolution extract_solution(SolveStatus status,
                               std::size_t iterations) const;
 
-  LpSolution run_cold();
   SolveStatus dual_reoptimize(std::size_t& iterations);
   bool same_basis(const Basis& b) const;
   void load_basis(const Basis& b);
@@ -120,34 +132,22 @@ struct SimplexSolver::Impl {
   bool certify(const std::vector<double>& values) const;
   bool certify_dual() const;
 
-  void set_bounds(std::size_t var, double lower, double upper);
+  // SimplexSolver::Impl interface.
+  void set_bounds(std::size_t var, double lower, double upper) override;
+  void set_rhs(std::size_t row, double rhs) override;
+  void invalidate() override { tableau_valid_ = false; }
+  bool valid() const override { return tableau_valid_; }
+  std::size_t num_rows() const override { return rows_; }
+  LpSolution run_cold() override;
+  bool warm_attempt(const Basis* parent, LpSolution& sol) override;
+  Basis snapshot() const override;
 };
 
-void SimplexSolver::Impl::build_static() {
-  const auto& vars = model_.variables();
-  var_cols_.assign(vars.size(), {});
-  for (std::size_t v = 0; v < vars.size(); ++v) {
-    const Variable& mv = vars[v];
-    if (std::isfinite(mv.lower)) {
-      col_map_.push_back({v, mv.lower, 1.0});
-      upper_.push_back(std::isfinite(mv.upper) ? mv.upper - mv.lower
-                                               : kInfinity);
-      var_cols_[v].push_back(col_map_.size() - 1);
-    } else if (std::isfinite(mv.upper)) {
-      // x = ub - y,  y in [0, inf)
-      col_map_.push_back({v, mv.upper, -1.0});
-      upper_.push_back(kInfinity);
-      var_cols_[v].push_back(col_map_.size() - 1);
-    } else {
-      // free: x = y1 - y2
-      col_map_.push_back({v, 0.0, 1.0});
-      upper_.push_back(kInfinity);
-      var_cols_[v].push_back(col_map_.size() - 1);
-      col_map_.push_back({v, 0.0, -1.0});
-      upper_.push_back(kInfinity);
-      var_cols_[v].push_back(col_map_.size() - 1);
-    }
-  }
+void DenseKernel::build_static() {
+  ColumnLayout layout = build_column_layout(model_);
+  col_map_ = std::move(layout.col_map);
+  var_cols_ = std::move(layout.var_cols);
+  upper_ = std::move(layout.upper);
   structural_ = col_map_.size();
   rows_ = model_.num_constraints();
   cols_ = structural_ + rows_;
@@ -201,7 +201,7 @@ void SimplexSolver::Impl::build_static() {
   }
 }
 
-void SimplexSolver::Impl::reset_tableau() {
+void DenseKernel::reset_tableau() {
   tab_.resize(rows_);
   row_sign_.assign(rows_, 1.0);
   prhs_.assign(rows_, 0.0);
@@ -250,7 +250,7 @@ void SimplexSolver::Impl::reset_tableau() {
   tableau_valid_ = true;
 }
 
-void SimplexSolver::Impl::compute_basic_values() {
+void DenseKernel::compute_basic_values() {
   xb_ = prhs_;
   for (std::size_t c = 0; c < total_cols_; ++c) {
     if (status_[c] == VarStatus::kAtUpper) {
@@ -263,7 +263,7 @@ void SimplexSolver::Impl::compute_basic_values() {
   }
 }
 
-void SimplexSolver::Impl::recompute_reduced_costs() {
+void DenseKernel::recompute_reduced_costs() {
   const std::vector<double>& c = *active_cost_;
   dj_ = c;
   for (std::size_t r = 0; r < rows_; ++r) {
@@ -276,7 +276,17 @@ void SimplexSolver::Impl::recompute_reduced_costs() {
   }
 }
 
-double SimplexSolver::Impl::current_internal_objective() const {
+void DenseKernel::rebuild_live_cols() {
+  live_cols_.clear();
+  for (std::size_t j = 0; j < total_cols_; ++j) {
+    if (upper_[j] > 0.0) {
+      live_cols_.push_back(j);
+    }
+  }
+  stats_.fixed_cols_skipped += total_cols_ - live_cols_.size();
+}
+
+double DenseKernel::current_internal_objective() const {
   const std::vector<double>& c = *active_cost_;
   double obj = 0.0;
   for (std::size_t r = 0; r < rows_; ++r) {
@@ -290,12 +300,11 @@ double SimplexSolver::Impl::current_internal_objective() const {
   return obj;
 }
 
-std::size_t SimplexSolver::Impl::choose_entering(bool bland) const {
+std::size_t DenseKernel::choose_entering(bool bland) const {
   std::size_t best = npos;
   double best_score = opt_.reduced_cost_tol;
-  for (std::size_t j = 0; j < total_cols_; ++j) {
+  for (const std::size_t j : live_cols_) {
     if (status_[j] == VarStatus::kBasic) continue;
-    if (upper_[j] <= 0.0) continue;  // fixed (e.g. frozen slack/artificial)
     double violation = 0.0;
     if (status_[j] == VarStatus::kAtLower) {
       violation = -dj_[j];  // want dj < 0 to decrease objective
@@ -313,9 +322,9 @@ std::size_t SimplexSolver::Impl::choose_entering(bool bland) const {
   return best;
 }
 
-SolveStatus SimplexSolver::Impl::iterate(bool phase_one,
-                                         std::size_t& iterations) {
+SolveStatus DenseKernel::iterate(bool phase_one, std::size_t& iterations) {
   recompute_reduced_costs();
+  rebuild_live_cols();
   std::size_t since_refactor = 0;
   for (;;) {
     if (iterations >= opt_.max_iterations) {
@@ -386,6 +395,7 @@ SolveStatus SimplexSolver::Impl::iterate(bool phase_one,
       }
       status_[q] = status_[q] == VarStatus::kAtLower ? VarStatus::kAtUpper
                                                      : VarStatus::kAtLower;
+      ++stats_.bound_flips;
       continue;
     }
 
@@ -396,9 +406,8 @@ SolveStatus SimplexSolver::Impl::iterate(bool phase_one,
   }
 }
 
-void SimplexSolver::Impl::pivot(std::size_t row, std::size_t col,
-                                double entering_value,
-                                VarStatus leaving_status) {
+void DenseKernel::pivot(std::size_t row, std::size_t col,
+                        double entering_value, VarStatus leaving_status) {
   const std::size_t leaving = basis_[row];
   const double dir = status_[col] == VarStatus::kAtLower ? 1.0 : -1.0;
   const double step = std::abs((entering_value -
@@ -455,7 +464,7 @@ void SimplexSolver::Impl::pivot(std::size_t row, std::size_t col,
 
 // Bare tableau pivot used while loading a basis snapshot: no xb / dj upkeep
 // (both are recomputed wholesale afterwards).
-void SimplexSolver::Impl::pivot_for_load(std::size_t row, std::size_t col) {
+void DenseKernel::pivot_for_load(std::size_t row, std::size_t col) {
   auto& prow = tab_[row];
   const double inv = 1.0 / prow[col];
   for (double& entry : prow) {
@@ -479,7 +488,7 @@ void SimplexSolver::Impl::pivot_for_load(std::size_t row, std::size_t col) {
   status_[col] = VarStatus::kBasic;
 }
 
-bool SimplexSolver::Impl::drive_out_artificials() {
+bool DenseKernel::drive_out_artificials() {
   for (std::size_t r = 0; r < rows_; ++r) {
     if (basis_[r] < first_artificial_) continue;
     // Basic artificial (value must be ~0 after a feasible phase 1).
@@ -509,7 +518,7 @@ bool SimplexSolver::Impl::drive_out_artificials() {
   return true;
 }
 
-void SimplexSolver::Impl::freeze_artificials() {
+void DenseKernel::freeze_artificials() {
   // Freeze every artificial at zero so later phases (and warm restarts)
   // cannot move one; a basic artificial stays basic with bounds [0, 0], so
   // the dual phase treats any nonzero value as a violation to repair.
@@ -521,9 +530,8 @@ void SimplexSolver::Impl::freeze_artificials() {
   }
 }
 
-LpSolution SimplexSolver::Impl::extract_solution(SolveStatus status,
-                                                 std::size_t iterations)
-    const {
+LpSolution DenseKernel::extract_solution(SolveStatus status,
+                                         std::size_t iterations) const {
   LpSolution sol;
   sol.status = status;
   sol.iterations = iterations;
@@ -553,7 +561,7 @@ LpSolution SimplexSolver::Impl::extract_solution(SolveStatus status,
   return sol;
 }
 
-LpSolution SimplexSolver::Impl::run_cold() {
+LpSolution DenseKernel::run_cold() {
   reset_tableau();
   std::size_t iterations = 0;
 
@@ -600,7 +608,8 @@ LpSolution SimplexSolver::Impl::run_cold() {
 /// fresh xb_/dj_.  Returns kOptimal when primal feasible (a closing primal
 /// phase then certifies optimality), kInfeasible on a valid infeasibility
 /// certificate, kIterationLimit when the caller should fall back cold.
-SolveStatus SimplexSolver::Impl::dual_reoptimize(std::size_t& iterations) {
+SolveStatus DenseKernel::dual_reoptimize(std::size_t& iterations) {
+  rebuild_live_cols();
   std::size_t since_refactor = 0;
   for (;;) {
     if (iterations >= opt_.max_iterations) {
@@ -657,9 +666,8 @@ SolveStatus SimplexSolver::Impl::dual_reoptimize(std::size_t& iterations) {
     std::size_t best = npos;
     double best_ratio = kInfinity;
     double best_mag = 0.0;
-    for (std::size_t j = 0; j < total_cols_; ++j) {
+    for (const std::size_t j : live_cols_) {
       if (status_[j] == VarStatus::kBasic) continue;
-      if (upper_[j] <= 0.0) continue;  // fixed column cannot move
       const double alpha = trow[j];
       if (std::abs(alpha) <= alpha_floor) continue;
       const bool at_lower = status_[j] == VarStatus::kAtLower;
@@ -701,7 +709,7 @@ SolveStatus SimplexSolver::Impl::dual_reoptimize(std::size_t& iterations) {
   }
 }
 
-bool SimplexSolver::Impl::same_basis(const Basis& b) const {
+bool DenseKernel::same_basis(const Basis& b) const {
   if (b.basic.size() != rows_ || b.status.size() != total_cols_) {
     return false;
   }
@@ -714,7 +722,7 @@ bool SimplexSolver::Impl::same_basis(const Basis& b) const {
 /// Adopts the snapshot's nonbasic statuses (basic columns keep kBasic).
 /// Statuses are free to reassign without pivoting — they only select which
 /// bound a nonbasic column sits at.
-void SimplexSolver::Impl::adopt_statuses(const Basis& b) {
+void DenseKernel::adopt_statuses(const Basis& b) {
   for (std::size_t c = 0; c < total_cols_; ++c) {
     if (status_[c] == VarStatus::kBasic) continue;
     VarStatus s = static_cast<VarStatus>(b.status[c]);
@@ -733,7 +741,7 @@ void SimplexSolver::Impl::adopt_statuses(const Basis& b) {
 /// satisfying the real constraints, and this check is what catches it —
 /// solve_warm falls back to an authoritative cold solve on failure.  Cost
 /// is one pass over the constraint matrix (about one pivot's worth).
-bool SimplexSolver::Impl::certify(const std::vector<double>& values) const {
+bool DenseKernel::certify(const std::vector<double>& values) const {
   // Tolerances are relative to the magnitude of what is being checked:
   // tick-valued models carry ~1e7 entries, where even a clean primal path
   // leaves noise far above any absolute epsilon.
@@ -779,7 +787,7 @@ bool SimplexSolver::Impl::certify(const std::vector<double>& values) const {
 /// certify() this is a complete primal-dual certificate, so the warm path
 /// never returns a bound the original data cannot back up.  Cost is two
 /// passes over the matrix (about two pivots' worth).
-bool SimplexSolver::Impl::certify_dual() const {
+bool DenseKernel::certify_dual() const {
   const double dtol = 100.0 * opt_.feasibility_tol;
   // y (unoriented rows): the artificial block of tab_ is B^-1 because the
   // artificials entered reset_tableau as an identity block.
@@ -843,7 +851,7 @@ bool SimplexSolver::Impl::certify_dual() const {
 /// Rows whose requested pivot element is numerically unusable keep whatever
 /// basis they have — the subsequent dual + primal phases are correct from
 /// any basis, a partial load merely costs extra pivots.
-void SimplexSolver::Impl::load_basis(const Basis& b) {
+void DenseKernel::load_basis(const Basis& b) {
   reset_tableau();
   // Structural columns first, then slacks: a slack requested in a foreign
   // row has no coefficient there until other pivots fill the row in.
@@ -876,8 +884,7 @@ void SimplexSolver::Impl::load_basis(const Basis& b) {
   freeze_artificials();
 }
 
-void SimplexSolver::Impl::set_bounds(std::size_t var, double lower,
-                                     double upper) {
+void DenseKernel::set_bounds(std::size_t var, double lower, double upper) {
   MCS_REQUIRE(var < var_cols_.size(), "set_bounds: unknown variable");
   MCS_REQUIRE(std::isfinite(lower) && lower <= upper,
               "set_bounds: lower must be finite and <= upper");
@@ -904,9 +911,83 @@ void SimplexSolver::Impl::set_bounds(std::size_t var, double lower,
   }
 }
 
+void DenseKernel::set_rhs(std::size_t row, double rhs) {
+  MCS_REQUIRE(row < rows_, "set_rhs: unknown constraint");
+  MCS_REQUIRE(std::isfinite(rhs), "set_rhs: non-finite right-hand side");
+  if (base_rhs_[row] == rhs) return;
+  base_rhs_[row] = rhs;
+  // The pivoted rhs depends on every base rhs through B^-1; rebuilding it
+  // incrementally would need the row's pivoted column, which is exactly
+  // what a cold reset recomputes anyway.  Invalidate and let the next
+  // solve start cold (solve_warm degrades to solve() on its own).
+  tableau_valid_ = false;
+}
+
+bool DenseKernel::warm_attempt(const Basis* parent, LpSolution& sol) {
+  if (parent != nullptr && !parent->empty()) {
+    if (same_basis(*parent)) {
+      adopt_statuses(*parent);
+    } else {
+      load_basis(*parent);
+    }
+  }
+  compute_basic_values();
+  active_cost_ = &cost_;
+  recompute_reduced_costs();
+
+  // Cap this attempt's pivots: a warm restart that needs more than a few
+  // times the row count is pathological (degenerate grinding), and the
+  // cold fallback is cheaper than letting it run to max_iterations.
+  const std::size_t saved_max = opt_.max_iterations;
+  opt_.max_iterations = std::min(saved_max, warm_budget());
+  std::size_t iterations = 0;
+  const SolveStatus dual = dual_reoptimize(iterations);
+  SolveStatus final_status = dual;
+  if (dual == SolveStatus::kOptimal) {
+    final_status = iterate(/*phase_one=*/false, iterations);
+  }
+  opt_.max_iterations = saved_max;
+  sol.iterations = iterations;
+  // Only a *certified* optimum is returned from the warm path.  Everything
+  // else — iteration limit, an infeasibility certificate (which tableau
+  // error can fabricate), an unboundedness claim, or an extracted solution
+  // that fails the independent feasibility audit — is re-solved cold; the
+  // cold result is authoritative.
+  if (final_status == SolveStatus::kOptimal) {
+    sol = extract_solution(final_status, iterations);
+    if (certify(sol.values) && certify_dual()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Basis DenseKernel::snapshot() const {
+  Basis b;
+  if (!tableau_valid_) return b;
+  b.status.resize(total_cols_);
+  for (std::size_t c = 0; c < total_cols_; ++c) {
+    b.status[c] = static_cast<std::uint8_t>(status_[c]);
+  }
+  b.basic.resize(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    b.basic[r] = static_cast<std::uint32_t>(basis_[r]);
+  }
+  return b;
+}
+
+}  // namespace
+
+std::unique_ptr<SimplexSolver::Impl> make_dense_kernel(
+    const Model& model, const SimplexOptions& options) {
+  return std::make_unique<DenseKernel>(model, options);
+}
+
 SimplexSolver::SimplexSolver(const Model& model,
                              const SimplexOptions& options)
-    : impl_(std::make_unique<Impl>(model, options)) {}
+    : impl_(options.kernel == SimplexKernel::kDense
+                ? make_dense_kernel(model, options)
+                : make_sparse_kernel(model, options)) {}
 
 SimplexSolver::~SimplexSolver() = default;
 
@@ -915,83 +996,74 @@ void SimplexSolver::set_bounds(VarId v, double lower, double upper) {
 }
 
 void SimplexSolver::set_rhs(std::size_t row, double rhs) {
-  Impl& im = *impl_;
-  MCS_REQUIRE(row < im.rows_, "set_rhs: unknown constraint");
-  MCS_REQUIRE(std::isfinite(rhs), "set_rhs: non-finite right-hand side");
-  if (im.base_rhs_[row] == rhs) return;
-  im.base_rhs_[row] = rhs;
-  // The pivoted rhs depends on every base rhs through B^-1; rebuilding it
-  // incrementally would need the row's pivoted column, which is exactly
-  // what a cold reset recomputes anyway.  Invalidate and let the next
-  // solve start cold (solve_warm degrades to solve() on its own).
-  im.tableau_valid_ = false;
+  impl_->set_rhs(row, rhs);
 }
 
-void SimplexSolver::invalidate() { impl_->tableau_valid_ = false; }
+void SimplexSolver::invalidate() { impl_->invalidate(); }
+
+namespace {
+
+/// Emits the per-solve delta of the kernel-maintained counters.  The
+/// kernels only bump `stats_` — a hashed telemetry lookup per pivot would
+/// dominate the pivot itself on these small models.
+void flush_kernel_telemetry(const SimplexStats& now,
+                            const SimplexStats& before) {
+  namespace telemetry = support::telemetry;
+  if (!telemetry::enabled()) {
+    return;
+  }
+  const auto emit = [](const char* key, std::size_t prev, std::size_t cur) {
+    if (cur != prev) {
+      support::telemetry::count(key, cur - prev);
+    }
+  };
+  emit("simplex.refactorizations", before.refactorizations,
+       now.refactorizations);
+  emit("simplex.eta_nnz", before.eta_nnz, now.eta_nnz);
+  emit("simplex.bound_flips", before.bound_flips, now.bound_flips);
+  emit("simplex.devex_resets", before.devex_resets, now.devex_resets);
+  emit("simplex.fixed_cols_skipped", before.fixed_cols_skipped,
+       now.fixed_cols_skipped);
+}
+
+}  // namespace
 
 LpSolution SimplexSolver::solve() {
   namespace telemetry = support::telemetry;
   impl_->warm_since_cold_ = 0;
+  const SimplexStats before = impl_->stats_;
   LpSolution sol = impl_->run_cold();
   ++impl_->stats_.cold_solves;
   impl_->stats_.cold_pivots += sol.iterations;
   if (telemetry::enabled()) {
     telemetry::count("simplex.cold_pivots", sol.iterations);
   }
+  flush_kernel_telemetry(impl_->stats_, before);
   return sol;
 }
 
 LpSolution SimplexSolver::solve_warm(const Basis* parent) {
   namespace telemetry = support::telemetry;
   Impl& im = *impl_;
-  if (!im.tableau_valid_) {
+  if (!im.valid()) {
     return solve();
   }
   if (++im.warm_since_cold_ > im.opt_.warm_refresh_period) {
-    // Scheduled hygiene restart: bounds drift accumulated in prhs_ resets.
+    // Scheduled hygiene restart: bounds drift accumulated in the pivoted
+    // right-hand side (dense) or eta file round-off (sparse) resets.
     return solve();
   }
   ++im.stats_.warm_solves;
-  if (parent != nullptr && !parent->empty()) {
-    if (im.same_basis(*parent)) {
-      im.adopt_statuses(*parent);
-    } else {
-      im.load_basis(*parent);
-    }
-  }
-  im.compute_basic_values();
-  im.active_cost_ = &im.cost_;
-  im.recompute_reduced_costs();
-
-  // Cap this attempt's pivots: a warm restart that needs more than a few
-  // times the row count is pathological (degenerate grinding), and the
-  // cold fallback is cheaper than letting it run to max_iterations.
-  const std::size_t budget = im.opt_.warm_iteration_budget != 0
-                                 ? im.opt_.warm_iteration_budget
-                                 : 4 * im.rows_ + 100;
-  const std::size_t saved_max = im.opt_.max_iterations;
-  im.opt_.max_iterations = std::min(saved_max, budget);
-  std::size_t iterations = 0;
-  const SolveStatus dual = im.dual_reoptimize(iterations);
-  SolveStatus final_status = dual;
-  if (dual == SolveStatus::kOptimal) {
-    final_status = im.iterate(/*phase_one=*/false, iterations);
-  }
-  im.opt_.max_iterations = saved_max;
-  im.stats_.warm_pivots += iterations;
+  const SimplexStats before = im.stats_;
+  LpSolution sol;
+  const bool certified = im.warm_attempt(parent, sol);
+  im.stats_.warm_pivots += sol.iterations;
   if (telemetry::enabled()) {
-    telemetry::count("simplex.warm_pivots", iterations);
+    telemetry::count("simplex.warm_pivots", sol.iterations);
   }
-  // Only a *certified* optimum is returned from the warm path.  Everything
-  // else — iteration limit, an infeasibility certificate (which tableau
-  // error can fabricate), an unboundedness claim, or an extracted solution
-  // that fails the independent feasibility audit — is re-solved cold; the
-  // cold result is authoritative.
-  if (final_status == SolveStatus::kOptimal) {
-    LpSolution sol = im.extract_solution(final_status, iterations);
-    if (im.certify(sol.values) && im.certify_dual()) {
-      return sol;
-    }
+  flush_kernel_telemetry(im.stats_, before);
+  if (certified) {
+    return sol;
   }
   ++im.stats_.warm_fallbacks;
   if (telemetry::enabled()) {
@@ -1000,20 +1072,7 @@ LpSolution SimplexSolver::solve_warm(const Basis* parent) {
   return solve();
 }
 
-Basis SimplexSolver::basis() const {
-  const Impl& im = *impl_;
-  Basis b;
-  if (!im.tableau_valid_) return b;
-  b.status.resize(im.total_cols_);
-  for (std::size_t c = 0; c < im.total_cols_; ++c) {
-    b.status[c] = static_cast<std::uint8_t>(im.status_[c]);
-  }
-  b.basic.resize(im.rows_);
-  for (std::size_t r = 0; r < im.rows_; ++r) {
-    b.basic[r] = static_cast<std::uint32_t>(im.basis_[r]);
-  }
-  return b;
-}
+Basis SimplexSolver::basis() const { return impl_->snapshot(); }
 
 const SimplexStats& SimplexSolver::stats() const noexcept {
   return impl_->stats_;

@@ -1,12 +1,13 @@
-// Two-phase primal simplex with bounded variables (dense tableau), plus a
-// reusable solver object supporting dual-simplex warm restarts.
+// Two-phase primal simplex with bounded variables, plus a reusable solver
+// object supporting dual-simplex warm restarts.  Two interchangeable
+// kernels sit behind the same interface (SimplexOptions::kernel): a sparse
+// revised simplex (CSC matrix + product-form-inverse basis, Devex pricing,
+// bound-flipping dual ratio test — the default) and the original dense
+// full-tableau kernel, retained as the differential-testing reference.
 //
-// Scope: the LP relaxations produced by the schedulability analysis are
-// small (hundreds of rows/columns), so a dense full-tableau implementation
-// with incremental reduced costs is both simple and fast enough.  General
-// features supported: free variables, one- or two-sided bounds, <=, >=, =
-// rows, minimization and maximization, bound-flip (nonbasic upper bound)
-// pivots, Dantzig pricing with a Bland's-rule fallback for anti-cycling.
+// General features supported: free variables, one- or two-sided bounds,
+// <=, >=, = rows, minimization and maximization, bound-flip (nonbasic
+// upper bound) pivots, and a Bland's-rule fallback for anti-cycling.
 //
 // Warm restarts (the branch & bound hot path): a `SimplexSolver` keeps its
 // pivoted tableau alive between solves.  After `set_bounds` changes the
@@ -39,10 +40,24 @@ enum class SolveStatus {
 
 const char* to_string(SolveStatus status) noexcept;
 
+/// Simplex engine selection.  Both kernels implement the identical
+/// contract (cold solves, dual warm restarts, basis snapshots, bound/rhs
+/// patching, primal+dual certificates); they differ only in the inner
+/// representation:
+///  * kSparse — revised simplex on a compressed-sparse-column matrix with a
+///    product-form-inverse (eta-file) basis, Devex pricing with partial
+///    pricing, and a bound-flipping dual ratio test.  Default: the delay
+///    MILPs are highly sparse and the dense tableau pays O(rows*cols) per
+///    pivot for matrices that are ~1% nonzero.
+///  * kDense — the original full-tableau kernel, kept compiled as the
+///    differential-testing reference and for pathologically dense models.
+enum class SimplexKernel : std::uint8_t { kSparse, kDense };
+
 struct SimplexOptions {
   double feasibility_tol = 1e-7;   ///< row / bound violation tolerance
   double reduced_cost_tol = 1e-9;  ///< optimality tolerance
   double pivot_tol = 1e-8;         ///< minimum admissible pivot magnitude
+  SimplexKernel kernel = SimplexKernel::kSparse;
   std::size_t max_iterations = 200000;
   /// After this many pivots, switch from Dantzig to Bland's rule
   /// (guarantees finite termination under degeneracy).
@@ -90,6 +105,18 @@ struct SimplexStats {
   std::size_t warm_fallbacks = 0;
   std::size_t cold_pivots = 0;
   std::size_t warm_pivots = 0;
+  /// Basis refactorizations (kSparse: eta-file rebuilds; kDense: 0).
+  std::size_t refactorizations = 0;
+  /// Cumulative off-diagonal eta entries appended to the basis inverse.
+  std::size_t eta_nnz = 0;
+  /// Nonbasic bound-to-bound moves that did not change the basis (primal
+  /// entering flips plus dual long-step flips).
+  std::size_t bound_flips = 0;
+  /// Devex reference-framework resets (weight overflow; kDense: 0).
+  std::size_t devex_resets = 0;
+  /// Columns excluded from pricing scans because equal bounds (or a frozen
+  /// slack/artificial) pin them; counted once per pricing-list rebuild.
+  std::size_t fixed_cols_skipped = 0;
 };
 
 /// Reusable simplex instance bound to one model.  The model reference must
@@ -138,8 +165,10 @@ class SimplexSolver {
 
   const SimplexStats& stats() const noexcept;
 
- private:
+  /// Kernel interface (internal; defined in simplex_impl.hpp).
   struct Impl;
+
+ private:
   std::unique_ptr<Impl> impl_;
 };
 

@@ -1,0 +1,70 @@
+#include "lp/sparse_matrix.hpp"
+
+#include <algorithm>
+
+#include "support/contracts.hpp"
+
+namespace mcs::lp {
+
+SparseMatrix SparseMatrix::Builder::build() && {
+  // Column-major ordering with row as the secondary key; `seq` keeps
+  // duplicate (row, col) entries in insertion order so their accumulation
+  // order — and therefore the rounded sum — matches the dense kernel's
+  // incremental `+=` into a tableau cell.
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.col != b.col) return a.col < b.col;
+              if (a.row != b.row) return a.row < b.row;
+              return a.seq < b.seq;
+            });
+
+  SparseMatrix m;
+  m.rows_ = rows_;
+  m.col_start_.assign(cols_ + 1, 0);
+  m.row_ind_.reserve(entries_.size());
+  m.values_.reserve(entries_.size());
+
+  std::size_t i = 0;
+  for (std::size_t c = 0; c < cols_; ++c) {
+    while (i < entries_.size() && entries_[i].col == c) {
+      MCS_ASSERT(entries_[i].row < rows_, "sparse build: row out of range");
+      const std::size_t row = entries_[i].row;
+      double acc = 0.0;
+      for (; i < entries_.size() && entries_[i].col == c &&
+             entries_[i].row == row;
+           ++i) {
+        acc += entries_[i].value;
+      }
+      if (acc != 0.0) {
+        m.row_ind_.push_back(static_cast<std::uint32_t>(row));
+        m.values_.push_back(acc);
+      }
+    }
+    m.col_start_[c + 1] = m.row_ind_.size();
+  }
+  MCS_ASSERT(i == entries_.size(), "sparse build: column out of range");
+
+  // Row-major mirror via a counting pass over the finished CSC arrays (the
+  // mirror therefore holds exactly the accumulated values, in ascending
+  // column order within each row).
+  m.row_start_.assign(rows_ + 1, 0);
+  for (const std::uint32_t r : m.row_ind_) {
+    ++m.row_start_[r + 1];
+  }
+  for (std::size_t r = 0; r < rows_; ++r) {
+    m.row_start_[r + 1] += m.row_start_[r];
+  }
+  m.col_ind_.resize(m.row_ind_.size());
+  m.row_values_.resize(m.values_.size());
+  std::vector<std::size_t> fill = m.row_start_;
+  for (std::size_t c = 0; c < cols_; ++c) {
+    for (std::size_t k = m.col_start_[c]; k < m.col_start_[c + 1]; ++k) {
+      const std::size_t slot = fill[m.row_ind_[k]]++;
+      m.col_ind_[slot] = static_cast<std::uint32_t>(c);
+      m.row_values_[slot] = m.values_[k];
+    }
+  }
+  return m;
+}
+
+}  // namespace mcs::lp

@@ -234,15 +234,74 @@ TEST(Presolve, BigMCoefficientIsStrengthened) {
   EXPECT_GE(pre.stats.coefficients_tightened, 1u);
   const std::size_t row = pre.map.row_map[0];
   ASSERT_NE(row, kRemoved);
+  // Equilibration rescales the emitted row; descale through the map to
+  // recover the strengthened original-space coefficient.
+  const double rs =
+      pre.map.row_scale.empty() ? 1.0 : pre.map.row_scale[row];
   for (const auto& [var, coef] : pre.reduced.constraints()[row].lhs.terms()) {
     if (var == pre.map.col_map[b.index]) {
-      EXPECT_DOUBLE_EQ(coef, -4.0);
+      const double cs = pre.map.col_scale.empty()
+                            ? 1.0
+                            : pre.map.col_scale[pre.map.col_map[b.index]];
+      EXPECT_DOUBLE_EQ(coef / (rs * cs), -4.0);
     }
   }
   // Strengthening must not change the optimum (b=1, x=4, objective 3.5).
   const MilpResult res = solve_milp(m);
   ASSERT_EQ(res.status, SolveStatus::kOptimal);
   EXPECT_NEAR(res.objective, 3.5, kTol);
+}
+
+TEST(Presolve, EquilibrationIsAnExactReparametrization) {
+  // Mixed-magnitude rows (unit placement coefficients next to big-M delay
+  // terms) are the shape equilibration exists for.  The audit inside
+  // presolve_audited already pins the invariants (powers of two, integral
+  // columns unscaled, scaled bounds still inside the originals); this test
+  // adds the exactness round trip.
+  Model m;
+  const VarId x = m.add_continuous(0.0, 4096.0, "x");
+  const VarId y = m.add_continuous(0.0, 2.0, "y");
+  const VarId b = m.add_binary("b");
+  m.add_constraint(term(x, 1.0) + term(y, 1024.0), Relation::kLe, 4096.0,
+                   "wide");
+  m.add_constraint(term(x, 1.0) - term(b, 4096.0), Relation::kLe, 0.0,
+                   "gate");
+  m.set_objective(Sense::kMaximize,
+                  term(x, 1.0) + term(y, 3.0) + term(b, 0.25));
+
+  const Presolved pre = presolve_audited(m);
+  ASSERT_FALSE(pre.infeasible);
+  EXPECT_GE(pre.stats.rows_scaled + pre.stats.cols_scaled, 1u);
+  ASSERT_FALSE(pre.map.row_scale.empty());
+  ASSERT_FALSE(pre.map.col_scale.empty());
+  const std::size_t rb = pre.map.col_map[b.index];
+  ASSERT_NE(rb, kRemoved);
+  EXPECT_DOUBLE_EQ(pre.map.col_scale[rb], 1.0);
+
+  // restrict -> postsolve is the identity on surviving columns: dividing
+  // and re-multiplying by a power of two loses nothing.
+  const std::vector<double> point{1234.0, 1.5, 1.0};
+  std::vector<double> reduced;
+  ASSERT_TRUE(pre.map.restrict_primal(point, 1e-9, &reduced));
+  const std::vector<double> back = pre.map.postsolve_primal(reduced);
+  ASSERT_EQ(back.size(), point.size());
+  for (std::size_t c = 0; c < point.size(); ++c) {
+    if (pre.map.col_map[c] != kRemoved) {
+      EXPECT_DOUBLE_EQ(back[c], point[c]);
+    }
+  }
+
+  // Objective values transfer between spaces unchanged.
+  EXPECT_DOUBLE_EQ(pre.reduced.evaluate(pre.reduced.objective(), reduced),
+                   m.evaluate(m.objective(), point));
+
+  // The pass is a pure option: off means no scale vectors and the exact
+  // original coefficients.
+  PresolveOptions off;
+  off.equilibrate = false;
+  const Presolved raw = presolve(m, off);
+  EXPECT_TRUE(raw.map.row_scale.empty());
+  EXPECT_TRUE(raw.map.col_scale.empty());
 }
 
 TEST(Presolve, DetectsInfeasibilityFromBoundsAndRows) {
