@@ -1,100 +1,6 @@
-// LS-marking ablation (paper §VI): the greedy algorithm marks tasks
-// latency-sensitive one deadline-miss at a time.  This bench compares, as
-// deadline tightness beta varies:
-//   * none   — no LS tasks at all (the analysis of [3]),
-//   * greedy — the paper's algorithm,
-//   * all    — every task marked LS.
-// The paper's discussion predicts: greedy >= none everywhere, and
-// marking *everything* LS backfires (urgent executions serialize copy-ins
-// on the CPU and every cancellation re-issues a load), so all <= greedy.
-#include <filesystem>
-#include <iomanip>
-#include <iostream>
+// Thin wrapper: historical binary name for `mcs_bench ablation_ls`.
+#include "bench_common.hpp"
 
-#include "analysis/greedy.hpp"
-#include "analysis/response_time.hpp"
-#include "gen/generator.hpp"
-#include "support/csv.hpp"
-#include "support/rng.hpp"
-
-#include "fig2_common.hpp"
-
-using namespace mcs;
-
-namespace {
-
-/// Schedulability with a fixed all-LS marking (no greedy).
-bool all_ls_schedulable(rt::TaskSet tasks,
-                        const analysis::AnalysisOptions& options) {
-  for (std::size_t i = 0; i < tasks.size(); ++i) {
-    tasks[i].latency_sensitive = true;
-  }
-  for (rt::TaskIndex i = 0; i < tasks.size(); ++i) {
-    if (!analysis::bound_response_time(tasks, i, options).schedulable) {
-      return false;
-    }
-  }
-  return true;
-}
-
-}  // namespace
-
-int main() {
-  std::size_t tasksets = 25;
-  if (const char* env = std::getenv("MCS_TASKSETS")) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed > 0) tasksets = static_cast<std::size_t>(parsed);
-  }
-
-  analysis::AnalysisOptions options;
-  options.milp.relative_gap = 0.02;
-  options.milp.max_nodes = 4000;
-
-  std::cout << "LS-marking ablation (n=4, U=0.35, gamma=0.25, " << tasksets
-            << " sets/point):\n\n"
-            << std::left << std::setw(8) << "beta" << std::setw(10) << "none"
-            << std::setw(10) << "greedy" << std::setw(10) << "all" << "\n";
-
-  support::CsvWriter csv(std::filesystem::current_path() /
-                         "ablation_ls.csv");
-  csv.write_row({"beta", "none", "greedy", "all"});
-
-  for (double beta = 0.05; beta <= 0.96; beta += 0.15) {
-    std::size_t ok_none = 0, ok_greedy = 0, ok_all = 0;
-    for (std::size_t s = 0; s < tasksets; ++s) {
-      support::Rng rng(811 * s + 5);
-      gen::GeneratorConfig cfg;
-      cfg.num_tasks = 4;
-      cfg.utilization = 0.35;
-      cfg.gamma = 0.25;
-      cfg.beta = beta;
-      const rt::TaskSet tasks = gen::generate_task_set(cfg, rng);
-
-      analysis::AnalysisOptions wp = options;
-      wp.ignore_ls = true;
-      bool none_ok = true;
-      for (rt::TaskIndex i = 0; i < tasks.size() && none_ok; ++i) {
-        none_ok = analysis::bound_response_time(tasks, i, wp).schedulable;
-      }
-      ok_none += none_ok ? std::size_t{1} : std::size_t{0};
-      ok_greedy +=
-          (none_ok || analysis::analyze_proposed(tasks, options).schedulable)
-              ? std::size_t{1}
-              : std::size_t{0};
-      ok_all += all_ls_schedulable(tasks, options) ? std::size_t{1} : std::size_t{0};
-    }
-    const auto ratio = [&](std::size_t okay) {
-      return static_cast<double>(okay) / static_cast<double>(tasksets);
-    };
-    std::cout << std::left << std::fixed << std::setprecision(2)
-              << std::setw(8) << beta << std::setprecision(3)
-              << std::setw(10) << ratio(ok_none) << std::setw(10)
-              << ratio(ok_greedy) << std::setw(10) << ratio(ok_all) << "\n";
-    csv.cell(beta).cell(ratio(ok_none)).cell(ratio(ok_greedy)).cell(
-        ratio(ok_all));
-    csv.end_row();
-  }
-  std::cout << "\nwrote ablation_ls.csv\n";
-  mcs::bench::write_bench_telemetry("ablation_ls");
-  return 0;
+int main(int argc, char** argv) {
+  return mcs::bench::run_as_tool("ablation_ls", argc, argv);
 }

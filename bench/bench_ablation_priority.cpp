@@ -1,90 +1,6 @@
-// Priority-assignment ablation: deadline-monotonic (the default, DESIGN.md
-// §5.2) versus Audsley's optimal priority assignment (analysis/opa.hpp)
-// under the NPS and WP2016 analyses, across utilization.  OPA dominates DM
-// by construction; the gap measures how much the default leaves on the
-// table under non-preemptive blocking.
-#include <filesystem>
-#include <iomanip>
-#include <iostream>
+// Thin wrapper: historical binary name for `mcs_bench ablation_priority`.
+#include "bench_common.hpp"
 
-#include "analysis/opa.hpp"
-#include "analysis/schedulability.hpp"
-#include "gen/generator.hpp"
-#include "support/csv.hpp"
-#include "support/rng.hpp"
-
-#include "fig2_common.hpp"
-
-using namespace mcs;
-
-int main() {
-  std::size_t tasksets = 25;
-  if (const char* env = std::getenv("MCS_TASKSETS")) {
-    const long parsed = std::strtol(env, nullptr, 10);
-    if (parsed > 0) tasksets = static_cast<std::size_t>(parsed);
-  }
-
-  analysis::AnalysisOptions options;
-  options.milp.relative_gap = 0.02;
-  options.milp.max_nodes = 4000;
-
-  std::cout << "Priority assignment ablation (n=4, gamma=0.2, " << tasksets
-            << " sets/point):\n\n"
-            << std::left << std::setw(6) << "U" << std::setw(10) << "nps-dm"
-            << std::setw(10) << "nps-opa" << std::setw(10) << "wp-dm"
-            << std::setw(10) << "wp-opa" << "\n";
-
-  support::CsvWriter csv(std::filesystem::current_path() /
-                         "ablation_priority.csv");
-  csv.write_row({"U", "nps_dm", "nps_opa", "wp_dm", "wp_opa"});
-
-  for (double u = 0.2; u <= 0.61; u += 0.1) {
-    std::size_t nps_dm = 0, nps_opa = 0, wp_dm = 0, wp_opa = 0;
-    for (std::size_t s = 0; s < tasksets; ++s) {
-      support::Rng rng(271 * s + 3);
-      gen::GeneratorConfig cfg;
-      cfg.num_tasks = 4;
-      cfg.utilization = u;
-      cfg.gamma = 0.2;
-      cfg.beta = 0.3;
-      const rt::TaskSet tasks = gen::generate_task_set(cfg, rng);
-
-      const bool n_dm =
-          analysis::analyze(tasks, analysis::Approach::kNonPreemptive,
-                            options)
-              .schedulable;
-      nps_dm += n_dm ? std::size_t{1} : std::size_t{0};
-      nps_opa += (n_dm || audsley_assign(tasks,
-                                         analysis::Approach::kNonPreemptive,
-                                         options)
-                              .schedulable)
-                     ? std::size_t{1}
-                     : std::size_t{0};
-      const bool w_dm =
-          analysis::analyze(tasks, analysis::Approach::kWasilyPellizzoni,
-                            options)
-              .schedulable;
-      wp_dm += w_dm ? std::size_t{1} : std::size_t{0};
-      wp_opa += (w_dm || audsley_assign(tasks,
-                                        analysis::Approach::kWasilyPellizzoni,
-                                        options)
-                             .schedulable)
-                    ? std::size_t{1}
-                    : std::size_t{0};
-    }
-    const auto ratio = [&](std::size_t okay) {
-      return static_cast<double>(okay) / static_cast<double>(tasksets);
-    };
-    std::cout << std::left << std::fixed << std::setprecision(1)
-              << std::setw(6) << u << std::setprecision(3) << std::setw(10)
-              << ratio(nps_dm) << std::setw(10) << ratio(nps_opa)
-              << std::setw(10) << ratio(wp_dm) << std::setw(10)
-              << ratio(wp_opa) << "\n";
-    csv.cell(u).cell(ratio(nps_dm)).cell(ratio(nps_opa)).cell(ratio(wp_dm))
-        .cell(ratio(wp_opa));
-    csv.end_row();
-  }
-  std::cout << "\nwrote ablation_priority.csv\n";
-  mcs::bench::write_bench_telemetry("ablation_priority");
-  return 0;
+int main(int argc, char** argv) {
+  return mcs::bench::run_as_tool("ablation_priority", argc, argv);
 }

@@ -1,226 +1,6 @@
-// End-to-end analysis bench: one Fig. 2-style sweep point (a batch of
-// generated task sets, each analyzed the three ways the experiment harness
-// does — NPS, WP, and greedy-proposed when WP fails) timed under three
-// configurations:
-//
-//   * "legacy"            — the free functions, i.e. a throwaway
-//                           AnalysisEngine per call: no state survives
-//                           between the WP pass and the greedy rounds;
-//   * "engine, threads=1" — one AnalysisEngine per task set, WP verdict
-//                           injected as greedy round 0, formulations and
-//                           B&B sessions carried across rounds;
-//   * "engine, threads=N" — same, with per-task bounds fanned out on the
-//                           engine's thread pool.
-//
-// All modes solve to proven optimality (relative_gap = 0) so the verdicts
-// are mode-independent by construction — the bench hard-fails on any
-// disagreement, making it a cheap end-to-end determinism check on top of
-// the timing.  Writes BENCH_analysis.json; tools/perf_check.py gates the
-// measured engine-on speedup against the committed baseline in CI.
-#include <chrono>
-#include <cstdlib>
-#include <fstream>
-#include <iomanip>
-#include <iostream>
-#include <string>
-#include <vector>
+// Thin wrapper: historical binary name for `mcs_bench analysis`.
+#include "bench_common.hpp"
 
-#include "analysis/engine.hpp"
-#include "analysis/greedy.hpp"
-#include "analysis/schedulability.hpp"
-#include "gen/generator.hpp"
-#include "rt/task.hpp"
-#include "support/rng.hpp"
-
-#include "fig2_common.hpp"
-
-using namespace mcs;
-
-namespace {
-
-// One verdict row per task set; must be identical in every mode.
-struct Verdict {
-  bool nps = false;
-  bool wp = false;
-  bool proposed = false;
-  std::size_t greedy_rounds = 0;
-
-  bool operator==(const Verdict&) const = default;
-};
-
-struct ModeResult {
-  std::string name;
-  bool engine = false;
-  std::size_t threads = 1;
-  double wall_ms = 0.0;
-  std::vector<Verdict> verdicts;
-};
-
-// The experiment-harness pipeline for one task set.  `engine == nullptr`
-// selects the legacy free functions (each call builds and discards its own
-// session state, and the greedy loop recomputes its WP-equivalent round 0).
-Verdict analyze_set(const rt::TaskSet& tasks,
-                    const analysis::AnalysisOptions& options,
-                    analysis::AnalysisEngine* engine) {
-  Verdict v;
-  if (engine != nullptr) {
-    v.nps = engine->analyze(tasks, analysis::Approach::kNonPreemptive,
-                            options)
-                .schedulable;
-    const auto wp = engine->analyze_wp(tasks, options);
-    v.wp = wp.schedulable;
-    if (wp.schedulable) {
-      v.proposed = true;
-      v.greedy_rounds = 0;
-    } else {
-      const auto prop = engine->analyze_proposed(tasks, options, &wp);
-      v.proposed = prop.schedulable;
-      v.greedy_rounds = prop.rounds;
-    }
-  } else {
-    v.nps = analysis::analyze(tasks, analysis::Approach::kNonPreemptive,
-                              options)
-                .schedulable;
-    const auto wp = analysis::analyze_wp(tasks, options);
-    v.wp = wp.schedulable;
-    if (wp.schedulable) {
-      v.proposed = true;
-      v.greedy_rounds = 0;
-    } else {
-      const auto prop = analysis::analyze_proposed(tasks, options);
-      v.proposed = prop.schedulable;
-      v.greedy_rounds = prop.rounds;
-    }
-  }
-  return v;
-}
-
-ModeResult run_mode(const std::string& name, bool use_engine,
-                    std::size_t threads,
-                    const std::vector<rt::TaskSet>& sets,
-                    const analysis::AnalysisOptions& options,
-                    int repetitions) {
-  ModeResult mode;
-  mode.name = name;
-  mode.engine = use_engine;
-  mode.threads = threads;
-  mode.wall_ms = 0.0;
-  // Best-of-k wall time: the sweep itself is deterministic, so repetition
-  // only filters out scheduler noise.
-  for (int rep = 0; rep < repetitions; ++rep) {
-    std::vector<Verdict> verdicts;
-    verdicts.reserve(sets.size());
-    const auto t0 = std::chrono::steady_clock::now();
-    for (const rt::TaskSet& tasks : sets) {
-      if (use_engine) {
-        analysis::AnalysisEngine engine(analysis::EngineConfig{threads});
-        verdicts.push_back(analyze_set(tasks, options, &engine));
-      } else {
-        verdicts.push_back(analyze_set(tasks, options, nullptr));
-      }
-    }
-    const double ms = std::chrono::duration<double, std::milli>(
-                          std::chrono::steady_clock::now() - t0)
-                          .count();
-    if (rep == 0 || ms < mode.wall_ms) mode.wall_ms = ms;
-    mode.verdicts = std::move(verdicts);
-  }
-  return mode;
-}
-
-}  // namespace
-
-int main() {
-  // Fig. 2-style sweep point in the regime where WP frequently fails and
-  // the greedy LS-marking loop actually runs — the workload the engine's
-  // cross-round state reuse targets.
-  constexpr std::size_t kSets = 12;
-  constexpr std::size_t kTasks = 5;
-  constexpr double kUtilization = 0.70;
-  constexpr double kGamma = 0.40;
-  constexpr int kReps = 2;
-
-  std::vector<rt::TaskSet> sets;
-  support::Rng rng(4242);
-  for (std::size_t s = 0; s < kSets; ++s) {
-    gen::GeneratorConfig cfg;
-    cfg.num_tasks = kTasks;
-    cfg.utilization = kUtilization;
-    cfg.gamma = kGamma;
-    sets.push_back(gen::generate_task_set(cfg, rng));
-  }
-
-  analysis::AnalysisOptions options;
-  options.milp.relative_gap = 0.0;  // proven optima: mode-independent
-
-  const std::size_t n_threads = analysis::AnalysisEngine(
-                                    analysis::EngineConfig{/*threads=*/0})
-                                    .workers();
-
-  std::vector<ModeResult> modes;
-  modes.push_back(
-      run_mode("legacy free functions", false, 1, sets, options, kReps));
-  modes.push_back(
-      run_mode("engine, threads=1", true, 1, sets, options, kReps));
-  modes.push_back(run_mode("engine, threads=" + std::to_string(n_threads),
-                           true, n_threads, sets, options, kReps));
-
-  for (std::size_t m = 1; m < modes.size(); ++m) {
-    if (modes[m].verdicts != modes[0].verdicts) {
-      std::cerr << "FAIL: mode '" << modes[m].name
-                << "' disagrees with the legacy verdicts\n";
-      return EXIT_FAILURE;
-    }
-  }
-
-  std::size_t wp_failing = 0;
-  std::size_t rounds_total = 0;
-  for (const Verdict& v : modes[0].verdicts) {
-    if (!v.wp) ++wp_failing;
-    rounds_total += v.greedy_rounds;
-  }
-
-  const double speedup_1t = modes[0].wall_ms / modes[1].wall_ms;
-  const double speedup_nt = modes[0].wall_ms / modes[2].wall_ms;
-
-  std::cout << "Analysis pipeline bench: " << kSets << " task sets (n="
-            << kTasks << ", U=" << kUtilization << ", gamma=" << kGamma
-            << "), " << wp_failing << " WP-failing, " << rounds_total
-            << " greedy rounds total\n\n"
-            << std::left << std::setw(26) << "mode" << std::setw(12)
-            << "wall ms" << "speedup\n";
-  for (const ModeResult& mode : modes) {
-    const double speedup = modes[0].wall_ms / mode.wall_ms;
-    std::cout << std::left << std::setw(26) << mode.name << std::setw(12)
-              << std::fixed << std::setprecision(1) << mode.wall_ms
-              << std::setprecision(2) << speedup << "x\n";
-  }
-  std::cout << "\nengine reuse (threads=1): " << std::setprecision(2)
-            << speedup_1t << "x, with fan-out (threads=" << n_threads
-            << "): " << speedup_nt << "x\n";
-
-  std::ofstream json("BENCH_analysis.json");
-  json << "{\n  \"schema\": \"mcs-bench-analysis-v1\",\n"
-       << "  \"sweep_point\": {\"sets\": " << kSets << ", \"num_tasks\": "
-       << kTasks << ", \"utilization\": " << kUtilization
-       << ", \"gamma\": " << kGamma << ", \"wp_failing\": " << wp_failing
-       << ", \"greedy_rounds_total\": " << rounds_total << "},\n"
-       << "  \"modes\": [\n";
-  for (std::size_t m = 0; m < modes.size(); ++m) {
-    const ModeResult& mode = modes[m];
-    json << "    {\"name\": \"" << mode.name << "\", \"engine\": "
-         << (mode.engine ? "true" : "false")
-         << ", \"threads\": " << mode.threads << ", \"wall_ms\": "
-         << std::fixed << std::setprecision(1) << mode.wall_ms << "}"
-         << (m + 1 < modes.size() ? "," : "") << "\n";
-  }
-  json << "  ],\n  \"summary\": {\"speedup_single_thread\": "
-       << std::setprecision(3) << speedup_1t
-       << ", \"speedup_threads_n\": " << speedup_nt
-       << ", \"threads_n\": " << n_threads << "}\n}\n";
-  json.close();
-  std::cout << "wrote BENCH_analysis.json\n";
-
-  mcs::bench::write_bench_telemetry("analysis");
-  return 0;
+int main(int argc, char** argv) {
+  return mcs::bench::run_as_tool("analysis", argc, argv);
 }

@@ -1,4 +1,6 @@
-// Regenerates Figure 2(c) of the paper (see DESIGN.md §4).
-#include "fig2_common.hpp"
+// Thin wrapper: historical binary name for `mcs_bench fig2c`.
+#include "bench_common.hpp"
 
-int main() { return mcs::bench::run_figure2_inset('c'); }
+int main(int argc, char** argv) {
+  return mcs::bench::run_as_tool("fig2c", argc, argv);
+}

@@ -1,4 +1,6 @@
-// Regenerates Figure 2(f) of the paper (see DESIGN.md §4).
-#include "fig2_common.hpp"
+// Thin wrapper: historical binary name for `mcs_bench fig2f`.
+#include "bench_common.hpp"
 
-int main() { return mcs::bench::run_figure2_inset('f'); }
+int main(int argc, char** argv) {
+  return mcs::bench::run_as_tool("fig2f", argc, argv);
+}

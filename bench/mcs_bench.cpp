@@ -1,0 +1,7 @@
+// The mcs_bench multi-tool binary: every figure sweep, ablation, and bench
+// tool behind one entry point (see mcs_bench_main.cpp for the CLI).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  return mcs::bench::mcs_bench_main(argc, argv);
+}

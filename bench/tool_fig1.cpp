@@ -1,0 +1,110 @@
+// Reproduces the Figure 1 example of the paper (§III-A): a latency-
+// sensitive task blocked by *two* lower-priority tasks under the protocol
+// of [3] misses its deadline, while classical non-preemptive scheduling
+// (one blocking task) and the proposed protocol (copy-in cancellation +
+// urgent promotion, rules R3-R5) both meet it.
+//
+// Prints the three schedules as ASCII Gantt charts plus the corresponding
+// analysis bounds, mirroring Figure 1(a)/(b) and the §IV discussion.
+#include <iostream>
+
+#include "analysis/nps.hpp"
+#include "analysis/schedulability.hpp"
+#include "rt/task.hpp"
+#include "sim/checker.hpp"
+#include "sim/engine.hpp"
+#include "sim/gantt.hpp"
+
+#include "bench_common.hpp"
+
+namespace {
+
+using mcs::rt::Task;
+using mcs::rt::TaskSet;
+using mcs::sim::JobId;
+using mcs::sim::Protocol;
+using mcs::sim::Release;
+
+Task make_task(std::string name, mcs::rt::Time exec, mcs::rt::Time mem,
+               mcs::rt::Time period, mcs::rt::Time deadline,
+               mcs::rt::Priority priority, bool ls) {
+  Task t;
+  t.name = std::move(name);
+  t.exec = exec;
+  t.copy_in = mem;
+  t.copy_out = mem;
+  t.period = period;
+  t.deadline = deadline;
+  t.priority = priority;
+  t.latency_sensitive = ls;
+  return t;
+}
+
+void show(const TaskSet& tasks, Protocol protocol,
+          const std::vector<Release>& releases) {
+  const auto trace = mcs::sim::simulate(tasks, protocol, releases);
+  const auto check = mcs::sim::check_trace(tasks, protocol, trace);
+  std::cout << mcs::sim::render_gantt(tasks, protocol, trace);
+  std::cout << "  trace invariants: " << (check.ok() ? "OK" : "VIOLATED")
+            << "\n\n";
+}
+
+}  // namespace
+
+namespace mcs::bench {
+
+int tool_fig1_main() {
+  // tau_i ("hi") is released at t = 2, just after the copy-in of the
+  // second lower-priority task completed — the worst case of [3].
+  const bool kLsVariant[] = {false, true};
+
+  std::cout << "=== Figure 1 reproduction ==================================\n"
+            << "hi: C=3 l=u=1 D=10 (released at t=2); lp1, lp2: C=4 l=u=1\n"
+            << "(both pending at t=0)\n\n";
+
+  for (const bool hi_ls : kLsVariant) {
+    const TaskSet tasks({make_task("hi", 3, 1, 100, 10, 0, hi_ls),
+                         make_task("lp1", 4, 1, 100, 100, 1, false),
+                         make_task("lp2", 4, 1, 100, 100, 2, false)});
+    const std::vector<Release> releases{
+        {JobId{1, 0}, 0}, {JobId{2, 0}, 0}, {JobId{0, 0}, 2}};
+
+    if (!hi_ls) {
+      std::cout << "--- Figure 1(a): protocol of [3] (hi blocked twice) ---\n";
+      show(tasks, Protocol::kWasilyPellizzoni, releases);
+      std::cout << "--- Figure 1(b): non-preemptive scheduling ------------\n";
+      show(tasks, Protocol::kNonPreemptive, releases);
+    } else {
+      std::cout << "--- Proposed protocol, hi marked latency-sensitive ----\n";
+      show(tasks, Protocol::kProposed, releases);
+    }
+  }
+
+  // Analysis-side view of the same task set.
+  const TaskSet tasks({make_task("hi", 3, 1, 100, 10, 0, false),
+                       make_task("lp1", 4, 1, 100, 100, 1, false),
+                       make_task("lp2", 4, 1, 100, 100, 2, false)});
+  const auto wp =
+      mcs::analysis::analyze(tasks, mcs::analysis::Approach::kWasilyPellizzoni);
+  const auto nps =
+      mcs::analysis::analyze(tasks, mcs::analysis::Approach::kNonPreemptive);
+  const auto prop =
+      mcs::analysis::analyze(tasks, mcs::analysis::Approach::kProposed);
+
+  std::cout << "=== Worst-case analysis bounds for task hi (D = 10) ========\n"
+            << "  wp2016:   R = " << wp.wcrt[0]
+            << (wp.schedulable ? "  (schedulable)" : "  (MISS)") << "\n"
+            << "  nps:      R = " << nps.wcrt[0]
+            << (nps.wcrt[0] <= 10 ? "  (schedulable)" : "  (MISS)") << "\n"
+            << "  proposed: R = " << prop.wcrt[0]
+            << (prop.schedulable ? "  (schedulable, hi marked LS)"
+                                 : "  (MISS)")
+            << "\n"
+            << "Shape check: wp2016 > nps > proposed — the [3] protocol is\n"
+            << "beaten even by plain NPS here, and the proposed protocol\n"
+            << "recovers schedulability (paper §I / Figure 1).\n";
+  write_bench_telemetry("fig1_example");
+  return 0;
+}
+
+}  // namespace mcs::bench

@@ -1,21 +1,15 @@
 #include "exp/experiment.hpp"
 
-#include <atomic>
 #include <cerrno>
-#include <chrono>
 #include <cstdlib>
 #include <iomanip>
-#include <mutex>
 #include <ostream>
 #include <string>
 
 #include "analysis/engine.hpp"
 #include "support/contracts.hpp"
-#include "support/csv.hpp"
-#include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/telemetry.hpp"
-#include "support/thread_pool.hpp"
 
 namespace mcs::exp {
 
@@ -42,6 +36,18 @@ gen::GeneratorConfig configure_point(const ExperimentConfig& config,
   }
   return g;
 }
+
+// Metric order of experiment_sweep_spec; points_from_outcomes and
+// write_csv rely on it.
+enum Metric : std::size_t {
+  kProposed = 0,
+  kWp,
+  kNps,
+  kAnyFallback,
+  kFallbackWp,
+  kFallbackProposed,
+  kMetricCount,
+};
 
 }  // namespace
 
@@ -76,110 +82,127 @@ double SweepPoint::ratio(Approach approach) const {
   return static_cast<double>(count) / static_cast<double>(tasksets);
 }
 
-ExperimentResult run_experiment(const ExperimentConfig& config) {
+SweepSpec experiment_sweep_spec(const ExperimentConfig& config) {
   MCS_REQUIRE(!config.values.empty(), "experiment without sweep points");
   MCS_REQUIRE(config.tasksets_per_point > 0, "experiment without task sets");
 
-  ExperimentResult result;
-  result.config = config;
-  const support::telemetry::ScopedTimer timer("exp.run_experiment");
-  support::ThreadPool pool(config.threads);
-  const auto t_start = std::chrono::steady_clock::now();
+  SweepSpec spec;
+  spec.name = config.name;
+  spec.title = config.title;
+  spec.axis = to_string(config.sweep);
+  spec.values = config.values;
+  spec.slots_per_point = config.tasksets_per_point;
+  spec.seed = config.seed;
+  spec.metrics = {
+      {"proposed", MetricSpec::kRatio},
+      {"wp2016", MetricSpec::kRatio},
+      {"nps", MetricSpec::kRatio},
+      // relaxation_fallbacks counts *task sets* with any dual-bound
+      // fallback (<= tasksets); fallbacks_wp / fallbacks_proposed split it
+      // per analysis.
+      {"relaxation_fallbacks", MetricSpec::kCount},
+      {"fallbacks_wp", MetricSpec::kCount},
+      {"fallbacks_proposed", MetricSpec::kCount},
+  };
+  spec.evaluate = [config](const SweepUnit& unit, support::Rng& rng) {
+    const gen::GeneratorConfig gen_cfg = configure_point(config, unit.x);
+    const rt::TaskSet tasks = gen::generate_task_set(gen_cfg, rng);
 
-  for (std::size_t p = 0; p < config.values.size(); ++p) {
-    const double x = config.values[p];
-    const gen::GeneratorConfig gen_cfg = configure_point(config, x);
-    const auto p_start = std::chrono::steady_clock::now();
+    // One analysis engine per task set: the three approaches share its
+    // formulation caches and solver sessions (serial inside — the sweep
+    // already parallelizes across units).
+    analysis::AnalysisEngine engine;
 
-    std::atomic<std::size_t> ok_proposed{0}, ok_wp{0}, ok_nps{0},
-        fallbacks{0}, fallbacks_wp{0}, fallbacks_proposed{0};
-    support::Rng point_rng(config.seed + 0x9e37 * (p + 1));
+    const auto nps =
+        engine.analyze(tasks, Approach::kNonPreemptive, config.analysis);
+    const auto wp = engine.analyze_wp(tasks, config.analysis);
 
-    // Pre-split one RNG per task set so results do not depend on thread
-    // interleaving.
-    std::vector<support::Rng> rngs;
-    rngs.reserve(config.tasksets_per_point);
-    for (std::size_t s = 0; s < config.tasksets_per_point; ++s) {
-      rngs.push_back(point_rng.split(s));
+    // Greedy round 0 equals the WP analysis.  When WP succeeded its
+    // verdict *is* the proposed one (round 0 all-NLS, schedulable) —
+    // including any reliance on a relaxation fallback.  Otherwise hand the
+    // WP bounds to the greedy loop as its round 0 so it starts promoting
+    // directly.
+    bool proposed_ok = wp.schedulable;
+    bool proposed_fb = false;
+    if (proposed_ok) {
+      proposed_fb = wp.any_relaxation_fallback;
+    } else {
+      const auto prop =
+          engine.analyze_proposed(tasks, config.analysis, &wp);
+      proposed_ok = prop.schedulable;
+      proposed_fb = prop.any_relaxation_fallback;
     }
 
-    // Per-task-set analysis wall time; slot-per-index, no lock needed.
-    std::vector<double> taskset_seconds(config.tasksets_per_point, 0.0);
+    std::vector<std::uint64_t> metrics(kMetricCount, 0);
+    metrics[kProposed] = proposed_ok ? 1 : 0;
+    metrics[kWp] = wp.schedulable ? 1 : 0;
+    metrics[kNps] = nps.schedulable ? 1 : 0;
+    // At most one fallback tick per task set, whichever analyses tripped
+    // it — keeps the column <= tasksets.
+    metrics[kAnyFallback] =
+        (wp.any_relaxation_fallback || proposed_fb) ? 1 : 0;
+    metrics[kFallbackWp] = wp.any_relaxation_fallback ? 1 : 0;
+    metrics[kFallbackProposed] = proposed_fb ? 1 : 0;
+    return metrics;
+  };
+  return spec;
+}
 
-    support::parallel_for(
-        pool, config.tasksets_per_point, [&](std::size_t s) {
-          const auto s_start = std::chrono::steady_clock::now();
-          support::Rng rng = rngs[s];
-          const rt::TaskSet tasks = gen::generate_task_set(gen_cfg, rng);
+std::vector<SweepPoint> points_from_outcomes(
+    const ExperimentConfig& config,
+    const std::vector<UnitOutcome>& outcomes) {
+  const SweepSpec spec = experiment_sweep_spec(config);
+  const std::vector<SweepRow> rows = aggregate_outcomes(spec, outcomes);
 
-          // One analysis engine per task set: the three approaches share
-          // its formulation caches and solver sessions (serial inside —
-          // the sweep already parallelizes across task sets).
-          analysis::AnalysisEngine engine;
-
-          const auto nps =
-              engine.analyze(tasks, Approach::kNonPreemptive,
-                             config.analysis);
-          if (nps.schedulable) ok_nps.fetch_add(1);
-
-          const auto wp = engine.analyze_wp(tasks, config.analysis);
-          if (wp.schedulable) ok_wp.fetch_add(1);
-          if (wp.any_relaxation_fallback) fallbacks_wp.fetch_add(1);
-
-          // Greedy round 0 equals the WP analysis.  When WP succeeded its
-          // verdict *is* the proposed one (round 0 all-NLS, schedulable)
-          // — including any reliance on a relaxation fallback, which used
-          // to go unreported here.  Otherwise hand the WP bounds to the
-          // greedy loop as its round 0 so it starts promoting directly.
-          bool proposed_ok = wp.schedulable;
-          bool proposed_fb = false;
-          if (proposed_ok) {
-            proposed_fb = wp.any_relaxation_fallback;
-          } else {
-            const auto prop =
-                engine.analyze_proposed(tasks, config.analysis, &wp);
-            proposed_ok = prop.schedulable;
-            proposed_fb = prop.any_relaxation_fallback;
-          }
-          if (proposed_fb) fallbacks_proposed.fetch_add(1);
-          if (proposed_ok) ok_proposed.fetch_add(1);
-          // At most one fallback tick per task set, whichever analyses
-          // tripped it — keeps the column <= tasksets.
-          if (wp.any_relaxation_fallback || proposed_fb) {
-            fallbacks.fetch_add(1);
-          }
-
-          const double secs = std::chrono::duration<double>(
-                                  std::chrono::steady_clock::now() - s_start)
-                                  .count();
-          taskset_seconds[s] = secs;
-          support::telemetry::record("exp.taskset_seconds", secs);
-        });
-
-    SweepPoint point;
-    point.x = x;
-    point.tasksets = config.tasksets_per_point;
-    point.schedulable_proposed = ok_proposed.load();
-    point.schedulable_wp = ok_wp.load();
-    point.schedulable_nps = ok_nps.load();
-    point.relaxation_fallbacks = fallbacks.load();
-    point.fallbacks_wp = fallbacks_wp.load();
-    point.fallbacks_proposed = fallbacks_proposed.load();
-    point.p50_seconds = support::percentile(taskset_seconds, 0.50);
-    point.p90_seconds = support::percentile(taskset_seconds, 0.90);
-    point.p99_seconds = support::percentile(taskset_seconds, 0.99);
-    point.seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      p_start)
-            .count();
-    support::telemetry::record("exp.point_seconds", point.seconds);
-    result.points.push_back(point);
+  // Per-point unit latency samples for the printed percentiles.
+  std::vector<std::vector<double>> seconds(rows.size());
+  for (const UnitOutcome& unit : outcomes) {
+    seconds[unit.point].push_back(unit.seconds);
   }
 
-  result.total_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                    t_start)
-          .count();
+  std::vector<SweepPoint> points;
+  points.reserve(rows.size());
+  for (std::size_t p = 0; p < rows.size(); ++p) {
+    const SweepRow& row = rows[p];
+    SweepPoint point;
+    point.x = row.x;
+    point.tasksets = row.ok_units;
+    point.errors = row.errors;
+    point.schedulable_proposed =
+        static_cast<std::size_t>(row.metric_sums[kProposed]);
+    point.schedulable_wp = static_cast<std::size_t>(row.metric_sums[kWp]);
+    point.schedulable_nps = static_cast<std::size_t>(row.metric_sums[kNps]);
+    point.relaxation_fallbacks =
+        static_cast<std::size_t>(row.metric_sums[kAnyFallback]);
+    point.fallbacks_wp =
+        static_cast<std::size_t>(row.metric_sums[kFallbackWp]);
+    point.fallbacks_proposed =
+        static_cast<std::size_t>(row.metric_sums[kFallbackProposed]);
+    point.seconds = row.seconds;
+    point.p50_seconds = support::percentile(seconds[p], 0.50);
+    point.p90_seconds = support::percentile(seconds[p], 0.90);
+    point.p99_seconds = support::percentile(seconds[p], 0.99);
+    points.push_back(point);
+  }
+  return points;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  RunnerOptions options;
+  options.threads = config.threads;
+  return run_experiment(config, options);
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& config,
+                                const RunnerOptions& options) {
+  const support::telemetry::ScopedTimer timer("exp.run_experiment");
+  const SweepSpec spec = experiment_sweep_spec(config);
+  const SweepRunResult run = run_sweep(spec, options);
+
+  ExperimentResult result;
+  result.config = config;
+  result.points = points_from_outcomes(config, run.outcomes);
+  result.total_seconds = run.total_seconds;
   return result;
 }
 
@@ -200,7 +223,11 @@ void print_result(const ExperimentResult& result, std::ostream& out) {
         << std::setw(12) << p.ratio(analysis::Approach::kWasilyPellizzoni)
         << std::setw(12) << p.ratio(analysis::Approach::kNonPreemptive)
         << std::setw(12) << p.relaxation_fallbacks << std::setprecision(2)
-        << p.seconds << "\n";
+        << p.seconds;
+    if (p.errors != 0) {
+      out << "  (" << p.errors << " errors)";
+    }
+    out << "\n";
   }
   out << "# total: " << std::fixed << std::setprecision(1)
       << result.total_seconds << " s\n";
@@ -208,28 +235,27 @@ void print_result(const ExperimentResult& result, std::ostream& out) {
 
 void write_csv(const ExperimentResult& result,
                const std::filesystem::path& directory) {
-  support::CsvWriter csv(directory / (result.config.name + ".csv"));
-  // relaxation_fallbacks counts *task sets* with any dual-bound fallback
-  // (<= tasksets); fallbacks_wp / fallbacks_proposed split it per analysis.
-  csv.write_row({to_string(result.config.sweep), "proposed", "wp2016", "nps",
-                 "tasksets", "relaxation_fallbacks", "fallbacks_wp",
-                 "fallbacks_proposed", "seconds", "p50_seconds",
-                 "p90_seconds", "p99_seconds"});
+  const SweepSpec spec = experiment_sweep_spec(result.config);
+  MCS_REQUIRE(result.points.size() == spec.values.size(),
+              "result does not cover every sweep point");
+  std::vector<SweepRow> rows;
+  rows.reserve(result.points.size());
   for (const SweepPoint& p : result.points) {
-    csv.cell(p.x)
-        .cell(p.ratio(analysis::Approach::kProposed))
-        .cell(p.ratio(analysis::Approach::kWasilyPellizzoni))
-        .cell(p.ratio(analysis::Approach::kNonPreemptive))
-        .cell(p.tasksets)
-        .cell(p.relaxation_fallbacks)
-        .cell(p.fallbacks_wp)
-        .cell(p.fallbacks_proposed)
-        .cell(p.seconds)
-        .cell(p.p50_seconds)
-        .cell(p.p90_seconds)
-        .cell(p.p99_seconds);
-    csv.end_row();
+    SweepRow row;
+    row.x = p.x;
+    row.ok_units = p.tasksets;
+    row.errors = p.errors;
+    row.metric_sums.assign(kMetricCount, 0);
+    row.metric_sums[kProposed] = p.schedulable_proposed;
+    row.metric_sums[kWp] = p.schedulable_wp;
+    row.metric_sums[kNps] = p.schedulable_nps;
+    row.metric_sums[kAnyFallback] = p.relaxation_fallbacks;
+    row.metric_sums[kFallbackWp] = p.fallbacks_wp;
+    row.metric_sums[kFallbackProposed] = p.fallbacks_proposed;
+    row.seconds = p.seconds;
+    rows.push_back(std::move(row));
   }
+  write_sweep_csv(spec, rows, directory / (result.config.name + ".csv"));
 }
 
 namespace {
@@ -270,6 +296,17 @@ void apply_env_overrides(ExperimentConfig& config) {
     // 0 is meaningful here: "use hardware concurrency".
     config.threads =
         static_cast<std::size_t>(parse_env_u64("MCS_THREADS", v));
+  }
+}
+
+void apply_env_overrides(SweepSpec& spec) {
+  if (const char* v = std::getenv("MCS_TASKSETS")) {
+    const std::uint64_t parsed = parse_env_u64("MCS_TASKSETS", v);
+    MCS_REQUIRE(parsed > 0, "MCS_TASKSETS must be >= 1");
+    spec.slots_per_point = static_cast<std::size_t>(parsed);
+  }
+  if (const char* v = std::getenv("MCS_SEED")) {
+    spec.seed = parse_env_u64("MCS_SEED", v);
   }
 }
 

@@ -1,0 +1,165 @@
+#include "exp/registry.hpp"
+
+#include "analysis/greedy.hpp"
+#include "analysis/opa.hpp"
+#include "analysis/response_time.hpp"
+#include "analysis/schedulability.hpp"
+#include "exp/experiment.hpp"
+#include "exp/figures.hpp"
+#include "gen/generator.hpp"
+
+namespace mcs::exp {
+
+namespace {
+
+std::vector<double> range(double lo, double hi, double step) {
+  std::vector<double> values;
+  for (double x = lo; x <= hi + 1e-9; x += step) {
+    values.push_back(x);
+  }
+  return values;
+}
+
+/// Bench-scale solver effort shared by the ablation sweeps (matches
+/// figure2_config): 2% relative gap, bounded node budget.
+analysis::AnalysisOptions bench_options() {
+  analysis::AnalysisOptions options;
+  options.milp.relative_gap = 0.02;
+  options.milp.max_nodes = 4000;
+  return options;
+}
+
+template <char Inset>
+SweepSpec make_figure2() {
+  return experiment_sweep_spec(figure2_config(Inset));
+}
+
+/// Schedulability with a fixed all-LS marking (no greedy).
+bool all_ls_schedulable(rt::TaskSet tasks,
+                        const analysis::AnalysisOptions& options) {
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    tasks[i].latency_sensitive = true;
+  }
+  for (rt::TaskIndex i = 0; i < tasks.size(); ++i) {
+    if (!analysis::bound_response_time(tasks, i, options).schedulable) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// LS-marking ablation (paper §VI): the greedy algorithm marks tasks
+// latency-sensitive one deadline-miss at a time.  Compares, as deadline
+// tightness beta varies: none (the analysis of [3]) / greedy (the paper's
+// algorithm) / all (every task LS — predicted to backfire: urgent
+// executions serialize copy-ins and every cancellation re-issues a load).
+SweepSpec make_ablation_ls() {
+  SweepSpec spec;
+  spec.name = "ablation_ls";
+  spec.title = "LS-marking ablation (n=4, U=0.35, gamma=0.25)";
+  spec.axis = "beta";
+  spec.values = range(0.05, 0.95, 0.15);
+  spec.slots_per_point = 25;
+  spec.seed = 811;
+  spec.metrics = {{"none", MetricSpec::kRatio},
+                  {"greedy", MetricSpec::kRatio},
+                  {"all", MetricSpec::kRatio}};
+  spec.evaluate = [](const SweepUnit& unit, support::Rng& rng) {
+    const analysis::AnalysisOptions options = bench_options();
+    gen::GeneratorConfig cfg;
+    cfg.num_tasks = 4;
+    cfg.utilization = 0.35;
+    cfg.gamma = 0.25;
+    cfg.beta = unit.x;
+    const rt::TaskSet tasks = gen::generate_task_set(cfg, rng);
+
+    analysis::AnalysisOptions wp = options;
+    wp.ignore_ls = true;
+    bool none_ok = true;
+    for (rt::TaskIndex i = 0; i < tasks.size() && none_ok; ++i) {
+      none_ok = analysis::bound_response_time(tasks, i, wp).schedulable;
+    }
+    const bool greedy_ok =
+        none_ok || analysis::analyze_proposed(tasks, options).schedulable;
+    const bool all_ok = all_ls_schedulable(tasks, options);
+    return std::vector<std::uint64_t>{none_ok ? 1u : 0u, greedy_ok ? 1u : 0u,
+                                      all_ok ? 1u : 0u};
+  };
+  apply_env_overrides(spec);
+  return spec;
+}
+
+// Priority-assignment ablation: deadline-monotonic (the default, DESIGN.md
+// §5.2) versus Audsley's optimal priority assignment under the NPS and
+// WP2016 analyses, across utilization.  OPA dominates DM by construction;
+// the gap measures how much the default leaves on the table under
+// non-preemptive blocking.
+SweepSpec make_ablation_priority() {
+  SweepSpec spec;
+  spec.name = "ablation_priority";
+  spec.title = "priority assignment ablation (n=4, gamma=0.2)";
+  spec.axis = "U";
+  spec.values = range(0.2, 0.6, 0.1);
+  spec.slots_per_point = 25;
+  spec.seed = 271;
+  spec.metrics = {{"nps_dm", MetricSpec::kRatio},
+                  {"nps_opa", MetricSpec::kRatio},
+                  {"wp_dm", MetricSpec::kRatio},
+                  {"wp_opa", MetricSpec::kRatio}};
+  spec.evaluate = [](const SweepUnit& unit, support::Rng& rng) {
+    const analysis::AnalysisOptions options = bench_options();
+    gen::GeneratorConfig cfg;
+    cfg.num_tasks = 4;
+    cfg.utilization = unit.x;
+    cfg.gamma = 0.2;
+    cfg.beta = 0.3;
+    const rt::TaskSet tasks = gen::generate_task_set(cfg, rng);
+
+    const bool n_dm =
+        analysis::analyze(tasks, analysis::Approach::kNonPreemptive, options)
+            .schedulable;
+    const bool n_opa =
+        n_dm ||
+        audsley_assign(tasks, analysis::Approach::kNonPreemptive, options)
+            .schedulable;
+    const bool w_dm =
+        analysis::analyze(tasks, analysis::Approach::kWasilyPellizzoni,
+                          options)
+            .schedulable;
+    const bool w_opa =
+        w_dm ||
+        audsley_assign(tasks, analysis::Approach::kWasilyPellizzoni, options)
+            .schedulable;
+    return std::vector<std::uint64_t>{n_dm ? 1u : 0u, n_opa ? 1u : 0u,
+                                      w_dm ? 1u : 0u, w_opa ? 1u : 0u};
+  };
+  apply_env_overrides(spec);
+  return spec;
+}
+
+}  // namespace
+
+const std::vector<SweepEntry>& sweep_registry() {
+  static const std::vector<SweepEntry> entries = {
+      {"fig2a", "schedulability vs U (n=4, gamma=0.1)", &make_figure2<'a'>},
+      {"fig2b", "schedulability vs U (n=6, gamma=0.1)", &make_figure2<'b'>},
+      {"fig2c", "schedulability vs U (n=4, gamma=0.4)", &make_figure2<'c'>},
+      {"fig2d", "schedulability vs U (n=6, gamma=0.4)", &make_figure2<'d'>},
+      {"fig2e", "schedulability vs gamma (n=4, U=0.35)", &make_figure2<'e'>},
+      {"fig2f", "schedulability vs beta (n=4, U=0.35)", &make_figure2<'f'>},
+      {"ablation_ls", "LS-marking ablation: none / greedy / all",
+       &make_ablation_ls},
+      {"ablation_priority", "priority assignment: DM vs Audsley OPA",
+       &make_ablation_priority},
+  };
+  return entries;
+}
+
+const SweepEntry* find_sweep(std::string_view name) {
+  for (const SweepEntry& entry : sweep_registry()) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+}  // namespace mcs::exp

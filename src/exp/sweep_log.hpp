@@ -1,0 +1,99 @@
+// Crash-safe JSONL result log for sweep runs (schema "mcs-sweep-log-v1").
+//
+// One line per record.  The first line of a fresh log is a header that
+// fingerprints the sweep (name, seed, axis, point/slot counts, a hash of
+// the sweep values, shard layout, metric names); every subsequent line is
+// the final outcome of one (point, slot) work unit:
+//
+//   {"schema":"mcs-sweep-log-v1","name":"fig2a","seed":2020,...}
+//   {"point":0,"slot":3,"status":"ok","attempts":1,"seconds":0.12,
+//    "metrics":[1,1,1,0,0,0]}
+//   {"point":0,"slot":4,"status":"error","attempts":2,"seconds":0.2,
+//    "error":"..."}
+//
+// Records are appended with a single POSIX O_APPEND write per line, so a
+// SIGKILL can at worst leave one partial trailing line — which the reader
+// drops.  `--resume` reads the log back, verifies the header against the
+// sweep it is about to run, and skips every unit that already has a
+// record.  Shard logs are merged the same way.
+//
+// The parser handles exactly the flat JSON this writer produces (string /
+// number / array-of-number values); the repo deliberately has no JSON
+// dependency.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mcs::exp {
+
+/// Final outcome of one (point, slot) work unit.
+struct UnitOutcome {
+  std::size_t point = 0;
+  std::size_t slot = 0;
+  bool ok = false;
+  std::uint32_t attempts = 0;
+  double seconds = 0.0;
+  /// Metric counts aligned with SweepSpec::metrics; empty on error.
+  std::vector<std::uint64_t> metrics;
+  /// Exception text of the last failed attempt; empty on success.
+  std::string error;
+};
+
+/// Sweep fingerprint written as the first line of every log.
+struct SweepLogHeader {
+  std::string name;
+  std::string axis;
+  std::uint64_t seed = 0;
+  std::size_t points = 0;
+  std::size_t slots = 0;
+  std::uint64_t values_hash = 0;
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  std::vector<std::string> metrics;
+
+  /// True when the logs describe the same sweep (shard layout may differ —
+  /// that is the point of merging).
+  bool same_sweep(const SweepLogHeader& other) const;
+};
+
+/// Order- and duplication-tolerant content of one log file.
+struct SweepLogContents {
+  std::optional<SweepLogHeader> header;
+  std::vector<UnitOutcome> units;
+  /// True when the file ended in a partial line (crash artifact, dropped).
+  bool truncated_tail = false;
+};
+
+/// Reads a sweep log.  A missing file yields empty contents; a partial
+/// trailing line is dropped (see truncated_tail); any other malformed line
+/// throws std::runtime_error.
+SweepLogContents read_sweep_log(const std::filesystem::path& path);
+
+/// Append-only log writer.  Each append() issues one O_APPEND write of a
+/// complete line, so concurrent appends from worker threads interleave at
+/// line granularity and a killed process never corrupts earlier records.
+class SweepLogAppender {
+ public:
+  /// Opens (creating if needed) `path` for appending.  When `truncate`,
+  /// existing content is discarded first (fresh, non-resume run).
+  SweepLogAppender(const std::filesystem::path& path, bool truncate);
+  ~SweepLogAppender();
+
+  SweepLogAppender(const SweepLogAppender&) = delete;
+  SweepLogAppender& operator=(const SweepLogAppender&) = delete;
+
+  void append_header(const SweepLogHeader& header);
+  void append(const UnitOutcome& outcome);
+
+ private:
+  void write_line(const std::string& line);
+
+  int fd_ = -1;
+  std::filesystem::path path_;
+};
+
+}  // namespace mcs::exp

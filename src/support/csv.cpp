@@ -1,16 +1,70 @@
 #include "support/csv.hpp"
 
 #include <charconv>
+#include <exception>
+#include <sstream>
 #include <stdexcept>
+#include <system_error>
 
 #include "support/contracts.hpp"
 
 namespace mcs::support {
 
-CsvWriter::CsvWriter(const std::filesystem::path& path) : out_(path) {
+CsvWriter::CsvWriter(const std::filesystem::path& path)
+    : path_(path),
+      tmp_path_(path.string() + ".tmp"),
+      out_(tmp_path_, std::ios::trunc),
+      uncaught_on_entry_(std::uncaught_exceptions()) {
   if (!out_) {
-    throw std::runtime_error("CsvWriter: cannot open " + path.string());
+    throw std::runtime_error("CsvWriter: cannot open " + tmp_path_.string());
   }
+}
+
+CsvWriter::~CsvWriter() {
+  if (closed_) return;
+  if (std::uncaught_exceptions() > uncaught_on_entry_) {
+    // Unwinding: the row stream is incomplete — drop the temporary and
+    // leave any previous file untouched.
+    discard();
+    return;
+  }
+  try {
+    close();
+  } catch (...) {
+    // Destructors must not throw; the temporary was already removed.
+  }
+}
+
+void CsvWriter::discard() noexcept {
+  out_.close();
+  std::error_code ec;
+  std::filesystem::remove(tmp_path_, ec);
+  closed_ = true;
+}
+
+void CsvWriter::close() {
+  if (closed_) return;
+  out_.flush();
+  const bool ok = out_.good();
+  out_.close();
+  if (!ok) {
+    std::error_code ec;
+    std::filesystem::remove(tmp_path_, ec);
+    closed_ = true;
+    throw std::runtime_error("CsvWriter: write failed for " +
+                             tmp_path_.string());
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp_path_, path_, ec);
+  if (ec) {
+    std::error_code rm;
+    std::filesystem::remove(tmp_path_, rm);
+    closed_ = true;
+    throw std::runtime_error("CsvWriter: cannot rename " +
+                             tmp_path_.string() + " to " + path_.string() +
+                             ": " + ec.message());
+  }
+  closed_ = true;
 }
 
 std::string CsvWriter::escape(std::string_view field) {
@@ -34,6 +88,7 @@ std::string CsvWriter::escape(std::string_view field) {
 
 void CsvWriter::write_row(const std::vector<std::string>& cells) {
   MCS_REQUIRE(!row_open_, "write_row while a row is being built");
+  MCS_REQUIRE(!closed_, "write_row after close");
   for (std::size_t i = 0; i < cells.size(); ++i) {
     if (i != 0) {
       out_ << ',';
@@ -44,6 +99,7 @@ void CsvWriter::write_row(const std::vector<std::string>& cells) {
 }
 
 CsvWriter& CsvWriter::cell(std::string_view text) {
+  MCS_REQUIRE(!closed_, "cell after close");
   if (row_open_) {
     out_ << ',';
   }
@@ -70,8 +126,96 @@ CsvWriter& CsvWriter::cell(std::size_t value) {
 }
 
 void CsvWriter::end_row() {
+  MCS_REQUIRE(!closed_, "end_row after close");
   out_ << '\n';
   row_open_ = false;
+}
+
+std::vector<std::vector<std::string>> parse_csv(std::string_view text) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool field_was_quoted = false;
+  bool row_has_content = false;
+
+  const auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+    field_was_quoted = false;
+  };
+  const auto end_row = [&] {
+    end_field();
+    rows.push_back(std::move(row));
+    row.clear();
+    row_has_content = false;
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field.empty() || field_was_quoted) {
+          throw std::runtime_error(
+              "parse_csv: stray quote inside an unquoted field");
+        }
+        in_quotes = true;
+        field_was_quoted = true;
+        row_has_content = true;
+        break;
+      case ',':
+        end_field();
+        row_has_content = true;
+        break;
+      case '\r':
+        // Only swallow the CR of a CRLF terminator; a bare CR inside an
+        // unquoted field would have been quoted by our writer.
+        if (i + 1 < text.size() && text[i + 1] == '\n') {
+          break;
+        }
+        field.push_back(c);
+        break;
+      case '\n':
+        end_row();
+        break;
+      default:
+        field.push_back(c);
+        row_has_content = true;
+        break;
+    }
+  }
+  if (in_quotes) {
+    throw std::runtime_error("parse_csv: unterminated quoted field");
+  }
+  // Final row without a trailing newline.
+  if (row_has_content || !row.empty() || !field.empty()) {
+    end_row();
+  }
+  return rows;
+}
+
+std::vector<std::vector<std::string>> read_csv_file(
+    const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("read_csv_file: cannot open " + path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_csv(buffer.str());
 }
 
 }  // namespace mcs::support

@@ -1,8 +1,14 @@
-// Minimal CSV writer for experiment outputs.
+// Minimal CSV writer/reader for experiment outputs.
 //
 // RFC-4180-style quoting: fields containing commas, quotes, or newlines are
 // quoted, embedded quotes doubled.  Numeric overloads format with enough
 // precision to round-trip.
+//
+// Writes are crash-atomic: the writer streams into `<path>.tmp` and renames
+// it over the final path on close(), so an interrupted bench never leaves a
+// truncated CSV where a complete one is expected.  If the writer is
+// destroyed while an exception is unwinding, the temporary is removed and
+// the previous file (if any) is left untouched.
 #pragma once
 
 #include <cstdint>
@@ -14,12 +20,19 @@
 
 namespace mcs::support {
 
-/// Streams rows to a CSV file; the file is flushed and closed on
-/// destruction (RAII).  Throws std::runtime_error when the file cannot be
-/// opened.
+/// Streams rows to a CSV file via a `<path>.tmp` sidecar that is renamed
+/// into place by close() — or by the destructor on clean scope exit.
+/// Throws std::runtime_error when the file cannot be opened or the final
+/// rename fails.
 class CsvWriter {
  public:
   explicit CsvWriter(const std::filesystem::path& path);
+
+  /// Commits on clean scope exit; discards the temporary when unwinding.
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
 
   /// Writes a header / arbitrary row of raw (to-be-escaped) cells.
   void write_row(const std::vector<std::string>& cells);
@@ -31,12 +44,34 @@ class CsvWriter {
   CsvWriter& cell(std::size_t value);
   void end_row();
 
+  /// Flushes and atomically renames the temporary over the final path.
+  /// Idempotent; throws on I/O failure (the temporary is then removed).
+  void close();
+
   /// Escapes one CSV field (exposed for tests).
   static std::string escape(std::string_view field);
 
  private:
+  void discard() noexcept;
+
+  std::filesystem::path path_;
+  std::filesystem::path tmp_path_;
   std::ofstream out_;
   bool row_open_ = false;
+  bool closed_ = false;
+  int uncaught_on_entry_ = 0;
 };
+
+/// Parses RFC-4180 CSV text into rows of unescaped fields.  Accepts both
+/// LF and CRLF row terminators and quoted fields containing commas,
+/// doubled quotes, and embedded newlines.  A trailing newline does not
+/// produce an empty final row.  Throws std::runtime_error on a stray
+/// quote inside an unquoted field or an unterminated quoted field.
+std::vector<std::vector<std::string>> parse_csv(std::string_view text);
+
+/// Reads and parses a CSV file (see parse_csv).  Throws std::runtime_error
+/// when the file cannot be opened.
+std::vector<std::vector<std::string>> read_csv_file(
+    const std::filesystem::path& path);
 
 }  // namespace mcs::support

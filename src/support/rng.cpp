@@ -14,6 +14,22 @@ std::uint64_t splitmix64(std::uint64_t& state) noexcept {
   return z ^ (z >> 31);
 }
 
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t a,
+                          std::uint64_t b) noexcept {
+  // Fold one fully-mixed splitmix64 output per tuple component into the
+  // result.  Each component is pre-multiplied by a distinct odd constant so
+  // the xor into the evolving state is injective per component; the final
+  // value is the xor of three avalanche mixes, so no linear relation
+  // between (seed, a, b) tuples survives into the output.
+  std::uint64_t state = seed;
+  std::uint64_t hash = splitmix64(state);
+  state ^= a * 0xff51afd7ed558ccdULL;
+  hash ^= splitmix64(state);
+  state ^= b * 0xc4ceb9fe1a85ec53ULL;
+  hash ^= splitmix64(state);
+  return hash;
+}
+
 namespace {
 constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
   return (x << k) | (x >> (64 - k));

@@ -17,6 +17,16 @@ namespace mcs::support {
 /// splitmix64 step; used for seed expansion and as a tiny standalone PRNG.
 std::uint64_t splitmix64(std::uint64_t& state) noexcept;
 
+/// splitmix64-style hash of the tuple (seed, a, b): a pure function whose
+/// output seeds an independent Rng stream per tuple.  Unlike additive
+/// schemes (`seed + K * index`), nearby seeds and indices cannot collide
+/// into the same stream — every component passes through a full avalanche
+/// mix before being combined.  Used by the sweep runner to derive one RNG
+/// per (sweep seed, point, slot) work unit, which is what makes experiment
+/// output independent of thread count, shard layout, and resume boundaries.
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t a,
+                          std::uint64_t b = 0) noexcept;
+
 /// xoshiro256** pseudo-random generator with distribution helpers.
 ///
 /// Satisfies UniformRandomBitGenerator, so it can also be plugged into

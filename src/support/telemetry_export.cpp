@@ -8,6 +8,7 @@
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <system_error>
 
 #include "support/telemetry.hpp"
 
@@ -95,11 +96,31 @@ void write_json(const Snapshot& snap, std::ostream& out) {
 }
 
 void write_json_file(const std::filesystem::path& path) {
-  std::ofstream out(path);
-  if (!out) {
-    throw std::runtime_error("telemetry: cannot open " + path.string());
+  // Temp-file + rename: a reader (or a crash) never sees a half-written
+  // snapshot where a complete one is expected.
+  const std::filesystem::path tmp(path.string() + ".tmp");
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("telemetry: cannot open " + tmp.string());
+    }
+    write_json(snapshot(), out);
+    out.flush();
+    if (!out.good()) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      throw std::runtime_error("telemetry: write failed for " +
+                               tmp.string());
+    }
   }
-  write_json(snapshot(), out);
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code rm;
+    std::filesystem::remove(tmp, rm);
+    throw std::runtime_error("telemetry: cannot rename " + tmp.string() +
+                             " to " + path.string() + ": " + ec.message());
+  }
 }
 
 }  // namespace mcs::support::telemetry

@@ -50,6 +50,11 @@ void ThreadPool::wait_idle() {
   }
 }
 
+std::size_t ThreadPool::pending() {
+  std::unique_lock lock(mutex_);
+  return queue_.size() + in_flight_;
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;

@@ -43,6 +43,11 @@ class ThreadPool {
 
   std::size_t worker_count() const noexcept { return workers_.size(); }
 
+  /// Tasks queued or currently executing.  A snapshot — by the time the
+  /// caller looks at it the pool may have drained further; useful for
+  /// progress reporting, not for synchronization.
+  std::size_t pending();
+
  private:
   void worker_loop();
 

@@ -99,17 +99,13 @@ TEST(Integration, ExperimentPointMatchesManualLoop) {
   const auto result = mcs::exp::run_experiment(cfg);
   ASSERT_EQ(result.points.size(), 1u);
 
-  // Reproduce the harness's RNG discipline.
-  Rng point_rng(cfg.seed + 0x9e37 * 1);
-  std::vector<Rng> rngs;
-  for (std::size_t s = 0; s < cfg.tasksets_per_point; ++s) {
-    rngs.push_back(point_rng.split(s));
-  }
+  // Reproduce the harness's RNG discipline: one stream per (seed, point,
+  // slot) tuple via derive_seed (see sweep_runner.hpp).
   std::size_t ok_nps = 0, ok_wp = 0, ok_prop = 0;
   for (std::size_t s = 0; s < cfg.tasksets_per_point; ++s) {
     GeneratorConfig g = cfg.base;
     g.utilization = 0.3;
-    Rng rng = rngs[s];
+    Rng rng(mcs::support::derive_seed(cfg.seed, 0, s));
     const TaskSet tasks = generate_task_set(g, rng);
     if (analyze(tasks, Approach::kNonPreemptive, cfg.analysis).schedulable) {
       ++ok_nps;

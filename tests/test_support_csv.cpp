@@ -6,6 +6,8 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
+#include <vector>
 
 namespace {
 
@@ -67,6 +69,67 @@ TEST(CsvEscape, Idempotent) {
 TEST(CsvWriterErrors, ThrowsOnUnwritablePath) {
   EXPECT_THROW(CsvWriter("/nonexistent_dir_xyz/file.csv"),
                std::runtime_error);
+}
+
+TEST_F(CsvTest, WriterReaderRoundTripsAwkwardFields) {
+  // Every escaping edge case the writer can produce must come back
+  // verbatim through parse_csv — the shard-merge path depends on it.
+  const std::vector<std::vector<std::string>> rows = {
+      {"plain", "has,comma", "has\"quote"},
+      {"has\nnewline", "\"fully quoted\"", ""},
+      {",", "\"\"", "a,b\"c\nd"},
+  };
+  {
+    CsvWriter csv(path_);
+    for (const auto& row : rows) csv.write_row(row);
+  }
+  EXPECT_EQ(mcs::support::read_csv_file(path_), rows);
+}
+
+TEST(CsvParse, HandlesCrlfAndTrailingNewline) {
+  const auto rows = mcs::support::parse_csv("a,b\r\nc,d\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+  EXPECT_TRUE(mcs::support::parse_csv("").empty());
+}
+
+TEST(CsvParse, RejectsMalformedQuoting) {
+  EXPECT_THROW(mcs::support::parse_csv("a,\"unterminated\n"),
+               std::runtime_error);
+  EXPECT_THROW(mcs::support::parse_csv("a,str\"ay,b\n"), std::runtime_error);
+}
+
+TEST_F(CsvTest, CloseIsAtomicTempThenRename) {
+  // While the writer is open only the .tmp sidecar exists; after close()
+  // the final path exists and the sidecar is gone.
+  const auto tmp = path_.string() + ".tmp";
+  {
+    CsvWriter csv(path_);
+    csv.write_row({"x"});
+    EXPECT_FALSE(std::filesystem::exists(path_));
+    EXPECT_TRUE(std::filesystem::exists(tmp));
+    csv.close();
+    EXPECT_TRUE(std::filesystem::exists(path_));
+    EXPECT_FALSE(std::filesystem::exists(tmp));
+  }
+  EXPECT_EQ(slurp(path_), "x\n");
+}
+
+TEST_F(CsvTest, AbandonedWriterPreservesPreviousFile) {
+  // An exception mid-write must leave the previous complete file intact.
+  {
+    CsvWriter csv(path_);
+    csv.write_row({"old"});
+  }
+  try {
+    CsvWriter csv(path_);
+    csv.write_row({"new"});
+    throw std::runtime_error("simulated failure");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(slurp(path_), "old\n");
+  EXPECT_FALSE(std::filesystem::exists(path_.string() + ".tmp"));
 }
 
 }  // namespace

@@ -79,6 +79,13 @@ KERNEL_BOUND_RTOL = 1e-9
 # absorb run-to-run noise in the ratio.
 MIN_ENGINE_SPEEDUP = 1.15
 
+# The fresh run's barrier-vs-queue sweep wall-time ratio must stay above
+# this.  The sweep_wall axis replays a fixed straggler-heavy duration
+# profile at threads=4 (sleep-based, so it measures scheduling shape, not
+# CPU throughput), where removing the per-point barrier lets idle workers
+# steal units from the next point; the committed baseline shows >= 1.8x.
+MIN_SWEEP_QUEUE_SPEEDUP = 1.15
+
 BASELINES = {
     "mcs-bench-solver-v1": "BENCH_solver.json",
     "mcs-bench-analysis-v1": "BENCH_analysis.json",
@@ -176,6 +183,18 @@ def check_analysis(fresh, baseline):
         failures.append(
             f"engine single-thread speedup {speedup:.2f}x fell below the "
             f"required {MIN_ENGINE_SPEEDUP:.2f}x")
+
+    queue_speedup = fresh["summary"].get("sweep_queue_speedup")
+    if queue_speedup is None:
+        failures.append("summary is missing sweep_queue_speedup "
+                        "(bench predates the sweep-wall axis?)")
+    else:
+        print(f"sweep barrier-vs-queue speedup (same-run wall ratio): "
+              f"{queue_speedup:.2f}x (floor {MIN_SWEEP_QUEUE_SPEEDUP:.2f}x)")
+        if queue_speedup < MIN_SWEEP_QUEUE_SPEEDUP:
+            failures.append(
+                f"sweep queue speedup {queue_speedup:.2f}x fell below the "
+                f"required {MIN_SWEEP_QUEUE_SPEEDUP:.2f}x")
     return failures
 
 
