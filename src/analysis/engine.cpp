@@ -245,6 +245,7 @@ struct AnalysisEngine::Impl {
                                          const AnalysisOptions& options);
   NpsTaskBound nps(const rt::TaskSet& tasks, rt::TaskIndex i);
   WpResult wp(const rt::TaskSet& tasks, const AnalysisOptions& options);
+  WpResult marked(const rt::TaskSet& tasks, const AnalysisOptions& options);
   ProposedResult proposed(const rt::TaskSet& tasks,
                           const AnalysisOptions& options,
                           const WpResult* wp_round0);
@@ -604,6 +605,22 @@ WpResult AnalysisEngine::Impl::wp(const rt::TaskSet& tasks,
   return result;
 }
 
+WpResult AnalysisEngine::Impl::marked(const rt::TaskSet& tasks,
+                                      const AnalysisOptions& options) {
+  WpResult result;
+  result.per_task = bound_all(tasks, options);
+  result.schedulable = true;
+  for (rt::TaskIndex i = 0; i < tasks.size(); ++i) {
+    const TaskBoundResult& bound = result.per_task[i];
+    result.any_relaxation_fallback |= bound.used_relaxation_bound;
+    result.total_milp_nodes += bound.milp_nodes;
+    if (!bound.schedulable) {
+      result.schedulable = false;
+    }
+  }
+  return result;
+}
+
 ProposedResult AnalysisEngine::Impl::proposed(const rt::TaskSet& tasks,
                                               const AnalysisOptions& options,
                                               const WpResult* wp_round0) {
@@ -751,6 +768,11 @@ NpsTaskBound AnalysisEngine::nps_bound(const rt::TaskSet& tasks,
 WpResult AnalysisEngine::analyze_wp(const rt::TaskSet& tasks,
                                     const AnalysisOptions& options) {
   return impl_->wp(tasks, options);
+}
+
+WpResult AnalysisEngine::analyze_marked(const rt::TaskSet& tasks,
+                                        const AnalysisOptions& options) {
+  return impl_->marked(tasks, options);
 }
 
 ProposedResult AnalysisEngine::analyze_proposed(const rt::TaskSet& tasks,

@@ -70,6 +70,16 @@ class AnalysisEngine {
   WpResult analyze_wp(const rt::TaskSet& tasks,
                       const AnalysisOptions& options = {});
 
+  /// Bounds every task under its *current* LS marking, with no greedy
+  /// reassignment (analyze_proposed would re-mark the set): the WpResult
+  /// digest of one bound_all pass over `tasks` as given.  This is the bound
+  /// extraction the model checker (mcs::verify) uses for its
+  /// analysis-soundness cross-check, where the explored marking must match
+  /// the analyzed one exactly; options.ignore_ls selects the WP baseline
+  /// formulation instead.
+  WpResult analyze_marked(const rt::TaskSet& tasks,
+                          const AnalysisOptions& options = {});
+
   /// Greedy LS marking (paper §VI).  When `wp_round0` is given it must be
   /// the WP analysis of this same `tasks` under compatible options; the
   /// greedy loop then adopts it as its round 0 instead of recomputing —

@@ -200,6 +200,47 @@ const std::vector<RuleInfo>& rule_catalog() {
        "job lifecycle bookkeeping inconsistent (ordering or cancellation "
        "counter)",
        "§II job model; trace record contract"},
+      // MCS-V0xx: exhaustive model-checker verdicts (mcs::verify).  Unlike
+      // the per-trace MCS-P rules, each of these quantifies over *every*
+      // reachable state of the bounded choice model; a finding carries a
+      // replayable counterexample path.
+      {"MCS-V001", Severity::kError,
+       "reachable state executes a job without a completed copy-in in the "
+       "adjacent previous interval",
+       "Property 1 (§IV-B); rules R2/R5"},
+      {"MCS-V002", Severity::kError,
+       "reachable completion without an adjacent copy-out following the "
+       "execution interval",
+       "Properties 1-2 (§IV-B); rule R2"},
+      {"MCS-V003", Severity::kError,
+       "non-latency-sensitive job blocked in more than two intervals on "
+       "some explored path",
+       "Property 3 (§IV-B)"},
+      {"MCS-V004", Severity::kError,
+       "latency-sensitive job blocked in more than one interval on some "
+       "explored path",
+       "Property 4 (§IV-B); rules R3-R5"},
+      {"MCS-V005", Severity::kError,
+       "stuck reachable state: committed work pending but no transition "
+       "enabled",
+       "deadlock freedom; rules R1-R6 progress"},
+      {"MCS-V006", Severity::kError,
+       "livelock: a path exceeds the zero-length-interval budget without "
+       "advancing time",
+       "work-conserving progress; rule R6"},
+      {"MCS-V007", Severity::kError,
+       "copy-in cancellation without a justifying higher-priority "
+       "latency-sensitive release in the interval",
+       "rule R3 (§IV-A); DESIGN.md §5.8"},
+      {"MCS-V008", Severity::kError,
+       "exhaustive worst-case response time exceeds the MILP analysis bound",
+       "analysis soundness (§V); DESIGN.md §5.1"},
+      {"MCS-V009", Severity::kError,
+       "interval busy-time accounting disagrees with the task parameters",
+       "rules R2/R5/R6 (§IV-A); Definition 1"},
+      {"MCS-V010", Severity::kError,
+       "urgent promotion of an ineligible job",
+       "rule R4 (§IV-A)"},
   };
   return catalog;
 }

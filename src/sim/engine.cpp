@@ -4,6 +4,7 @@
 #include <limits>
 #include <optional>
 
+#include "sim/step.hpp"
 #include "support/contracts.hpp"
 #include "support/telemetry.hpp"
 
@@ -28,9 +29,10 @@ using rt::Time;
 
 /// Index into Trace::jobs.
 using JobRef = std::size_t;
-constexpr JobRef kNoJob = static_cast<JobRef>(-1);
 
-/// Shared release / precedence bookkeeping for both engine flavours.
+/// Release / precedence bookkeeping for the non-preemptive engine.  The
+/// interval protocols run on IntervalStepper (step.hpp), which keeps the
+/// same bookkeeping inside its explicit StepState.
 class JobAdmission {
  public:
   JobAdmission(const rt::TaskSet& tasks, std::vector<Release> releases,
@@ -93,15 +95,6 @@ class JobAdmission {
     last_completion_[trace_.jobs[job].id.task] = when;
   }
 
-  bool all_done() const {
-    for (TaskIndex task = 0; task < tasks_.size(); ++task) {
-      if (task_busy_[task] || next_in_task_[task] < per_task_[task].size()) {
-        return false;
-      }
-    }
-    return true;
-  }
-
   bool ready_empty() const { return ready_.empty(); }
 
   /// Highest-priority ready job (smallest priority value).
@@ -111,21 +104,6 @@ class JobAdmission {
     ready_.erase(ready_.begin());
     return j;
   }
-
-  void push_back_ready(JobRef job) {
-    ready_.push_back(job);
-    sort_ready();
-  }
-
-  /// Removes and returns the job ref, if present.
-  bool remove_ready(JobRef job) {
-    const auto it = std::find(ready_.begin(), ready_.end(), job);
-    if (it == ready_.end()) return false;
-    ready_.erase(it);
-    return true;
-  }
-
-  const std::vector<JobRef>& ready() const { return ready_; }
 
  private:
   void sort_ready() {
@@ -147,167 +125,32 @@ class JobAdmission {
 };
 
 /// Interval-based engine implementing rules R1-R6 (kProposed) and the [3]
-/// baseline (kWasilyPellizzoni == kProposed with LS ignored).
+/// baseline (kWasilyPellizzoni == kProposed with LS ignored).  The actual
+/// dynamics live in IntervalStepper (step.hpp) so the model checker and the
+/// simulator share one implementation; this is just the batch-driving loop.
 Trace run_interval_protocol(const rt::TaskSet& tasks, Protocol protocol,
                             std::vector<Release> releases,
                             const SimOptions& options) {
-  const bool ls_rules = protocol == Protocol::kProposed;
   Trace trace;
-  JobAdmission admission(tasks, std::move(releases), trace);
-
-  std::optional<JobRef> loaded;           // copy-in finished last interval
-  std::optional<JobRef> pending_copyout;  // executed last interval
-  std::optional<JobRef> urgent;           // promoted by R4 last interval
-  Time now = 0;
-
-  const auto task_of = [&](JobRef j) -> const rt::Task& {
-    return tasks[trace.jobs[j].id.task];
-  };
-
-  while (true) {
-    admission.admit_up_to(now);
-    const bool has_work = !admission.ready_empty() || loaded.has_value() ||
-                          pending_copyout.has_value() || urgent.has_value();
-    if (!has_work) {
-      const Time next = admission.next_admission_time();
-      if (next == rt::kTimeMax) {
-        break;  // everything processed
-      }
-      now = std::max(now, next);
-      admission.admit_up_to(now);
-    }
-    if (trace.intervals.size() >= options.max_intervals) {
-      trace.aborted = true;
-      break;
-    }
-
-    IntervalRecord rec;
-    rec.index = trace.intervals.size();
-    rec.start = now;
-
-    // --- DMA side (R2): copy-out first, then one copy-in -----------------
-    Time dma_time = 0;
-    if (pending_copyout) {
-      const JobRef j = *pending_copyout;
-      rec.copy_out_job = trace.jobs[j].id;
-      rec.copy_out_duration = task_of(j).copy_out;
-      dma_time += rec.copy_out_duration;
-      admission.complete(j, now + dma_time);
-      pending_copyout.reset();
-    }
-    std::optional<JobRef> copying;
-    Time copy_in_start = now + dma_time;
-    Time copy_in_full = 0;
-    if (!admission.ready_empty()) {
-      copying = admission.pop_highest();
-      copy_in_full = task_of(*copying).copy_in;
-      rec.copy_in_job = trace.jobs[*copying].id;
-      rec.copy_in_outcome = CopyInOutcome::kCompleted;
-      rec.copy_in_duration = copy_in_full;
-      trace.jobs[*copying].copy_in_start = copy_in_start;
-      dma_time += copy_in_full;
-    }
-
-    // --- CPU side (R5) ----------------------------------------------------
-    std::optional<JobRef> executing;
-    if (urgent) {
-      executing = urgent;
-      urgent.reset();
-      const rt::Task& t = task_of(*executing);
-      rec.cpu_action = CpuAction::kUrgentExecute;
-      rec.cpu_busy = t.copy_in + t.exec;
-      trace.jobs[*executing].copy_in_start = now;
-      trace.jobs[*executing].exec_start = now + t.copy_in;
-      trace.jobs[*executing].became_urgent = true;
-    } else if (loaded) {
-      executing = loaded;
-      loaded.reset();
-      rec.cpu_action = CpuAction::kExecute;
-      rec.cpu_busy = task_of(*executing).exec;
-      trace.jobs[*executing].exec_start = now;
-    }
-    if (executing) {
-      rec.cpu_job = trace.jobs[*executing].id;
-    }
-
-    // --- R3: LS release cancels / invalidates a lower-priority copy-in ----
-    Time tentative_end = now + std::max(rec.cpu_busy, dma_time);
-    if (ls_rules && copying) {
-      const auto copy_prio = task_of(*copying).priority;
-      // Find the earliest LS release within the interval from a task with
-      // higher priority than the copy-in's task.
-      Time trigger = rt::kTimeMax;
-      for (const JobRecord& job : trace.jobs) {
-        const rt::Task& t = tasks[job.id.task];
-        if (!t.latency_sensitive || t.priority >= copy_prio) continue;
-        // Strictly inside the interval: a release exactly at the interval
-        // start took part in the R2 selection instead (and would have been
-        // chosen over the lower-priority copy-in task).
-        if (job.release > now && job.release < tentative_end) {
-          trigger = std::min(trigger, job.release);
-        }
-      }
-      if (trigger != rt::kTimeMax) {
-        const Time copy_in_end = copy_in_start + copy_in_full;
-        if (trigger < copy_in_end) {
-          // Cancelled mid-transfer (or before it started): partial DMA time.
-          const Time spent = std::max<Time>(0, trigger - copy_in_start);
-          rec.copy_in_outcome = CopyInOutcome::kCancelled;
-          rec.copy_in_duration = spent;
-          dma_time = rec.copy_out_duration + spent;
-        } else {
-          // Completed within the interval but invalidated (DESIGN.md §5.8).
-          rec.copy_in_outcome = CopyInOutcome::kDiscarded;
-        }
-        trace.jobs[*copying].copy_in_cancellations += 1;
-        admission.push_back_ready(*copying);
-        copying.reset();
-        tentative_end = now + std::max(rec.cpu_busy, dma_time);
-      }
-    }
-
-    rec.dma_busy = dma_time;
-    rec.end = tentative_end;
-
-    // --- Interval end bookkeeping -----------------------------------------
-    if (executing) {
-      pending_copyout = executing;
-    }
-    if (copying) {
-      loaded = copying;
-    }
-
-    // R4: urgent promotion of the highest-priority LS task released inside
-    // this interval, when no copy-in completed.  The window is (start, end]:
-    // a release exactly at the interval start already took part in the R2
-    // selection, while a release at the interval end may be the very event
-    // that cancelled the copy-in (R3) and must count as "released in I_k".
-    if (ls_rules && rec.copy_in_outcome != CopyInOutcome::kCompleted) {
-      admission.admit_up_to(rec.end);
-      JobRef candidate = kNoJob;
-      for (const JobRef j : admission.ready()) {
-        const rt::Task& t = tasks[trace.jobs[j].id.task];
-        if (!t.latency_sensitive) continue;
-        if (trace.jobs[j].release <= rec.start ||
-            trace.jobs[j].release > rec.end) {
-          continue;  // must be released within I_k
-        }
-        candidate = j;  // ready() is priority sorted; first hit is highest
-        break;
-      }
-      if (candidate != kNoJob) {
-        admission.remove_ready(candidate);
-        urgent = candidate;
-      }
-    }
-
-    trace.intervals.push_back(rec);
-    now = rec.end;
-
-    if (admission.all_done() && !loaded && !pending_copyout && !urgent) {
-      break;
-    }
+  sort_releases(releases);
+  IntervalStepper stepper(tasks, protocol);
+  for (const Release& r : releases) {
+    stepper.add_release(r.job, r.time);
   }
+  while (true) {
+    if (trace.intervals.size() >= options.max_intervals) {
+      if (stepper.has_pending_work()) {
+        trace.aborted = true;
+      }
+      break;
+    }
+    const std::optional<StepOutcome> out = stepper.step();
+    if (!out) {
+      break;  // everything processed
+    }
+    trace.intervals.push_back(out->record);
+  }
+  trace.jobs = stepper.state().jobs;
   return trace;
 }
 

@@ -1,0 +1,383 @@
+#include "sim/step.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/contracts.hpp"
+
+namespace mcs::sim {
+
+using rt::TaskIndex;
+using rt::Time;
+
+namespace {
+constexpr JobRef kNoJob = static_cast<JobRef>(-1);
+}  // namespace
+
+const char* to_string(ProtocolMutation mutation) noexcept {
+  switch (mutation) {
+    case ProtocolMutation::kNone:
+      return "none";
+    case ProtocolMutation::kExecuteWithoutLoad:
+      return "execute-without-load";
+    case ProtocolMutation::kSkipCopyOut:
+      return "skip-copy-out";
+    case ProtocolMutation::kInvertCopyInPriority:
+      return "invert-copy-in-priority";
+    case ProtocolMutation::kIgnoreLsCancellation:
+      return "ignore-ls-cancellation";
+    case ProtocolMutation::kFreezeScheduler:
+      return "freeze-scheduler";
+    case ProtocolMutation::kZeroLengthSpin:
+      return "zero-length-spin";
+    case ProtocolMutation::kSpuriousCancellation:
+      return "spurious-cancellation";
+    case ProtocolMutation::kInflateExecution:
+      return "inflate-execution";
+    case ProtocolMutation::kUrgentNonLs:
+      return "urgent-non-ls";
+  }
+  return "unknown";
+}
+
+IntervalStepper::IntervalStepper(const rt::TaskSet& tasks, Protocol protocol,
+                                 ProtocolMutation mutation)
+    : tasks_(tasks), protocol_(protocol), mutation_(mutation) {
+  MCS_REQUIRE(protocol != Protocol::kNonPreemptive,
+              "IntervalStepper drives interval protocols only");
+  MCS_REQUIRE(!tasks.empty(), "IntervalStepper: empty task set");
+  state_.tasks.resize(tasks_.size());
+}
+
+const rt::Task& IntervalStepper::task_of(JobRef job) const {
+  return tasks_[state_.jobs[job].id.task];
+}
+
+JobRef IntervalStepper::add_release(JobId id, Time time) {
+  MCS_REQUIRE(id.task < tasks_.size(), "add_release: unknown task");
+  MCS_REQUIRE(time >= 0, "add_release: negative release time");
+  TaskProgress& progress = state_.tasks[id.task];
+  MCS_REQUIRE(progress.queue.empty() ||
+                  state_.jobs[progress.queue.back()].release <= time,
+              "add_release: per-task releases must be nondecreasing");
+  JobRecord job;
+  job.id = id;
+  job.release = time;
+  job.absolute_deadline = time + tasks_[id.task].deadline;
+  const JobRef ref = state_.jobs.size();
+  state_.jobs.push_back(job);
+  progress.queue.push_back(ref);
+  return ref;
+}
+
+void IntervalStepper::sort_ready() {
+  std::sort(state_.ready.begin(), state_.ready.end(),
+            [this](JobRef a, JobRef b) {
+              const auto pa = task_of(a).priority;
+              const auto pb = task_of(b).priority;
+              if (pa != pb) return pa < pb;
+              return state_.jobs[a].id.seq < state_.jobs[b].id.seq;
+            });
+}
+
+void IntervalStepper::admit_up_to(Time now) {
+  for (TaskIndex task = 0; task < tasks_.size(); ++task) {
+    TaskProgress& progress = state_.tasks[task];
+    if (progress.busy) continue;  // precedence: predecessor in flight
+    if (progress.next >= progress.queue.size()) continue;
+    const JobRef j = progress.queue[progress.next];
+    if (state_.jobs[j].release <= now) {
+      state_.jobs[j].ready_time =
+          std::max(state_.jobs[j].release, progress.last_completion);
+      state_.ready.push_back(j);
+      progress.busy = true;
+      ++progress.next;
+    }
+  }
+  sort_ready();
+}
+
+void IntervalStepper::admit_now() { admit_up_to(state_.now); }
+
+Time IntervalStepper::next_admission_time() const {
+  Time best = rt::kTimeMax;
+  for (TaskIndex task = 0; task < tasks_.size(); ++task) {
+    const TaskProgress& progress = state_.tasks[task];
+    if (progress.busy) continue;
+    if (progress.next >= progress.queue.size()) continue;
+    best = std::min(best, state_.jobs[progress.queue[progress.next]].release);
+  }
+  return best;
+}
+
+void IntervalStepper::complete(JobRef job, Time when) {
+  state_.jobs[job].completion = when;
+  TaskProgress& progress = state_.tasks[state_.jobs[job].id.task];
+  progress.busy = false;
+  progress.last_completion = when;
+}
+
+bool IntervalStepper::has_pending_work() const {
+  if (!state_.ready.empty() || state_.loaded || state_.pending_copyout ||
+      state_.urgent) {
+    return true;
+  }
+  for (const TaskProgress& progress : state_.tasks) {
+    if (progress.busy || progress.next < progress.queue.size()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+StepPreview IntervalStepper::preview() const {
+  StepPreview preview;
+  const bool has_work = !state_.ready.empty() || state_.loaded ||
+                        state_.pending_copyout || state_.urgent;
+  Time start = state_.now;
+  if (!has_work) {
+    const Time next = next_admission_time();
+    if (next == rt::kTimeMax) {
+      return preview;  // nothing committed to schedule
+    }
+    start = std::max(start, next);
+  }
+  preview.has_event = true;
+  preview.start = start;
+  if (mutation_ == ProtocolMutation::kZeroLengthSpin) {
+    preview.end_upper_bound = start;
+    return preview;
+  }
+
+  // CPU-side upper bound.
+  Time cpu = 0;
+  if (state_.urgent) {
+    const rt::Task& t = task_of(*state_.urgent);
+    cpu = t.copy_in + t.exec;
+  } else if (state_.loaded) {
+    cpu = task_of(*state_.loaded).exec;
+    if (mutation_ == ProtocolMutation::kInflateExecution) cpu += 1;
+  }
+
+  // DMA-side upper bound: the pending copy-out plus the longest copy-in any
+  // admission candidate could start.  The actual interval picks exactly one
+  // candidate (and R3 can only shorten it), so this never underestimates.
+  const Time copy_out =
+      state_.pending_copyout ? task_of(*state_.pending_copyout).copy_out : 0;
+  Time copy_in = 0;
+  Time exec_candidate = 0;
+  for (const JobRef j : state_.ready) {
+    copy_in = std::max(copy_in, task_of(j).copy_in);
+    exec_candidate = std::max(exec_candidate, task_of(j).exec);
+  }
+  // Committed-but-unadmitted jobs due by the interval start are admitted by
+  // step() before the R2 selection; they are candidates too.
+  for (TaskIndex task = 0; task < tasks_.size(); ++task) {
+    const TaskProgress& progress = state_.tasks[task];
+    if (progress.busy || progress.next >= progress.queue.size()) continue;
+    const JobRef j = progress.queue[progress.next];
+    if (state_.jobs[j].release > start) continue;
+    copy_in = std::max(copy_in, task_of(j).copy_in);
+    exec_candidate = std::max(exec_candidate, task_of(j).exec);
+  }
+  if (mutation_ == ProtocolMutation::kExecuteWithoutLoad && !state_.urgent &&
+      !state_.loaded) {
+    cpu = std::max(cpu, exec_candidate);
+  }
+  preview.end_upper_bound = start + std::max(cpu, copy_out + copy_in);
+  return preview;
+}
+
+std::optional<StepOutcome> IntervalStepper::step() {
+  const bool ls_rules = protocol_ == Protocol::kProposed;
+  admit_up_to(state_.now);
+  if (mutation_ == ProtocolMutation::kFreezeScheduler && state_.intervals >= 1) {
+    return std::nullopt;  // mutation: refuse all further progress
+  }
+  const bool has_work = !state_.ready.empty() || state_.loaded ||
+                        state_.pending_copyout || state_.urgent;
+  if (!has_work) {
+    const Time next = next_admission_time();
+    if (next == rt::kTimeMax) {
+      return std::nullopt;  // everything processed
+    }
+    state_.now = std::max(state_.now, next);
+    admit_up_to(state_.now);
+  }
+
+  StepOutcome out;
+  IntervalRecord& rec = out.record;
+  rec.index = state_.intervals;
+  rec.start = state_.now;
+
+  if (mutation_ == ProtocolMutation::kZeroLengthSpin) {
+    // Mutation: spin on zero-length idle intervals instead of doing work.
+    rec.end = state_.now;
+    ++state_.intervals;
+    return out;
+  }
+
+  // --- DMA side (R2): copy-out first, then one copy-in -----------------
+  Time dma_time = 0;
+  if (state_.pending_copyout) {
+    const JobRef j = *state_.pending_copyout;
+    rec.copy_out_job = state_.jobs[j].id;
+    rec.copy_out_duration = task_of(j).copy_out;
+    dma_time += rec.copy_out_duration;
+    complete(j, state_.now + dma_time);
+    out.completed.push_back(j);
+    state_.pending_copyout.reset();
+  }
+  std::optional<JobRef> copying;
+  const Time copy_in_start = state_.now + dma_time;
+  Time copy_in_full = 0;
+  if (!state_.ready.empty()) {
+    if (mutation_ == ProtocolMutation::kInvertCopyInPriority) {
+      copying = state_.ready.back();
+      state_.ready.pop_back();
+    } else {
+      copying = state_.ready.front();
+      state_.ready.erase(state_.ready.begin());
+    }
+    copy_in_full = task_of(*copying).copy_in;
+    rec.copy_in_job = state_.jobs[*copying].id;
+    rec.copy_in_outcome = CopyInOutcome::kCompleted;
+    rec.copy_in_duration = copy_in_full;
+    state_.jobs[*copying].copy_in_start = copy_in_start;
+    dma_time += copy_in_full;
+  }
+
+  // --- CPU side (R5) ----------------------------------------------------
+  std::optional<JobRef> executing;
+  if (state_.urgent) {
+    executing = state_.urgent;
+    state_.urgent.reset();
+    const rt::Task& t = task_of(*executing);
+    rec.cpu_action = CpuAction::kUrgentExecute;
+    rec.cpu_busy = t.copy_in + t.exec;
+    state_.jobs[*executing].copy_in_start = state_.now;
+    state_.jobs[*executing].exec_start = state_.now + t.copy_in;
+    state_.jobs[*executing].became_urgent = true;
+  } else if (state_.loaded) {
+    executing = state_.loaded;
+    state_.loaded.reset();
+    rec.cpu_action = CpuAction::kExecute;
+    rec.cpu_busy = task_of(*executing).exec;
+    if (mutation_ == ProtocolMutation::kInflateExecution) {
+      rec.cpu_busy += 1;  // mutation: overrun the declared WCET
+    }
+    state_.jobs[*executing].exec_start = state_.now;
+  } else if (mutation_ == ProtocolMutation::kExecuteWithoutLoad && copying) {
+    // Mutation: execute the job whose copy-in runs this very interval,
+    // breaking the load-execute adjacency of Property 1.
+    executing = copying;
+    rec.cpu_action = CpuAction::kExecute;
+    rec.cpu_busy = task_of(*executing).exec;
+    state_.jobs[*executing].exec_start = state_.now;
+  }
+  if (executing) {
+    rec.cpu_job = state_.jobs[*executing].id;
+  }
+
+  // --- R3: LS release cancels / invalidates a lower-priority copy-in ----
+  Time tentative_end = state_.now + std::max(rec.cpu_busy, dma_time);
+  if (mutation_ == ProtocolMutation::kSpuriousCancellation && copying &&
+      state_.jobs[*copying].copy_in_cancellations == 0) {
+    // Mutation: cancel each job's first copy-in attempt at transfer start
+    // with no justifying release at all.
+    rec.copy_in_outcome = CopyInOutcome::kCancelled;
+    rec.copy_in_duration = 0;
+    dma_time = rec.copy_out_duration;
+    state_.jobs[*copying].copy_in_cancellations += 1;
+    state_.ready.push_back(*copying);
+    sort_ready();
+    copying.reset();
+    tentative_end = state_.now + std::max(rec.cpu_busy, dma_time);
+  } else if (ls_rules && mutation_ != ProtocolMutation::kIgnoreLsCancellation &&
+             copying) {
+    const auto copy_prio = task_of(*copying).priority;
+    // Find the earliest LS release within the interval from a task with
+    // higher priority than the copy-in's task.
+    Time trigger = rt::kTimeMax;
+    for (const JobRecord& job : state_.jobs) {
+      const rt::Task& t = tasks_[job.id.task];
+      if (!t.latency_sensitive || t.priority >= copy_prio) continue;
+      // Strictly inside the interval: a release exactly at the interval
+      // start took part in the R2 selection instead (and would have been
+      // chosen over the lower-priority copy-in task).
+      if (job.release > state_.now && job.release < tentative_end) {
+        trigger = std::min(trigger, job.release);
+      }
+    }
+    if (trigger != rt::kTimeMax) {
+      const Time copy_in_end = copy_in_start + copy_in_full;
+      if (trigger < copy_in_end) {
+        // Cancelled mid-transfer (or before it started): partial DMA time.
+        const Time spent = std::max<Time>(0, trigger - copy_in_start);
+        rec.copy_in_outcome = CopyInOutcome::kCancelled;
+        rec.copy_in_duration = spent;
+        dma_time = rec.copy_out_duration + spent;
+      } else {
+        // Completed within the interval but invalidated (DESIGN.md §5.8).
+        rec.copy_in_outcome = CopyInOutcome::kDiscarded;
+      }
+      state_.jobs[*copying].copy_in_cancellations += 1;
+      state_.ready.push_back(*copying);
+      sort_ready();
+      copying.reset();
+      tentative_end = state_.now + std::max(rec.cpu_busy, dma_time);
+    }
+  }
+
+  rec.dma_busy = dma_time;
+  rec.end = tentative_end;
+
+  // --- Interval end bookkeeping -----------------------------------------
+  if (executing) {
+    if (mutation_ == ProtocolMutation::kSkipCopyOut) {
+      // Mutation: declare the job done at execution end; the copy-out
+      // phase R2 requires never happens.
+      complete(*executing, rec.end);
+      out.completed.push_back(*executing);
+    } else {
+      state_.pending_copyout = executing;
+    }
+  }
+  if (copying && (!executing || *copying != *executing)) {
+    state_.loaded = copying;
+  }
+
+  // R4: urgent promotion of the highest-priority LS task released inside
+  // this interval, when no copy-in completed.  The window is (start, end]:
+  // a release exactly at the interval start already took part in the R2
+  // selection, while a release at the interval end may be the very event
+  // that cancelled the copy-in (R3) and must count as "released in I_k".
+  if (ls_rules && rec.copy_in_outcome != CopyInOutcome::kCompleted) {
+    admit_up_to(rec.end);
+    JobRef candidate = kNoJob;
+    for (const JobRef j : state_.ready) {
+      const rt::Task& t = task_of(j);
+      if (!t.latency_sensitive &&
+          mutation_ != ProtocolMutation::kUrgentNonLs) {
+        continue;
+      }
+      if (state_.jobs[j].release <= rec.start ||
+          state_.jobs[j].release > rec.end) {
+        continue;  // must be released within I_k
+      }
+      candidate = j;  // ready is priority sorted; first hit is highest
+      break;
+    }
+    if (candidate != kNoJob) {
+      state_.ready.erase(
+          std::find(state_.ready.begin(), state_.ready.end(), candidate));
+      state_.urgent = candidate;
+    }
+  }
+
+  ++state_.intervals;
+  state_.now = rec.end;
+  return out;
+}
+
+}  // namespace mcs::sim

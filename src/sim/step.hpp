@@ -1,0 +1,162 @@
+// Incremental, snapshot-able stepping core of the interval protocol.
+//
+// The batch simulator (engine.hpp) consumes a full release list and produces
+// a Trace in one call.  The model checker (verify/) instead needs to drive
+// the very same R1-R6 dynamics one scheduling interval at a time, inject
+// releases incrementally as it commits nondeterministic choices, and
+// snapshot/restore or reconstruct the scheduler state between branches.
+// IntervalStepper factors the interval engine into that shape: all mutable
+// scheduler state lives in one explicit, copyable StepState value — there
+// are no hidden locals, statics, or ordering dependences — so
+//
+//   stepper.restore(stepper.snapshot())
+//
+// is a guaranteed no-op and two steppers with equal state produce equal
+// futures.  run_interval_protocol() in engine.cpp is a thin loop over this
+// class, which keeps the simulator and the verifier on one implementation
+// of the protocol by construction.
+//
+// ProtocolMutation deliberately breaks exactly one protocol rule.  It
+// exists only so the verifier's mutation tests (tests/test_verify_rules.cpp)
+// can prove each MCS-V rule fires on the implementation bug it targets;
+// production callers always use kNone.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "rt/task.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+
+namespace mcs::sim {
+
+/// Index into StepState::jobs.
+using JobRef = std::size_t;
+
+/// Test-only protocol defects, each targeting one MCS-V verifier rule.
+/// Exactly one mutation is active per stepper; they are not composable.
+enum class ProtocolMutation : unsigned char {
+  kNone,
+  kExecuteWithoutLoad,    ///< R5 break: execute the job being copied in this
+                          ///< same interval (no load-execute adjacency)
+  kSkipCopyOut,           ///< R2 break: complete at execution end, never
+                          ///< schedule the copy-out phase
+  kInvertCopyInPriority,  ///< R2 break: copy in the *lowest*-priority ready
+                          ///< job instead of the highest
+  kIgnoreLsCancellation,  ///< R3 break: never cancel a copy-in for an LS
+                          ///< release
+  kFreezeScheduler,       ///< progress break: refuse to schedule anything
+                          ///< after the first interval
+  kZeroLengthSpin,        ///< progress break: emit zero-length idle intervals
+                          ///< forever instead of doing work
+  kSpuriousCancellation,  ///< R3 break: cancel each job's first copy-in with
+                          ///< no justifying LS release
+  kInflateExecution,      ///< R5/R6 break: execution intervals run one tick
+                          ///< longer than the task's WCET
+  kUrgentNonLs,           ///< R4 break: promote non-latency-sensitive jobs
+                          ///< to urgent execution
+};
+
+const char* to_string(ProtocolMutation mutation) noexcept;
+
+/// Per-task release / precedence bookkeeping (explicit-state version of the
+/// engine's JobAdmission).
+struct TaskProgress {
+  /// Refs of released jobs of this task in release order; positions before
+  /// `next` were already admitted.
+  std::vector<JobRef> queue;
+  std::size_t next = 0;
+  /// True while a job of this task is in flight (admitted, not completed) —
+  /// inter-job precedence (§II) admits at most one job per task at a time.
+  bool busy = false;
+  rt::Time last_completion = 0;
+};
+
+/// Complete scheduler state between two interval boundaries.  A plain value:
+/// copying it is a snapshot, assigning it back is a restore.
+struct StepState {
+  rt::Time now = 0;
+  std::size_t intervals = 0;  ///< intervals emitted so far (IntervalRecord::index)
+  /// Lifecycle records of every job fed via add_release(), in feed order.
+  std::vector<JobRecord> jobs;
+  std::vector<TaskProgress> tasks;
+  std::vector<JobRef> ready;  ///< admitted jobs, sorted by (priority, seq)
+  std::optional<JobRef> loaded;           ///< copy-in finished last interval
+  std::optional<JobRef> pending_copyout;  ///< executed last interval
+  std::optional<JobRef> urgent;           ///< promoted by R4 last interval
+};
+
+/// Result of one step(): the interval that was scheduled plus the jobs whose
+/// completion event (end of copy-out) landed inside this interval.
+struct StepOutcome {
+  IntervalRecord record;
+  std::vector<JobRef> completed;
+};
+
+/// Read-only preview of the next interval, used by the model checker to
+/// decide which release choice-points must be resolved before stepping.
+struct StepPreview {
+  bool has_event = false;       ///< false: no work and no committed release
+  rt::Time start = 0;           ///< start of the next interval
+  rt::Time end_upper_bound = 0; ///< the interval is guaranteed to end <= this
+};
+
+/// Drives rules R1-R6 (kProposed) or the [3] baseline (kWasilyPellizzoni)
+/// one scheduling interval at a time.  kNonPreemptive is not an interval
+/// protocol and is rejected.
+class IntervalStepper {
+ public:
+  IntervalStepper(const rt::TaskSet& tasks, Protocol protocol,
+                  ProtocolMutation mutation = ProtocolMutation::kNone);
+
+  /// Feeds one release.  Releases of the same task must arrive in
+  /// nondecreasing time order with increasing seq; releases of different
+  /// tasks may interleave arbitrarily.  Returns the job's ref.
+  JobRef add_release(JobId id, rt::Time time);
+
+  /// Schedules the next interval and advances time to its end.  Returns
+  /// std::nullopt when nothing remains to schedule (no in-flight work and
+  /// no committed release) — or, under kFreezeScheduler, when the mutation
+  /// refuses to make progress.
+  std::optional<StepOutcome> step();
+
+  /// Admits every committed release that is ready at the current time.
+  /// step() does this implicitly; the verifier calls it explicitly so that
+  /// states are canonical (admission never lags) before encoding.
+  void admit_now();
+
+  /// Previews the next interval without mutating state beyond admit_now().
+  /// The bound is conservative: the interval may end earlier, never later.
+  StepPreview preview() const;
+
+  /// True while any committed job is unfinished (queued, admitted, loaded,
+  /// executing, or awaiting copy-out).
+  bool has_pending_work() const;
+
+  const StepState& state() const noexcept { return state_; }
+  StepState snapshot() const { return state_; }
+  /// Replaces the whole scheduler state.  The state must come from a
+  /// stepper over the same task set (refs index into state.jobs).
+  void restore(StepState state) { state_ = std::move(state); }
+
+  const rt::TaskSet& tasks() const noexcept { return tasks_; }
+  Protocol protocol() const noexcept { return protocol_; }
+  ProtocolMutation mutation() const noexcept { return mutation_; }
+
+ private:
+  void admit_up_to(rt::Time now);
+  rt::Time next_admission_time() const;
+  void sort_ready();
+  void complete(JobRef job, rt::Time when);
+  const rt::Task& task_of(JobRef job) const;
+
+  const rt::TaskSet& tasks_;
+  Protocol protocol_;
+  ProtocolMutation mutation_;
+  StepState state_;
+};
+
+}  // namespace mcs::sim

@@ -1,0 +1,51 @@
+// Deterministic byte-sequence hashing for canonical-state deduplication.
+//
+// The model checker (verify/) keys millions of canonical state encodings in
+// a hash map; std::hash<std::string> is implementation-defined, which would
+// make state-count telemetry (and any hash-ordered artifact) vary across
+// standard libraries.  This is a fixed FNV-1a/64 core with a splitmix64
+// avalanche finisher (same mixing family as support::derive_seed): platform
+// stable, no allocation, good diffusion of the low bits the hash map
+// actually uses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mcs::support {
+
+/// FNV-1a/64 over `size` bytes, finished with a splitmix64 avalanche so
+/// that short, structurally similar keys (the common case for packed state
+/// encodings) still spread over the whole table.
+inline std::uint64_t hash_bytes(const void* data, std::size_t size,
+                                std::uint64_t seed = 0) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;
+  }
+  // splitmix64 finisher.
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+/// Transparent hash functor over strings/string_views, usable as the Hash
+/// parameter of unordered containers.
+struct BytesHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return static_cast<std::size_t>(hash_bytes(s.data(), s.size()));
+  }
+  std::size_t operator()(const std::string& s) const noexcept {
+    return static_cast<std::size_t>(hash_bytes(s.data(), s.size()));
+  }
+};
+
+}  // namespace mcs::support

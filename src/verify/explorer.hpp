@@ -1,0 +1,97 @@
+// Explicit-state frontier-parallel BFS over the bounded choice model.
+//
+// Internal to mcs::verify (verify.cpp drives it; tests exercise it
+// directly).  The exploration alternates two transition kinds:
+//
+//  * release transitions — resolving one task's next release choice point:
+//    commit it at a concrete lattice tick, defer it past the next
+//    interval's end bound, or close the task when every remaining choice
+//    falls at/after the horizon;
+//  * step transitions — one sim::IntervalStepper scheduling interval, taken
+//    only once every open release window provably starts after the next
+//    interval's conservative end bound (IntervalStepper::preview), so the
+//    interval's R2-R5 decisions can never depend on a still-uncommitted
+//    release.
+//
+// States are canonicalized into a flat byte encoding (sequence numbers,
+// completed-job history and other future-irrelevant data are dropped),
+// deduplicated by exact encoding compare (support::hash_bytes only buckets
+// them), and expanded level by level: expansion runs on a
+// support::ThreadPool, but successors are merged serially in frontier
+// index order, which makes verdict, counterexample, and every statistic
+// independent of the thread count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "check/diagnostics.hpp"
+#include "rt/task.hpp"
+#include "sim/step.hpp"
+
+namespace mcs::verify {
+
+/// Bounded nondeterministic release model.  Task i's releases are
+///   r_0 = o·L        with o in {0..offset_steps},
+///   r_k = r_{k-1} + T_i + j·L  with j in {0..jitter_steps},
+/// all strictly before `horizon` (a choice at/after it ends the task's
+/// release sequence).  Every such sequence respects the sporadic minimum
+/// inter-arrival time, so the model is a legal subset of the sporadic
+/// task model.
+struct ChoiceModel {
+  rt::Time horizon = 0;
+  rt::Time lattice = 1;
+  std::uint32_t offset_steps = 0;
+  std::uint32_t jitter_steps = 0;
+};
+
+struct ExploreOptions {
+  ChoiceModel model;
+  std::size_t max_states = 1u << 18;
+  std::uint32_t max_zero_length_run = 16;
+  std::size_t threads = 1;
+  sim::ProtocolMutation mutation = sim::ProtocolMutation::kNone;
+  /// Per-task response bounds for MCS-V008 (rt::kTimeMax = unchecked).
+  std::vector<rt::Time> bounds;
+};
+
+/// One transition along a path; the counterexample path is a list of these.
+struct Edge {
+  enum class Kind : std::uint8_t {
+    kRelease,  ///< commit a release of `task` at `time`
+    kDefer,    ///< constrain `task`'s next release to fall after `time`
+               ///< (or close the task when nothing remains before the
+               ///< horizon) — bookkeeping only, no stepper effect
+    kStep,     ///< one scheduling interval
+  };
+  Kind kind = Kind::kStep;
+  rt::TaskIndex task = 0;
+  rt::Time time = 0;
+};
+
+struct ExploreResult {
+  /// Diagnostics of the first violating transition in BFS merge order;
+  /// clean if none.
+  check::CheckReport report;
+  /// Path from the initial state to (and including) the violating
+  /// transition; empty when report is clean.
+  std::vector<Edge> counterexample_path;
+
+  bool complete = false;   ///< frontier drained: state space exhausted
+  bool truncated = false;  ///< max_states budget cut exploration short
+  std::size_t states = 0;
+  std::size_t dedup_hits = 0;
+  std::size_t steps = 0;
+  std::size_t release_branches = 0;
+  std::size_t depth = 0;
+  /// Per-task max response over every explored completion (0 = none seen).
+  std::vector<rt::Time> exact_wcrt;
+};
+
+/// Runs the exhaustive exploration.  `protocol` must be an interval
+/// protocol (kProposed or kWasilyPellizzoni).
+ExploreResult explore(const rt::TaskSet& tasks, sim::Protocol protocol,
+                      const ExploreOptions& options);
+
+}  // namespace mcs::verify

@@ -1,0 +1,170 @@
+#include "verify/verify.hpp"
+
+#include <numeric>
+#include <utility>
+
+#include "analysis/engine.hpp"
+#include "check/trace_audit.hpp"
+#include "support/contracts.hpp"
+#include "support/telemetry.hpp"
+#include "verify/explorer.hpp"
+
+namespace mcs::verify {
+
+namespace {
+
+using rt::Time;
+
+Time gcd_lattice(const rt::TaskSet& tasks) {
+  Time g = 0;
+  for (const rt::Task& task : tasks) {
+    g = std::gcd(g, task.period);
+  }
+  return g > 0 ? g : 1;
+}
+
+/// Per-task MILP bounds under the current marking; kTimeMax where the
+/// analysis established no bound below the deadline (soundness then has
+/// nothing to say about that task, and MCS-V008 skips it).
+std::vector<Time> analysis_bounds(const rt::TaskSet& tasks,
+                                  sim::Protocol protocol,
+                                  const VerifyOptions& options) {
+  analysis::AnalysisOptions opts = options.analysis;
+  opts.ignore_ls = protocol == sim::Protocol::kWasilyPellizzoni;
+  analysis::AnalysisEngine engine;
+  const analysis::WpResult result = engine.analyze_marked(tasks, opts);
+  std::vector<Time> bounds(tasks.size(), rt::kTimeMax);
+  MCS_ASSERT(result.per_task.size() == tasks.size(),
+             "analyze_marked: per-task size mismatch");
+  for (std::size_t i = 0; i < result.per_task.size(); ++i) {
+    bounds[i] = result.per_task[i].wcrt;
+  }
+  return bounds;
+}
+
+/// Replays a counterexample path through a fresh stepper, reconstructing
+/// the committed releases and the full trace prefix up to (and including)
+/// the violating transition.
+Counterexample replay(const rt::TaskSet& tasks, sim::Protocol protocol,
+                      const VerifyOptions& options,
+                      const std::vector<Edge>& path) {
+  Counterexample cex;
+  sim::IntervalStepper stepper(tasks, protocol, options.mutation);
+  std::vector<std::uint64_t> seq(tasks.size(), 0);
+  for (const Edge& edge : path) {
+    switch (edge.kind) {
+      case Edge::Kind::kRelease: {
+        const sim::JobId id{edge.task, seq[edge.task]++};
+        stepper.add_release(id, edge.time);
+        cex.releases.push_back(sim::Release{id, edge.time});
+        break;
+      }
+      case Edge::Kind::kDefer:
+        break;  // constraint bookkeeping only; no scheduler effect
+      case Edge::Kind::kStep: {
+        const std::optional<sim::StepOutcome> out = stepper.step();
+        // nullopt here is the MCS-V005 deadlock transition itself.
+        if (out) {
+          cex.trace.intervals.push_back(out->record);
+        }
+        break;
+      }
+    }
+  }
+  cex.trace.jobs = stepper.state().jobs;
+  // The replay is a prefix of a longer execution, not a finished run.
+  cex.trace.aborted = stepper.has_pending_work();
+  cex.trace_audit = check::audit_trace(tasks, protocol, cex.trace);
+  return cex;
+}
+
+}  // namespace
+
+Time hyperperiod(const rt::TaskSet& tasks, Time clamp) {
+  MCS_REQUIRE(clamp > 0, "hyperperiod: clamp must be positive");
+  Time lcm = 1;
+  for (const rt::Task& task : tasks) {
+    const Time g = std::gcd(lcm, task.period);
+    const Time factor = task.period / g;
+    if (factor != 0 && lcm > clamp / factor) {
+      return clamp;  // would overflow the clamp (or Time itself)
+    }
+    lcm *= factor;
+  }
+  return std::min(lcm, clamp);
+}
+
+VerifyResult verify(const rt::TaskSet& tasks, sim::Protocol protocol,
+                    const VerifyOptions& options) {
+  MCS_REQUIRE(!tasks.empty(), "verify: empty task set");
+  MCS_REQUIRE(options.analysis_bounds.empty() ||
+                  options.analysis_bounds.size() == tasks.size(),
+              "verify: analysis_bounds size mismatch");
+
+  VerifyResult result;
+  result.horizon = options.horizon > 0
+                       ? options.horizon
+                       : 2 * hyperperiod(tasks, options.max_horizon / 2);
+  result.lattice = options.lattice > 0 ? options.lattice : gcd_lattice(tasks);
+
+  result.analysis_wcrt.assign(tasks.size(), rt::kTimeMax);
+  if (!options.analysis_bounds.empty()) {
+    result.analysis_wcrt = options.analysis_bounds;
+  } else if (options.check_analysis_soundness &&
+             options.mutation == sim::ProtocolMutation::kNone) {
+    // Mutated dynamics deliberately break the protocol; comparing them
+    // against the analysis would judge the analysis with a broken ruler,
+    // so the automatic soundness check only runs unmutated.
+    result.analysis_wcrt = analysis_bounds(tasks, protocol, options);
+  }
+
+  ExploreOptions explore_options;
+  explore_options.model.horizon = result.horizon;
+  explore_options.model.lattice = result.lattice;
+  explore_options.model.offset_steps = options.offset_steps;
+  explore_options.model.jitter_steps = options.jitter_steps;
+  explore_options.max_states = options.max_states;
+  explore_options.max_zero_length_run = options.max_zero_length_run;
+  explore_options.threads = options.threads;
+  explore_options.mutation = options.mutation;
+  explore_options.bounds = result.analysis_wcrt;
+
+  ExploreResult explored = explore(tasks, protocol, explore_options);
+  result.report = std::move(explored.report);
+  result.complete = explored.complete;
+  result.truncated = explored.truncated;
+  result.states = explored.states;
+  result.dedup_hits = explored.dedup_hits;
+  result.steps = explored.steps;
+  result.release_branches = explored.release_branches;
+  result.depth = explored.depth;
+  result.exact_wcrt = std::move(explored.exact_wcrt);
+
+  if (!explored.counterexample_path.empty()) {
+    result.counterexample =
+        replay(tasks, protocol, options, explored.counterexample_path);
+  }
+
+  namespace telemetry = support::telemetry;
+  telemetry::count("verify.runs");
+  telemetry::count("verify.states", result.states);
+  telemetry::count("verify.dedup_hits", result.dedup_hits);
+  telemetry::count("verify.steps", result.steps);
+  telemetry::count("verify.release_branches", result.release_branches);
+  telemetry::count("verify.violations", result.report.error_count());
+  if (result.complete && result.report.clean()) {
+    // Tightness of the MILP bound against the model's exact WCRT: only
+    // meaningful when exhaustion finished, the bound exists, and at least
+    // one job of the task completed.
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      if (result.analysis_wcrt[i] == rt::kTimeMax) continue;
+      if (result.exact_wcrt[i] == 0) continue;
+      telemetry::record(
+          "verify.tightness_gap_ticks",
+          static_cast<double>(result.analysis_wcrt[i] - result.exact_wcrt[i]));
+    }
+  }
+  return result;
+}
+
+}  // namespace mcs::verify

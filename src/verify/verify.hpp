@@ -1,0 +1,127 @@
+// mcs::verify — bounded exhaustive model checking of the R1-R6 protocol.
+//
+// The simulator samples executions; the per-trace auditor (check/) judges
+// one execution at a time.  This layer closes the remaining gap: it
+// explores *every* execution a bounded nondeterministic release model
+// admits — all initial offsets and per-job jitters on a tick lattice, and
+// with them every DMA-vs-CPU phase interleaving and R3/R4 tie-break the
+// rules leave open — and checks each reachable transition against the
+// protocol invariants (Properties 1-4, deadlock/livelock freedom, R3
+// cancellation bookkeeping) plus the cross-layer headline property:
+//
+//   analysis soundness — the exact worst-case response time obtained by
+//   exhaustion must never exceed the AnalysisEngine's MILP bound.
+//
+// The release model is a *legal subset* of the sporadic task model (every
+// explored arrival sequence respects minimum inter-arrival times), so the
+// exhaustive WCRT is a lower bound on the true sporadic WCRT and the
+// comparison direction above is the sound one: if even the explored subset
+// beats the analysis bound, the analysis is broken.
+//
+// Violations are reported in the mcs::check vocabulary (rules MCS-V001..
+// MCS-V010, see docs/LINTING.md) and carry a counterexample that replays
+// through sim::IntervalStepper into a sim::Trace and its
+// check::audit_trace report — every finding is a runnable, auditable
+// execution, not an abstract state.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "analysis/response_time.hpp"
+#include "check/diagnostics.hpp"
+#include "rt/task.hpp"
+#include "sim/engine.hpp"
+#include "sim/step.hpp"
+#include "sim/trace.hpp"
+
+namespace mcs::verify {
+
+struct VerifyOptions {
+  /// Exploration horizon in ticks; releases happen strictly before it.
+  /// 0 = twice the task-set hyperperiod, clamped to `max_horizon`.
+  rt::Time horizon = 0;
+  /// Release-time quantum: offsets and jitters are multiples of this.
+  /// 0 = the gcd of all periods (at least 1).
+  rt::Time lattice = 0;
+  /// A task's first release is offset by {0..offset_steps} lattice ticks.
+  std::uint32_t offset_steps = 2;
+  /// Each subsequent inter-arrival is T + {0..jitter_steps} lattice ticks.
+  std::uint32_t jitter_steps = 1;
+  /// Clamp for the automatic horizon (huge hyperperiods stay bounded).
+  rt::Time max_horizon = 4096;
+  /// State budget; exploration past it reports complete=false (exit 2 in
+  /// mcs_lint verify) rather than an unsound verdict.
+  std::size_t max_states = 1u << 18;
+  /// Consecutive zero-length intervals tolerated before MCS-V006 calls the
+  /// path a livelock.
+  std::uint32_t max_zero_length_run = 16;
+  /// Worker threads for frontier expansion (0 = hardware concurrency).
+  /// Verdicts and counterexamples are byte-identical for every value.
+  std::size_t threads = 1;
+  /// Check exhaustive response times against the MILP analysis bounds
+  /// (MCS-V008) and report the tightness gap as telemetry.
+  bool check_analysis_soundness = true;
+  /// Per-task response-time bounds to check against instead of running the
+  /// analysis engine; empty = compute via AnalysisEngine::analyze_marked.
+  /// Used by the negative tests to inject deliberately tightened bounds.
+  std::vector<rt::Time> analysis_bounds;
+  /// Options for the analysis run when `analysis_bounds` is empty.
+  analysis::AnalysisOptions analysis;
+  /// Test-only protocol defect to inject (mutation matrix).
+  sim::ProtocolMutation mutation = sim::ProtocolMutation::kNone;
+};
+
+/// A violation, made concrete: the committed releases along the offending
+/// path, the trace of the replayed path (a prefix — it stops at the
+/// violating transition), and the independent per-trace audit of that
+/// replay.
+struct Counterexample {
+  std::vector<sim::Release> releases;
+  sim::Trace trace;
+  check::CheckReport trace_audit;
+};
+
+struct VerifyResult {
+  /// Diagnostics of the first violating transition in deterministic BFS
+  /// order; clean when every explored transition satisfied every rule.
+  check::CheckReport report;
+  /// True when the whole bounded state space was exhausted (no violation,
+  /// no budget cut): the properties are *proved* for this model.
+  bool complete = false;
+  /// True when max_states cut exploration short.
+  bool truncated = false;
+
+  std::size_t states = 0;            ///< distinct canonical states explored
+  std::size_t dedup_hits = 0;        ///< transitions into already-seen states
+  std::size_t steps = 0;             ///< scheduling-interval transitions
+  std::size_t release_branches = 0;  ///< release commit/defer transitions
+  std::size_t depth = 0;             ///< BFS levels completed
+  rt::Time horizon = 0;              ///< resolved horizon
+  rt::Time lattice = 0;              ///< resolved lattice
+
+  /// Per-task maximum response time over every explored completion; 0 when
+  /// no job of the task completed.  Exact (the model's true WCRT) iff
+  /// `complete`.
+  std::vector<rt::Time> exact_wcrt;
+  /// Per-task analysis bound the exhaustion was checked against;
+  /// rt::kTimeMax where no bound was available or soundness checking was
+  /// off.
+  std::vector<rt::Time> analysis_wcrt;
+
+  std::optional<Counterexample> counterexample;
+};
+
+/// Least common multiple of the task periods, clamped to `clamp` (the
+/// automatic-horizon guard for task sets with astronomic hyperperiods).
+rt::Time hyperperiod(const rt::TaskSet& tasks, rt::Time clamp);
+
+/// Exhaustively explores `tasks` under `protocol` (kProposed or
+/// kWasilyPellizzoni; NPS is not an interval protocol) within the bounded
+/// release model of `options` and checks every reachable transition.
+VerifyResult verify(const rt::TaskSet& tasks, sim::Protocol protocol,
+                    const VerifyOptions& options = {});
+
+}  // namespace mcs::verify

@@ -11,7 +11,11 @@ repository commits that the linter can audit:
   * every LP file passed explicitly or found under the given extra
     directories (*.lp) — generic model lint (MCS-F0xx) plus round-trip;
   * every exported trace pair (<stem>.intervals.csv + <stem>.jobs.csv
-    next to a <stem>.wl) — protocol-invariant audit (MCS-P0xx).
+    next to a <stem>.wl) — protocol-invariant audit (MCS-P0xx);
+  * every workload in workloads/verify/*.wl — exhaustive bounded model
+    check of the R1-R6 protocol under both interval protocols (MCS-V0xx),
+    including the analysis-soundness cross-check.  A truncated (incomplete)
+    exploration fails the gate: it would prove nothing.
 
 The gate fails (exit 1) when any corpus member produces a diagnostic —
 warnings included, matching CheckReport::clean() — or when mcs_lint
@@ -70,6 +74,16 @@ def main(argv):
                 )
         for lp in sorted(corpus.glob("*.lp")):
             jobs.append((f"lp {lp.name}", ["lp", lp]))
+        verify_dir = corpus / "verify"
+        if verify_dir.is_dir():
+            for wl in sorted(verify_dir.glob("*.wl")):
+                for protocol in ("proposed", "wp"):
+                    jobs.append(
+                        (
+                            f"verify {wl.name} [{protocol}]",
+                            ["verify", wl, f"--protocol={protocol}"],
+                        )
+                    )
 
     if not jobs:
         print(f"lint_check: empty corpus in {[str(d) for d in corpus_dirs]}")

@@ -14,13 +14,25 @@
 //             [--protocol=proposed|wp|nps]
 //       Re-imports an exported trace and audits it against the protocol
 //       invariants R1-R6 / Properties 1-4 (MCS-P0xx).
+//   mcs_lint verify <workload> [--protocol=proposed|wp] [--horizon=<ticks>]
+//             [--lattice=<ticks>] [--offsets=<n>] [--jitter=<n>]
+//             [--threads=<n>] [--max-states=<n>]
+//       Exhaustive bounded model check of the R1-R6 protocol (MCS-V0xx):
+//       explores every release offset/jitter choice the bounded model
+//       admits and checks Properties 1-4, deadlock/livelock freedom, R3
+//       bookkeeping, and analysis soundness (exhaustive WCRT <= MILP
+//       bound) on every reachable transition.  A violation prints the rule
+//       plus a replayable counterexample; a clean *complete* run is a
+//       proof over the model.
 //   mcs_lint rules
 //       Prints the rule catalogue (ID, severity, summary, reference).
 //
 // Exit status: 0 when every report is clean, 1 when any diagnostic was
 // emitted (warnings included — see CheckReport::clean()), 2 on usage or
-// input errors.  Diagnostics go to stdout, one per line, prefixed with the
-// context that produced them.
+// input errors (for `verify`, also when the state budget truncated the
+// exploration — an incomplete search must not pass as a proof).
+// Diagnostics go to stdout, one per line, prefixed with the context that
+// produced them.
 #include <algorithm>
 #include <cstring>
 #include <exception>
@@ -43,6 +55,7 @@
 #include "lp/presolve.hpp"
 #include "rt/io.hpp"
 #include "sim/trace_import.hpp"
+#include "verify/verify.hpp"
 
 using namespace mcs;
 
@@ -55,6 +68,9 @@ int usage() {
       "  mcs_lint lp <file>\n"
       "  mcs_lint trace <workload> <intervals.csv> <jobs.csv>\n"
       "            [--protocol=proposed|wp|nps]\n"
+      "  mcs_lint verify <workload> [--protocol=proposed|wp]\n"
+      "            [--horizon=<ticks>] [--lattice=<ticks>] [--offsets=<n>]\n"
+      "            [--jitter=<n>] [--threads=<n>] [--max-states=<n>]\n"
       "  mcs_lint rules\n";
   return 2;
 }
@@ -275,6 +291,103 @@ int cmd_trace(const std::string& workload_path,
   return 1;
 }
 
+template <typename T>
+bool parse_number(const std::optional<std::string>& text, const char* key,
+                  T& out) {
+  if (!text) {
+    return true;
+  }
+  try {
+    out = static_cast<T>(std::stoll(*text));
+  } catch (const std::exception&) {
+    std::cerr << "error: malformed --" << key << " '" << *text << "'\n";
+    return false;
+  }
+  return true;
+}
+
+int cmd_verify(const std::string& path, int argc, char** argv) {
+  sim::Protocol protocol = sim::Protocol::kProposed;
+  if (const auto p = option(argc, argv, "protocol")) {
+    if (*p == "proposed") {
+      protocol = sim::Protocol::kProposed;
+    } else if (*p == "wp") {
+      protocol = sim::Protocol::kWasilyPellizzoni;
+    } else {
+      std::cerr << "error: unknown protocol '" << *p
+                << "' (verify explores interval protocols only)\n";
+      return 2;
+    }
+  }
+
+  verify::VerifyOptions options;
+  if (!parse_number(option(argc, argv, "horizon"), "horizon",
+                    options.horizon) ||
+      !parse_number(option(argc, argv, "lattice"), "lattice",
+                    options.lattice) ||
+      !parse_number(option(argc, argv, "offsets"), "offsets",
+                    options.offset_steps) ||
+      !parse_number(option(argc, argv, "jitter"), "jitter",
+                    options.jitter_steps) ||
+      !parse_number(option(argc, argv, "threads"), "threads",
+                    options.threads) ||
+      !parse_number(option(argc, argv, "max-states"), "max-states",
+                    options.max_states)) {
+    return 2;
+  }
+
+  rt::Workload workload;
+  try {
+    workload = rt::load_workload_file(path);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+
+  const verify::VerifyResult result =
+      verify::verify(workload.tasks, protocol, options);
+
+  std::cout << "explored " << result.states << " states ("
+            << result.release_branches << " release branches, "
+            << result.steps << " interval steps, " << result.dedup_hits
+            << " dedup hits, depth " << result.depth << ") over horizon "
+            << result.horizon << " lattice " << result.lattice << "\n";
+  for (rt::TaskIndex i = 0; i < workload.tasks.size(); ++i) {
+    std::cout << "  " << workload.tasks[i].name << ": exhaustive wcrt "
+              << result.exact_wcrt[i];
+    if (result.analysis_wcrt[i] != rt::kTimeMax) {
+      std::cout << ", analysis bound " << result.analysis_wcrt[i];
+    }
+    std::cout << "\n";
+  }
+
+  std::size_t findings = report_findings(path, result.report);
+  if (result.counterexample) {
+    const verify::Counterexample& cex = *result.counterexample;
+    std::cout << "counterexample: " << cex.releases.size()
+              << " release(s), " << cex.trace.intervals.size()
+              << " interval(s)\n";
+    for (const sim::Release& r : cex.releases) {
+      std::cout << "  release " << workload.tasks[r.job.task].name << "#"
+                << r.job.seq << " at t=" << r.time << "\n";
+    }
+    findings += report_findings(path + " [counterexample-audit]",
+                                cex.trace_audit);
+  }
+  if (findings > 0) {
+    std::cout << findings << " finding(s) in " << path << "\n";
+    return 1;
+  }
+  if (!result.complete) {
+    std::cout << "incomplete: state budget exhausted after " << result.states
+              << " states; no violation found but nothing is proved\n";
+    return 2;
+  }
+  std::cout << "clean: " << path << " (bounded model exhausted; properties "
+            << "proved for this model)\n";
+  return 0;
+}
+
 int cmd_rules() {
   for (const check::RuleInfo& rule : check::rule_catalog()) {
     std::cout << rule.id << "  " << check::to_string(rule.severity) << "  "
@@ -299,6 +412,9 @@ int main(int argc, char** argv) {
     }
     if (command == "trace" && argc >= 5) {
       return cmd_trace(argv[2], argv[3], argv[4], argc, argv);
+    }
+    if (command == "verify" && argc >= 3) {
+      return cmd_verify(argv[2], argc, argv);
     }
     if (command == "rules") {
       return cmd_rules();

@@ -1,0 +1,5 @@
+# Verify-corpus: a copy-free task (l = u = 0) next to a normal one —
+# exercises the zero-duration DMA edge cases of R2/R6 (zero-length
+# copy phases, completion at interval start).
+task pure C=2 l=0 u=0 T=9  D=9  prio=0 ls
+task mem  C=3 l=2 u=2 T=18 D=18 prio=1

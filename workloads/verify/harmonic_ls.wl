@@ -1,0 +1,4 @@
+# Verify-corpus: harmonic periods, LS on top — the dense release lattice
+# (gcd = 6) maximizes interleavings per hyperperiod at a small state count.
+task a C=2 l=1 u=1 T=6  D=6  prio=0 ls
+task b C=3 l=1 u=2 T=12 D=12 prio=1

@@ -1,0 +1,4 @@
+# Verify-corpus: one latency-sensitive task over a non-LS task (ticks).
+# Small enough for exhaustive model checking (mcs_lint verify).
+task fast C=2 l=1 u=1 T=8  D=8  prio=0 ls
+task slow C=3 l=1 u=1 T=12 D=12 prio=1

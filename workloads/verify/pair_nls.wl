@@ -1,0 +1,5 @@
+# Verify-corpus: two non-LS tasks — exercises the pure R1/R2/R5/R6 core
+# (no cancellations, no urgent promotions) and Property 3's 2-interval
+# blocking bound.
+task hi C=2 l=1 u=1 T=10 D=10 prio=0
+task lo C=4 l=2 u=1 T=15 D=15 prio=1

@@ -1,0 +1,7 @@
+# Verify-corpus: four tasks, two LS — the largest corpus system; the
+# default jitter/offset model is kept but the shared lattice (gcd = 5)
+# keeps exhaustion under the state budget.
+task s1 C=1 l=1 u=1 T=10 D=10 prio=0 ls
+task s2 C=2 l=1 u=1 T=20 D=20 prio=1 ls
+task w1 C=3 l=1 u=1 T=20 D=20 prio=2
+task w2 C=2 l=1 u=1 T=40 D=40 prio=3

@@ -1,0 +1,6 @@
+# Verify-corpus: three tasks, middle-priority LS — exercises R3
+# cancellations of the low task's copy-in and R4 urgent promotions while a
+# higher-priority NLS task competes for the DMA.
+task top C=1 l=1 u=1 T=8  D=8  prio=0
+task mid C=2 l=1 u=1 T=12 D=12 prio=1 ls
+task low C=2 l=2 u=1 T=24 D=24 prio=2
