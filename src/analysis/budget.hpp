@@ -1,0 +1,68 @@
+// Wall-clock degradation budget for deadline-bounded analysis requests.
+//
+// A long-lived admission-control service (src/svc) cannot let one analysis
+// query monopolize a worker: each request carries a SolveBudget, and once
+// the budget is exceeded every subsequent delay-MILP solve of that request
+// degrades to the LP relaxation's dual bound — an upper bound on the true
+// MILP optimum, so every derived response-time bound stays *safe*, merely
+// more pessimistic (DESIGN.md §5.7 safety contract).  A degraded analysis
+// can therefore under-claim schedulability but never over-claim it.
+//
+// Budgets are checked at solve granularity (one check per delay MILP), not
+// inside the solver: a solve that started before the deadline runs to
+// completion.  The clock is std::chrono::steady_clock, so exceeded() is
+// monotone — once true it stays true for the rest of the request.
+//
+// Determinism: an unlimited() budget never changes behavior, and an
+// exhausted() budget deterministically degrades *every* solve; only budgets
+// that expire mid-request give timing-dependent (but always safe) results.
+#pragma once
+
+#include <chrono>
+
+namespace mcs::analysis {
+
+class SolveBudget {
+ public:
+  /// No deadline: exceeded() is always false.  Default.
+  SolveBudget() = default;
+
+  /// Budget that expires `headroom` after now.  A non-positive headroom
+  /// yields an exhausted budget.
+  static SolveBudget after(std::chrono::nanoseconds headroom) {
+    SolveBudget b;
+    b.unlimited_ = false;
+    if (headroom <= std::chrono::nanoseconds::zero()) {
+      b.exhausted_ = true;
+    } else {
+      b.deadline_ = std::chrono::steady_clock::now() + headroom;
+    }
+    return b;
+  }
+
+  /// Already-expired budget: every solve degrades.  Used by tests and by
+  /// requests that ask for the pure-relaxation fast path (budget_ms = 0).
+  static SolveBudget exhausted() {
+    SolveBudget b;
+    b.unlimited_ = false;
+    b.exhausted_ = true;
+    return b;
+  }
+
+  bool is_unlimited() const noexcept { return unlimited_; }
+
+  /// True once the deadline has passed (monotone: steady_clock never goes
+  /// backwards).  Cheap enough for one call per MILP solve.
+  bool exceeded() const noexcept {
+    if (unlimited_) return false;
+    if (exhausted_) return true;
+    return std::chrono::steady_clock::now() >= deadline_;
+  }
+
+ private:
+  bool unlimited_ = true;
+  bool exhausted_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+}  // namespace mcs::analysis

@@ -33,6 +33,7 @@ struct DelayBound {
   bool valid = false;         ///< a finite safe bound was obtained
   double delay = 0.0;         ///< upper bound on sum of interval lengths
   bool relaxation = false;    ///< dual bound used (budget exhausted)
+  bool degraded = false;      ///< SolveBudget exceeded: LP dual bound used
   std::size_t nodes = 0;
   std::size_t lp_iterations = 0;
 };
@@ -302,14 +303,25 @@ DelayBound AnalysisEngine::Impl::solve_delay(const rt::TaskSet& tasks,
                     /*patched=*/hit);
 
   DelayBound out;
-  if (options.lp_relaxation_only) {
+  // A request whose SolveBudget ran out degrades to the LP relaxation: the
+  // relaxation's optimum is a valid dual bound on the MILP (>= the true
+  // worst-case delay), so the derived response-time bound stays safe —
+  // merely more pessimistic (analysis/budget.hpp).
+  const bool budget_exceeded =
+      options.budget != nullptr && options.budget->exceeded();
+  if (options.lp_relaxation_only || budget_exceeded) {
     const lp::LpSolution sol = solve_lp(e.milp.model, options.milp.lp);
     out.lp_iterations = sol.iterations;
     if (sol.status == lp::SolveStatus::kOptimal) {
       out.valid = true;
       out.delay = sol.objective;
       out.relaxation = true;
-      telemetry::count("analysis.fallbacks.lp_relaxation_only");
+      out.degraded = budget_exceeded;
+      if (budget_exceeded) {
+        telemetry::count("analysis.budget_degraded_solves");
+      } else {
+        telemetry::count("analysis.fallbacks.lp_relaxation_only");
+      }
     }
     return out;
   }
@@ -409,6 +421,7 @@ TaskBoundResult AnalysisEngine::Impl::bound(const rt::TaskSet& tasks,
       return result;  // no safe bound obtainable
     }
     result.used_relaxation_bound |= b.relaxation;
+    result.degraded |= b.degraded;
     case_b_delay = b.delay;
   }
 
@@ -427,6 +440,7 @@ TaskBoundResult AnalysisEngine::Impl::bound(const rt::TaskSet& tasks,
     result.lp_iterations += d.lp_iterations;
     if (d.valid) {
       result.used_relaxation_bound |= d.relaxation;
+      result.degraded |= d.degraded;
       const Time r_full = delay_to_ticks(std::max(d.delay, case_b_delay)) +
                           task.copy_out;
       if (r_full <= task.deadline) {
@@ -479,6 +493,7 @@ TaskBoundResult AnalysisEngine::Impl::bound(const rt::TaskSet& tasks,
       return result;
     }
     result.used_relaxation_bound |= a.relaxation;
+    result.degraded |= a.degraded;
 
     const double delay = std::max(a.delay, case_b_delay);
     const Time new_response =
@@ -597,6 +612,7 @@ WpResult AnalysisEngine::Impl::wp(const rt::TaskSet& tasks,
   for (rt::TaskIndex i = 0; i < tasks.size(); ++i) {
     const TaskBoundResult& bound = result.per_task[i];
     result.any_relaxation_fallback |= bound.used_relaxation_bound;
+    result.degraded |= bound.degraded;
     result.total_milp_nodes += bound.milp_nodes;
     if (!bound.schedulable) {
       result.schedulable = false;
@@ -613,6 +629,7 @@ WpResult AnalysisEngine::Impl::marked(const rt::TaskSet& tasks,
   for (rt::TaskIndex i = 0; i < tasks.size(); ++i) {
     const TaskBoundResult& bound = result.per_task[i];
     result.any_relaxation_fallback |= bound.used_relaxation_bound;
+    result.degraded |= bound.degraded;
     result.total_milp_nodes += bound.milp_nodes;
     if (!bound.schedulable) {
       result.schedulable = false;
@@ -649,6 +666,7 @@ ProposedResult AnalysisEngine::Impl::proposed(const rt::TaskSet& tasks,
     for (const rt::TaskIndex i : order) {
       const TaskBoundResult& b = bounds[i];
       result.any_relaxation_fallback |= b.used_relaxation_bound;
+      result.degraded |= b.degraded;
       result.total_milp_nodes += b.milp_nodes;
       if (!b.schedulable) {
         all_ok = false;
@@ -719,6 +737,7 @@ ApproachResult AnalysisEngine::Impl::dispatch(const rt::TaskSet& tasks,
       result.schedulable = r.schedulable;
       result.ls_flags = r.ls_flags;
       result.any_relaxation_fallback = r.any_relaxation_fallback;
+      result.degraded = r.degraded;
       for (rt::TaskIndex i = 0; i < tasks.size(); ++i) {
         result.wcrt[i] = r.per_task[i].wcrt;
       }
@@ -728,6 +747,7 @@ ApproachResult AnalysisEngine::Impl::dispatch(const rt::TaskSet& tasks,
       const WpResult r = wp(tasks, options);
       result.schedulable = r.schedulable;
       result.any_relaxation_fallback = r.any_relaxation_fallback;
+      result.degraded = r.degraded;
       for (rt::TaskIndex i = 0; i < tasks.size(); ++i) {
         result.wcrt[i] = r.per_task[i].wcrt;
       }

@@ -21,6 +21,9 @@ struct ProposedResult {
   std::vector<TaskBoundResult> per_task;
   std::size_t rounds = 0;
   bool any_relaxation_fallback = false;
+  /// True when any analyzed bound degraded to the LP relaxation because
+  /// the request's SolveBudget ran out (analysis/budget.hpp).
+  bool degraded = false;
   std::size_t total_milp_nodes = 0;
 };
 
@@ -30,6 +33,8 @@ struct WpResult {
   bool schedulable = false;
   std::vector<TaskBoundResult> per_task;
   bool any_relaxation_fallback = false;
+  /// True when any bound degraded under an exceeded SolveBudget.
+  bool degraded = false;
   std::size_t total_milp_nodes = 0;
 };
 

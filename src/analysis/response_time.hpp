@@ -15,6 +15,7 @@
 
 #include <cstddef>
 
+#include "analysis/budget.hpp"
 #include "lp/milp.hpp"
 #include "rt/task.hpp"
 #include "rt/types.hpp"
@@ -25,6 +26,12 @@ struct AnalysisOptions {
   lp::MilpOptions milp;
   /// Solve only the LP relaxation (fast, safe, more pessimistic).
   bool lp_relaxation_only = false;
+  /// Optional per-request degradation budget (non-owning; the caller keeps
+  /// it alive across the call).  Once exceeded, every subsequent delay-MILP
+  /// solve uses the LP relaxation dual bound instead of branch & bound —
+  /// safe but more pessimistic — and the result is tagged `degraded`.  See
+  /// analysis/budget.hpp for the safety/determinism contract.
+  const SolveBudget* budget = nullptr;
   /// Treat every task as NLS — the analysis of the protocol of [3]
   /// (DESIGN.md §5.3).
   bool ignore_ls = false;
@@ -58,6 +65,9 @@ struct TaskBoundResult {
   bool exceeded_deadline = false;
   /// True when any MILP fell back to its dual (relaxation) bound.
   bool used_relaxation_bound = false;
+  /// True when any solve degraded to the LP relaxation because the
+  /// request's SolveBudget was exceeded (implies used_relaxation_bound).
+  bool degraded = false;
   std::size_t outer_iterations = 0;
   std::size_t milp_nodes = 0;
   std::size_t lp_iterations = 0;

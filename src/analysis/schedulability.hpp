@@ -26,6 +26,9 @@ struct ApproachResult {
   /// LS marking chosen by the greedy algorithm (kProposed only).
   std::vector<bool> ls_flags;
   bool any_relaxation_fallback = false;
+  /// True when any bound degraded under an exceeded SolveBudget
+  /// (analysis/budget.hpp): the verdict is safe but pessimistic.
+  bool degraded = false;
 };
 
 /// Analyzes one core's task set under the chosen approach.

@@ -1,0 +1,38 @@
+#include "svc/cache.hpp"
+
+#include <utility>
+
+namespace mcs::svc {
+
+std::optional<Verdict> VerdictCache::lookup(std::uint64_t key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->verdict;
+}
+
+bool VerdictCache::insert(std::uint64_t key, Verdict verdict) {
+  if (capacity_ == 0) return false;
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second->verdict = std::move(verdict);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return false;
+  }
+  bool evicted = false;
+  if (entries_.size() >= capacity_) {
+    entries_.erase(lru_.back().key);
+    lru_.pop_back();
+    evicted = true;
+  }
+  lru_.push_front(Entry{key, std::move(verdict)});
+  entries_.emplace(key, lru_.begin());
+  return evicted;
+}
+
+void VerdictCache::clear() {
+  entries_.clear();
+  lru_.clear();
+}
+
+}  // namespace mcs::svc

@@ -1,0 +1,66 @@
+#include "svc/fingerprint.hpp"
+
+#include <string>
+
+#include "support/hash.hpp"
+
+namespace mcs::svc {
+
+namespace {
+
+void put_u64(std::string& buf, std::uint64_t value) {
+  for (int k = 0; k < 8; ++k) {
+    buf.push_back(static_cast<char>(value & 0xFF));
+    value >>= 8;
+  }
+}
+
+}  // namespace
+
+const char* to_string(AnalysisMode mode) noexcept {
+  switch (mode) {
+    case AnalysisMode::kGreedy:
+      return "greedy";
+    case AnalysisMode::kMarked:
+      return "marked";
+    case AnalysisMode::kWp:
+      return "wp";
+  }
+  return "unknown";
+}
+
+std::optional<AnalysisMode> parse_mode(std::string_view name) noexcept {
+  if (name == "greedy") return AnalysisMode::kGreedy;
+  if (name == "marked") return AnalysisMode::kMarked;
+  if (name == "wp") return AnalysisMode::kWp;
+  return std::nullopt;
+}
+
+std::vector<rt::TaskIndex> canonical_order(const rt::TaskSet& tasks) {
+  // Priority values are unique within a validated TaskSet, so sorting by
+  // them yields a total, reordering-invariant order.
+  return tasks.by_priority();
+}
+
+std::uint64_t fingerprint(const rt::TaskSet& tasks, AnalysisMode mode) {
+  // LS marks only affect the kMarked analysis; normalize them away otherwise.
+  const bool marks_matter = mode == AnalysisMode::kMarked;
+  std::string buf;
+  buf.reserve(tasks.size() * 64 + 16);
+  for (const rt::TaskIndex i : canonical_order(tasks)) {
+    const rt::Task& t = tasks[i];
+    buf += t.name;
+    buf.push_back('\0');
+    put_u64(buf, static_cast<std::uint64_t>(t.exec));
+    put_u64(buf, static_cast<std::uint64_t>(t.copy_in));
+    put_u64(buf, static_cast<std::uint64_t>(t.copy_out));
+    put_u64(buf, static_cast<std::uint64_t>(t.period));
+    put_u64(buf, static_cast<std::uint64_t>(t.deadline));
+    put_u64(buf, static_cast<std::uint64_t>(t.priority));
+    buf.push_back(marks_matter && t.latency_sensitive ? '\1' : '\0');
+  }
+  buf.push_back(static_cast<char>(mode));
+  return support::hash_bytes(buf.data(), buf.size());
+}
+
+}  // namespace mcs::svc

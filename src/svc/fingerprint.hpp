@@ -1,0 +1,48 @@
+// Canonical task-set fingerprinting for the admission-control verdict
+// cache (docs/SERVICE.md).
+//
+// Two task sets that are equal up to task *ordering* must hit the same
+// cache entry, so the fingerprint hashes a normalized encoding: tasks
+// sorted by priority (unique within a set, hence a total order), each
+// contributing its name, ticks, priority, and LS mark.  Analysis modes
+// that do not consult the stored LS marks — greedy re-derives the marking
+// from scratch, and the WP baseline disables LS semantics — zero the marks
+// before hashing, so a mark-LS request never spuriously misses for them.
+//
+// The hash is support::hash_bytes (FNV-1a/64 with a splitmix64 avalanche
+// finisher): platform-stable, so fingerprints in request logs compare
+// across machines and runs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "rt/task.hpp"
+
+namespace mcs::svc {
+
+/// How the service analyzes a task set (docs/SERVICE.md "mode").
+enum class AnalysisMode {
+  kGreedy,  ///< proposed protocol + greedy LS marking (paper §VI); stored
+            ///< LS marks are ignored
+  kMarked,  ///< proposed protocol under the *current* LS marks, no
+            ///< reassignment
+  kWp,      ///< the protocol of [3]: all-NLS baseline
+};
+
+const char* to_string(AnalysisMode mode) noexcept;
+std::optional<AnalysisMode> parse_mode(std::string_view name) noexcept;
+
+/// Task indices of `tasks` in canonical (priority-ascending) order.
+/// Priorities are unique by TaskSet invariant, so the order is total.
+std::vector<rt::TaskIndex> canonical_order(const rt::TaskSet& tasks);
+
+/// Canonical fingerprint of `tasks` under `mode`.  Invariant under task
+/// reordering; sensitive to every parameter the analysis consumes (names
+/// excluded from the verdict itself but included here so same-shape sets
+/// with different names do not alias in responses rendered from cache).
+std::uint64_t fingerprint(const rt::TaskSet& tasks, AnalysisMode mode);
+
+}  // namespace mcs::svc

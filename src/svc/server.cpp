@@ -1,0 +1,260 @@
+#include "svc/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace mcs::svc {
+
+namespace {
+
+/// Serialized line writer over one fd, with a drain barrier so a session
+/// can wait for every in-flight response before closing the fd (responses
+/// arrive from pool workers after the reader saw EOF).
+class OutputChannel {
+ public:
+  explicit OutputChannel(int fd) : fd_(fd) {}
+
+  void write_line(const std::string& line) {
+    const std::lock_guard<std::mutex> lock(write_mutex_);
+    std::string buf;
+    buf.reserve(line.size() + 1);
+    buf = line;
+    buf.push_back('\n');
+    std::size_t written = 0;
+    while (written < buf.size()) {
+      const ssize_t n =
+          ::write(fd_, buf.data() + written, buf.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return;  // client gone (EPIPE etc.): drop the response
+      }
+      written += static_cast<std::size_t>(n);
+    }
+  }
+
+  void begin_request() { outstanding_.fetch_add(1); }
+
+  void complete_request() {
+    if (outstanding_.fetch_sub(1) == 1) {
+      const std::lock_guard<std::mutex> lock(drain_mutex_);
+      drained_.notify_all();
+    }
+  }
+
+  void wait_drained() {
+    std::unique_lock<std::mutex> lock(drain_mutex_);
+    drained_.wait(lock, [this] { return outstanding_.load() == 0; });
+  }
+
+ private:
+  int fd_;
+  std::mutex write_mutex_;
+  std::atomic<std::size_t> outstanding_{0};
+  std::mutex drain_mutex_;
+  std::condition_variable drained_;
+};
+
+constexpr int kPollMillis = 100;
+
+/// Reads newline-delimited lines from `fd` until EOF, a read error, or
+/// `should_stop()`.  Calls on_line for each complete line and once for a
+/// non-empty unterminated tail at EOF (the service then reports the
+/// truncated frame as a parse error — it is still one request attempt).
+/// A line exceeding `max_line` triggers one on_oversize() call; the rest
+/// of that line is discarded and framing resynchronizes at the newline.
+void read_lines(int fd, const std::function<bool()>& should_stop,
+                std::size_t max_line,
+                const std::function<void(std::string)>& on_line,
+                const std::function<void()>& on_oversize) {
+  std::string partial;
+  bool discarding = false;
+  char buf[65536];
+  for (;;) {
+    if (should_stop()) return;
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int pr = ::poll(&pfd, 1, kPollMillis);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (pr == 0) continue;  // timeout: re-check should_stop
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (n == 0) {  // EOF
+      if (!partial.empty() && !discarding) on_line(std::move(partial));
+      return;
+    }
+    std::size_t begin = 0;
+    for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i) {
+      if (buf[i] != '\n') continue;
+      if (!discarding) {
+        partial.append(buf + begin, i - begin);
+        if (!partial.empty()) on_line(std::move(partial));
+      }
+      partial.clear();
+      discarding = false;
+      begin = i + 1;
+    }
+    if (!discarding) {
+      partial.append(buf + begin, static_cast<std::size_t>(n) - begin);
+      if (partial.size() > max_line) {
+        partial.clear();
+        partial.shrink_to_fit();
+        discarding = true;
+        on_oversize();
+      }
+    }
+  }
+}
+
+/// One line-delimited protocol session: reads requests from `in_fd`,
+/// dispatches through AdmissionService::submit (pool-served, sheddable),
+/// writes responses to `out`.  Returns once the input side ended *and*
+/// every dispatched response has been written.
+void serve_session(AdmissionService& service, int in_fd,
+                   const std::shared_ptr<OutputChannel>& out,
+                   const std::function<bool()>& should_stop,
+                   std::size_t max_line) {
+  read_lines(
+      in_fd, should_stop, max_line,
+      [&service, &out](std::string line) {
+        out->begin_request();
+        service.submit(std::move(line), [out](std::string response) {
+          out->write_line(response);
+          out->complete_request();
+        });
+      },
+      [&out] {
+        out->write_line(
+            "{\"ok\":false,\"error\":{\"code\":\"request_too_large\","
+            "\"message\":\"line exceeds the server frame limit\"}}");
+      });
+  out->wait_drained();
+}
+
+/// Binds a listening Unix-domain stream socket at `path` (unlinking any
+/// stale file first).  Returns -1 with `error` set on failure.
+int open_unix_listener(const std::string& path, std::string& error) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof addr.sun_path) {
+    error = "socket path too long: " + path;
+    return -1;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  ::unlink(path.c_str());
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) < 0) {
+    error = "bind " + path + ": " + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, 16) < 0) {
+    error = "listen " + path + ": " + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+}  // namespace
+
+int run_server(AdmissionService& service, const ServerConfig& config) {
+  // A client that disconnects mid-response must not kill the server.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::atomic<bool> stop{false};
+  const auto should_stop = [&stop, &service] {
+    return stop.load() || service.shutdown_requested();
+  };
+
+  int listen_fd = -1;
+  std::thread acceptor;
+  std::mutex conns_mutex;
+  std::vector<std::thread> conns;
+
+  if (!config.socket_path.empty()) {
+    std::string error;
+    listen_fd = open_unix_listener(config.socket_path, error);
+    if (listen_fd < 0) {
+      std::cerr << "mcs_serve: " << error << "\n";
+      return 1;
+    }
+    acceptor = std::thread([&, listen_fd] {
+      for (;;) {
+        if (should_stop()) return;
+        pollfd pfd{};
+        pfd.fd = listen_fd;
+        pfd.events = POLLIN;
+        const int pr = ::poll(&pfd, 1, kPollMillis);
+        if (pr < 0) {
+          if (errno == EINTR) continue;
+          return;
+        }
+        if (pr == 0) continue;
+        const int cfd = ::accept(listen_fd, nullptr, nullptr);
+        if (cfd < 0) {
+          if (errno == EINTR) continue;
+          return;  // listener closed
+        }
+        const std::lock_guard<std::mutex> lock(conns_mutex);
+        conns.emplace_back([&service, &should_stop, cfd, &config] {
+          const auto out = std::make_shared<OutputChannel>(cfd);
+          serve_session(service, cfd, out, should_stop,
+                        config.max_line_bytes);
+          ::close(cfd);
+        });
+      }
+    });
+  }
+
+  if (config.serve_stdio) {
+    const auto out = std::make_shared<OutputChannel>(STDOUT_FILENO);
+    serve_session(service, STDIN_FILENO, out, should_stop,
+                  config.max_line_bytes);
+  } else {
+    while (!should_stop()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(kPollMillis));
+    }
+  }
+
+  stop.store(true);
+  if (listen_fd >= 0) ::close(listen_fd);
+  if (acceptor.joinable()) acceptor.join();
+  {
+    const std::lock_guard<std::mutex> lock(conns_mutex);
+    for (std::thread& t : conns) {
+      if (t.joinable()) t.join();
+    }
+  }
+  service.drain();
+  if (!config.socket_path.empty()) ::unlink(config.socket_path.c_str());
+  return 0;
+}
+
+}  // namespace mcs::svc

@@ -1,0 +1,42 @@
+// Transport front end for AdmissionService (docs/SERVICE.md §Transports).
+//
+// Speaks the newline-delimited JSON protocol over two transports, both
+// optional and both feeding the same AdmissionService instance:
+//
+//  * stdio — one request per line on stdin, one response per line on
+//    stdout; EOF ends the session (the mcs_cli scripting mode);
+//  * a Unix-domain stream socket — each accepted connection is its own
+//    line-delimited session, served by a per-connection reader thread.
+//
+// Every request is dispatched through AdmissionService::submit, so actual
+// analysis work runs (and is shed under overload) on the service's
+// support::ThreadPool regardless of transport.  Responses may be written
+// out of arrival order; clients correlate via the echoed `id`.
+//
+// run() blocks until stdin reaches EOF (when stdio is enabled) or a
+// `shutdown` request is accepted on any transport.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "svc/service.hpp"
+
+namespace mcs::svc {
+
+struct ServerConfig {
+  bool serve_stdio = true;
+  /// Unix-domain socket path; empty disables the socket listener.  A stale
+  /// file at the path is unlinked before binding.
+  std::string socket_path;
+  /// Reader-side line cap: a client that streams more than this without a
+  /// newline gets one `request_too_large` error and the rest of the line
+  /// is discarded (the frame boundary resynchronizes at the next newline).
+  std::size_t max_line_bytes = 1 << 20;
+};
+
+/// Runs the transports over `service`; returns 0 on clean shutdown.
+/// Blocks; call from the tool's main thread (tools/mcs_serve.cpp).
+int run_server(AdmissionService& service, const ServerConfig& config);
+
+}  // namespace mcs::svc

@@ -4,6 +4,8 @@
 
 #include <sstream>
 
+#include "support/contracts.hpp"
+
 namespace {
 
 using mcs::rt::load_workload;
@@ -87,6 +89,58 @@ TEST(WorkloadIo, ErrorsCarryLineNumbers) {
   expect_error("", "no tasks");
   expect_error("task a C=10 T=100 prio=0\ntask b C=10 T=100\n",
                "either every task needs prio= or none");
+}
+
+TEST(WorkloadIo, MalformedNumbersAreStructuredErrors) {
+  // Hostile numeric input must fail with a line-numbered std::runtime_error
+  // — never silent truncation, never a crash (the suite runs under
+  // ASan/UBSan in CI).
+  const auto expect_invalid = [](const std::string& text) {
+    try {
+      parse(text);
+      FAIL() << "accepted: " << text;
+    } catch (const std::runtime_error& error) {
+      EXPECT_NE(std::string(error.what()).find("invalid number"),
+                std::string::npos)
+          << error.what();
+    }
+  };
+  expect_invalid("task a C=nan T=100\n");
+  expect_invalid("task a C=NaN T=100\n");
+  expect_invalid("task a C=inf T=100\n");
+  expect_invalid("task a C=1.5 T=100\n");                    // fractional
+  expect_invalid("task a C=10 T=9223372036854775808\n");     // > int64 max
+  expect_invalid("task a C=10 T=99999999999999999999999\n"); // way past
+  expect_invalid("task a C=1e3 T=100\n");                    // exponent
+  expect_invalid("task a C=0x10 T=100\n");                   // hex
+  expect_invalid("task a C= T=100\n");                       // empty value
+}
+
+TEST(WorkloadIo, InvalidTaskParametersViolateContracts) {
+  // Values that *parse* but break TaskSet invariants surface as contract
+  // violations from validation, not as accepted workloads.
+  EXPECT_THROW(parse("task a C=-5 T=100\n"), mcs::support::ContractViolation);
+  EXPECT_THROW(parse("task a C=0 T=100\n"), mcs::support::ContractViolation);
+  EXPECT_THROW(parse("task a C=10 l=-1 T=100\n"),
+               mcs::support::ContractViolation);
+  EXPECT_THROW(parse("task a C=10 T=-100\n"),
+               mcs::support::ContractViolation);
+  EXPECT_THROW(parse("task a C=10 T=100 D=0\n"),
+               mcs::support::ContractViolation);
+  EXPECT_THROW(
+      parse("task a C=10 T=100 prio=3\ntask b C=10 T=100 prio=3\n"),
+      mcs::support::ContractViolation);  // duplicate priority
+}
+
+TEST(WorkloadIo, TruncatedDirectivesAreErrors) {
+  const auto expect_error = [](const std::string& text) {
+    EXPECT_THROW(parse(text), std::runtime_error) << "accepted: " << text;
+  };
+  expect_error("task\n");                  // directive without a name
+  expect_error("task a\n");                // no attributes at all
+  expect_error("task a C\n");              // key without '='
+  expect_error("chain\n");                 // chain without a name
+  expect_error("task a C=10 T=100\nchain c tasks=\n");  // empty member list
 }
 
 TEST(WorkloadIo, RoundTripPreservesEverything) {

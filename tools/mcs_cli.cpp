@@ -7,7 +7,18 @@
 //                                [--seed=<n>] [--gantt]
 //   mcs_cli chains   <workload>  [--approach=proposed|wp|nps]
 //   mcs_cli export-lp <workload> <task-name> [--window=<ticks>] [--ls-case=a|b]
+//   mcs_cli admit    [--socket=<path>] [--script=<file>]
+//                    [--verify-log=<file>]
 //   mcs_cli example  — print a sample workload file
+//
+// `admit` is the client side of the admission-control service
+// (docs/SERVICE.md): it reads newline-delimited JSON requests from
+// --script (or stdin) and sends them in lockstep to the mcs_serve socket
+// named by --socket — or, without --socket, to an in-process
+// AdmissionService, so scripted sessions run without a server.
+// --verify-log replays a service request log (svc/request_log.hpp)
+// against a fresh in-process service and checks every non-degraded
+// verdict re-derives identically.
 //
 // Every command additionally accepts --telemetry=<file>: after the command
 // runs, a JSON snapshot of the solver/analysis telemetry (simplex
@@ -17,11 +28,20 @@
 // Workload files use the format documented in rt/io.hpp.  Exit status: 0 on
 // success (analyze: schedulable), 1 on a negative verdict, 2 on usage or
 // input errors.
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
 #include <cstring>
 #include <exception>
+#include <fstream>
+#include <memory>
 #include <iomanip>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 
 #include "analysis/chains.hpp"
@@ -36,6 +56,9 @@
 #include "sim/metrics.hpp"
 #include "support/rng.hpp"
 #include "support/telemetry.hpp"
+#include "svc/json.hpp"
+#include "svc/request_log.hpp"
+#include "svc/service.hpp"
 
 using namespace mcs;
 
@@ -55,6 +78,11 @@ int usage() {
       "  mcs_cli chains    <workload> [--approach=proposed|wp|nps]\n"
       "  mcs_cli export-lp <workload> <task> [--window=<ticks>] "
       "[--ls-case=a|b]\n"
+      "  mcs_cli admit     [--socket=<path>] [--script=<file>]\n"
+      "                    [--verify-log=<file>]  (admission-control "
+      "client,\n"
+      "                    docs/SERVICE.md; no --socket = in-process "
+      "service)\n"
       "  mcs_cli example\n"
       "options common to all commands:\n"
       "  --telemetry=<file>  write a JSON solver/analysis telemetry "
@@ -280,6 +308,213 @@ int cmd_export_lp(const rt::Workload& workload, int argc, char** argv) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// admit — admission-control client (docs/SERVICE.md).
+
+/// Lockstep line client over a Unix-domain stream socket: one request
+/// line out, one response line back.
+class LineSocket {
+ public:
+  explicit LineSocket(const std::string& path) {
+    sockaddr_un addr{};
+    if (path.size() >= sizeof addr.sun_path) {
+      throw std::runtime_error("socket path too long: " + path);
+    }
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+    }
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) < 0) {
+      const std::string message =
+          "connect " + path + ": " + std::strerror(errno);
+      ::close(fd_);
+      fd_ = -1;
+      throw std::runtime_error(message);
+    }
+  }
+  ~LineSocket() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  LineSocket(const LineSocket&) = delete;
+  LineSocket& operator=(const LineSocket&) = delete;
+
+  void send_line(const std::string& line) {
+    std::string buf = line;
+    buf.push_back('\n');
+    std::size_t written = 0;
+    while (written < buf.size()) {
+      const ssize_t n =
+          ::write(fd_, buf.data() + written, buf.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw std::runtime_error(std::string("send: ") + std::strerror(errno));
+      }
+      written += static_cast<std::size_t>(n);
+    }
+  }
+
+  std::string recv_line() {
+    for (;;) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw std::runtime_error(std::string("recv: ") + std::strerror(errno));
+      }
+      if (n == 0) {
+        throw std::runtime_error("server closed the connection mid-response");
+      }
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+bool response_ok(const std::string& response) {
+  try {
+    const svc::Json parsed = svc::parse_json(response);
+    const svc::Json* ok = parsed.find("ok");
+    return ok != nullptr && ok->is_bool() && ok->as_bool();
+  } catch (const svc::JsonError&) {
+    return false;
+  }
+}
+
+/// Replays a request log against a fresh in-process service: every record
+/// must re-derive a response with the same ok field (and, for non-degraded
+/// verdicts, the same fingerprint and schedulability).  Timing-dependent
+/// records — overload sheds, degraded verdicts — only need a well-formed
+/// counterpart.  A torn trailing line (SIGKILL artifact) is reported but
+/// is not an error.
+int cmd_verify_log(const std::string& path) {
+  const svc::RequestLogContents contents = svc::read_request_log(path);
+  auto service = std::make_unique<svc::AdmissionService>(svc::ServiceConfig{});
+  std::size_t replayed = 0;
+  std::size_t skipped = 0;
+  std::size_t restarts = 0;
+  std::optional<std::uint64_t> last_seq;
+  for (const svc::RequestLogRecord& rec : contents.records) {
+    // Sequence numbers are strictly increasing within one server process
+    // and reset to 0 on restart; a SIGKILLed server loses its in-memory
+    // state, so the replay must shed its state at the same point.
+    if (last_seq && rec.seq <= *last_seq) {
+      service = std::make_unique<svc::AdmissionService>(svc::ServiceConfig{});
+      ++restarts;
+    }
+    last_seq = rec.seq;
+    svc::Json logged;
+    try {
+      logged = svc::parse_json(rec.response);
+    } catch (const svc::JsonError& e) {
+      std::cerr << "verify-log: unparseable logged response at seq "
+                << rec.seq << ": " << e.what() << "\n";
+      return 1;
+    }
+    const svc::Json* err = logged.find("error");
+    if (err != nullptr) {
+      const svc::Json* code = err->find("code");
+      if (code != nullptr && code->is_string() &&
+          code->as_string() == "overloaded") {
+        ++skipped;  // shedding depends on live queue depth
+        continue;
+      }
+    }
+    const std::string fresh_text = service->handle_line(rec.request);
+    const svc::Json fresh = svc::parse_json(fresh_text);
+    const svc::Json* logged_ok = logged.find("ok");
+    const svc::Json* fresh_ok = fresh.find("ok");
+    if (logged_ok == nullptr || fresh_ok == nullptr ||
+        logged_ok->as_bool() != fresh_ok->as_bool()) {
+      std::cerr << "verify-log: ok mismatch at seq " << rec.seq << "\n  log: "
+                << rec.response << "\n  now: " << fresh_text << "\n";
+      return 1;
+    }
+    const svc::Json* logged_v = logged.find("verdict");
+    const svc::Json* fresh_v = fresh.find("verdict");
+    if (logged_v != nullptr && fresh_v != nullptr) {
+      const auto degraded = [](const svc::Json& v) {
+        const svc::Json* d = v.find("degraded");
+        return d != nullptr && d->is_bool() && d->as_bool();
+      };
+      if (!degraded(*logged_v) && !degraded(*fresh_v)) {
+        const auto field_text = [](const svc::Json& v, const char* key) {
+          const svc::Json* f = v.find(key);
+          return f == nullptr ? std::string("<absent>") : f->dump();
+        };
+        for (const char* key : {"schedulable", "fingerprint", "tasks"}) {
+          if (field_text(*logged_v, key) != field_text(*fresh_v, key)) {
+            std::cerr << "verify-log: verdict." << key << " mismatch at seq "
+                      << rec.seq << "\n  log: " << rec.response
+                      << "\n  now: " << fresh_text << "\n";
+            return 1;
+          }
+        }
+      }
+    }
+    ++replayed;
+  }
+  std::cout << "verify-log: " << replayed << " records re-derived across "
+            << (restarts + 1) << " server run(s), " << skipped
+            << " skipped (overload sheds)"
+            << (contents.truncated_tail ? ", torn tail dropped" : "") << "\n";
+  return 0;
+}
+
+int cmd_admit(int argc, char** argv) {
+  if (const auto log_path = option(argc, argv, "verify-log")) {
+    return cmd_verify_log(*log_path);
+  }
+  const auto socket_path = option(argc, argv, "socket");
+  const auto script_path = option(argc, argv, "script");
+
+  std::ifstream script;
+  std::istream* in = &std::cin;
+  if (script_path) {
+    script.open(*script_path);
+    if (!script.is_open()) {
+      std::cerr << "cannot open script " << *script_path << "\n";
+      return 2;
+    }
+    in = &script;
+  }
+
+  std::optional<LineSocket> remote;
+  std::optional<svc::AdmissionService> local;
+  if (socket_path) {
+    remote.emplace(*socket_path);
+  } else {
+    local.emplace(svc::ServiceConfig{});
+  }
+
+  bool all_ok = true;
+  std::string line;
+  while (std::getline(*in, line)) {
+    if (line.empty()) continue;
+    std::string response;
+    if (remote) {
+      remote->send_line(line);
+      response = remote->recv_line();
+    } else {
+      response = local->handle_line(line);
+    }
+    std::cout << response << "\n";
+    all_ok = all_ok && response_ok(response);
+  }
+  return all_ok ? 0 : 1;
+}
+
 constexpr const char* kExample = R"(# mcs-cosched example workload (times in ticks; pick your own unit)
 task control  C=300  l=60  u=60  T=2000  D=1700
 task vision   C=900  l=350 u=350 T=5000  D=5000
@@ -297,6 +532,15 @@ int main(int argc, char** argv) {
   if (command == "example") {
     std::cout << kExample;
     return 0;
+  }
+  if (command == "admit") {
+    // Client mode: no workload file — requests come from --script / stdin.
+    try {
+      return cmd_admit(argc - 2, argv + 2);
+    } catch (const std::exception& error) {
+      std::cerr << "error: " << error.what() << "\n";
+      return 2;
+    }
   }
   if (argc < 3) {
     return usage();
